@@ -1,0 +1,224 @@
+// Benchmarks: one per table and figure of the paper (regenerating the
+// artifact under the Go benchmark harness and reporting the headline
+// quantity as a custom metric), plus the ablation studies DESIGN.md
+// calls out (BTAC geometry, direction-predictor choice, taken-branch
+// penalty).
+//
+// Run with: go test -bench=. -benchmem
+package bioperf5
+
+import (
+	"strconv"
+	"testing"
+
+	"bioperf5/internal/branch"
+	"bioperf5/internal/core"
+	"bioperf5/internal/cpu"
+	"bioperf5/internal/harness"
+	"bioperf5/internal/kernels"
+	"bioperf5/internal/workload"
+)
+
+// benchCfg is the single-seed configuration used by the benchmark
+// harness so each iteration stays around a second.
+func benchCfg() harness.Config { return harness.Quick() }
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := harness.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig1FunctionBreakout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, app := range workload.Apps() {
+			res, err := workload.Run(app, 1, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, share := res.DominantFunction(); share <= 0 {
+				b.Fatal("empty profile")
+			}
+		}
+	}
+}
+
+func BenchmarkTable1HardwareCounters(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkFig2ClustalwPhases(b *testing.B)     { runExperiment(b, "fig2") }
+func BenchmarkFig3Predication(b *testing.B)        { runExperiment(b, "fig3") }
+func BenchmarkTable2BranchStats(b *testing.B)      { runExperiment(b, "table2") }
+func BenchmarkFig4BTAC(b *testing.B)               { runExperiment(b, "fig4") }
+func BenchmarkFig5FXU(b *testing.B)                { runExperiment(b, "fig5") }
+func BenchmarkFig6Combined(b *testing.B)           { runExperiment(b, "fig6") }
+
+// BenchmarkKernelSimulation measures simulator throughput per kernel
+// and variant, reporting simulated IPC and host MIPS.
+func BenchmarkKernelSimulation(b *testing.B) {
+	for _, k := range kernels.All() {
+		for _, v := range []kernels.Variant{kernels.Branchy, kernels.HandMax, kernels.Combination} {
+			k, v := k, v
+			b.Run(k.App+"/"+v.String(), func(b *testing.B) {
+				var instr, cycles uint64
+				for i := 0; i < b.N; i++ {
+					run, err := k.NewRun(1, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ctr, err := kernels.Simulate(k, v, run, cpu.POWER5Baseline(), 1<<30)
+					if err != nil {
+						b.Fatal(err)
+					}
+					instr += ctr.Instructions
+					cycles += ctr.Cycles
+				}
+				b.ReportMetric(float64(instr)/float64(cycles), "sim-IPC")
+				b.ReportMetric(float64(instr)/b.Elapsed().Seconds()/1e6, "sim-MIPS")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationBTACSize sweeps the BTAC entry count around the
+// paper's 8-entry choice.
+func BenchmarkAblationBTACSize(b *testing.B) {
+	k, err := kernels.ByApp("Clustalw")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, entries := range []int{2, 4, 8, 16, 64} {
+		entries := entries
+		b.Run(strconv.Itoa(entries), func(b *testing.B) {
+			cfg := cpu.POWER5Baseline()
+			cfg.UseBTAC = true
+			cfg.BTAC = branch.BTACConfig{Entries: entries, Threshold: 1, MaxScore: 3}
+			s := core.Setup{Name: "btac", Variant: kernels.Branchy, CPU: cfg}
+			var bubbles, taken uint64
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				ctr, err := core.RunKernel(k, s, []int64{1}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bubbles += ctr.TakenBubbles
+				taken += ctr.TakenBranches
+				ipc = ctr.IPC()
+			}
+			b.ReportMetric(ipc, "sim-IPC")
+			b.ReportMetric(100*float64(bubbles)/float64(taken), "bubble%")
+		})
+	}
+}
+
+// BenchmarkAblationBTACThreshold sweeps the confidence threshold the
+// score-based BTAC requires before predicting.
+func BenchmarkAblationBTACThreshold(b *testing.B) {
+	k, err := kernels.ByApp("Blast")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, thr := range []int{1, 2, 3} {
+		thr := thr
+		b.Run(strconv.Itoa(thr), func(b *testing.B) {
+			cfg := cpu.POWER5Baseline()
+			cfg.UseBTAC = true
+			cfg.BTAC = branch.BTACConfig{Entries: 8, Threshold: thr, MaxScore: 3}
+			s := core.Setup{Name: "btac", Variant: kernels.Branchy, CPU: cfg}
+			var ipc, mis float64
+			for i := 0; i < b.N; i++ {
+				ctr, err := core.RunKernel(k, s, []int64{1}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = ctr.IPC()
+				mis = 100 * ctr.BTACMispredictRate()
+			}
+			b.ReportMetric(ipc, "sim-IPC")
+			b.ReportMetric(mis, "btac-mispred%")
+		})
+	}
+}
+
+// BenchmarkAblationPredictor compares direction predictors under the
+// DP-kernel branch stream.
+func BenchmarkAblationPredictor(b *testing.B) {
+	k, err := kernels.ByApp("Fasta")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"static-taken", "bimodal", "gshare", "tournament"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			cfg := cpu.POWER5Baseline()
+			cfg.Predictor = name
+			s := core.Setup{Name: name, Variant: kernels.Branchy, CPU: cfg}
+			var ipc, mr float64
+			for i := 0; i < b.N; i++ {
+				ctr, err := core.RunKernel(k, s, []int64{1}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = ctr.IPC()
+				mr = 100 * ctr.BranchMispredictRate()
+			}
+			b.ReportMetric(ipc, "sim-IPC")
+			b.ReportMetric(mr, "mispred%")
+		})
+	}
+}
+
+// BenchmarkAblationTakenPenalty sweeps the taken-branch fetch bubble
+// (0 = ideal front end, 2 = POWER5, 3 = POWER5 with SMT).
+func BenchmarkAblationTakenPenalty(b *testing.B) {
+	k, err := kernels.ByApp("Clustalw")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pen := range []int{0, 2, 3} {
+		pen := pen
+		b.Run(strconv.Itoa(pen), func(b *testing.B) {
+			cfg := cpu.POWER5Baseline()
+			cfg.TakenBranchPenalty = pen
+			s := core.Setup{Name: "pen", Variant: kernels.Branchy, CPU: cfg}
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				ctr, err := core.RunKernel(k, s, []int64{1}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = ctr.IPC()
+			}
+			b.ReportMetric(ipc, "sim-IPC")
+		})
+	}
+}
+
+// BenchmarkAblationIfConvertArmLimit sweeps the if-converter's arm-size
+// budget on the Blast kernel (whose convertible hammocks include the
+// multi-assignment tracking group).
+func BenchmarkAblationIfConvertArmLimit(b *testing.B) {
+	k, err := kernels.ByApp("Blast")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		prog, st, err := k.Compile(kernels.CompISel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.HammocksConverted == 0 {
+			b.Fatal("nothing converted")
+		}
+		_ = prog
+	}
+}

@@ -1,0 +1,179 @@
+// Command bioperf5 regenerates the paper's tables and figures and
+// exposes the underlying tools: the application profiler (Figure 1) and
+// the kernel compiler/disassembler.
+//
+// Usage:
+//
+//	bioperf5 list
+//	bioperf5 run <experiment>|all [-scale N] [-seeds a,b,c]
+//	bioperf5 profile <Blast|Clustalw|Fasta|Hmmer> [-scale N]
+//	bioperf5 disasm <Blast|Clustalw|Fasta|Hmmer> <variant>
+//	bioperf5 variants
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bioperf5/internal/harness"
+	"bioperf5/internal/kernels"
+	"bioperf5/internal/perf"
+	"bioperf5/internal/workload"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `bioperf5: POWER5 bioinformatics workload study reproduction
+
+commands:
+  list                     list the experiments (one per paper table/figure)
+  run <id>|all             regenerate a table/figure (-scale N, -seeds a,b,c)
+  profile <application>    gprof-style function breakout (-scale N)
+  disasm <application> <variant>
+                           show the compiled DP kernel for a predication variant
+  variants                 list predication variants
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "disasm":
+		err = cmdDisasm(os.Args[2:])
+	case "variants":
+		err = cmdVariants()
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bioperf5:", err)
+		os.Exit(1)
+	}
+}
+
+func cmdList() error {
+	for _, e := range harness.Registry() {
+		fmt.Printf("%-8s %s\n", e.ID, e.Title)
+	}
+	return nil
+}
+
+func parseConfig(fs *flag.FlagSet, args []string) (harness.Config, []string, error) {
+	scale := fs.Int("scale", 1, "workload scale factor")
+	seeds := fs.String("seeds", "1,2,3", "comma-separated input seeds")
+	if err := fs.Parse(args); err != nil {
+		return harness.Config{}, nil, err
+	}
+	cfg := harness.Config{Scale: *scale}
+	for _, s := range strings.Split(*seeds, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return cfg, nil, fmt.Errorf("bad seed %q", s)
+		}
+		cfg.Seeds = append(cfg.Seeds, v)
+	}
+	return cfg, fs.Args(), nil
+}
+
+func cmdRun(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("run: missing experiment id (try `bioperf5 list`)")
+	}
+	id := args[0]
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	cfg, _, err := parseConfig(fs, args[1:])
+	if err != nil {
+		return err
+	}
+	var exps []*harness.Experiment
+	if id == "all" {
+		exps = harness.Registry()
+	} else {
+		e, err := harness.ByID(id)
+		if err != nil {
+			return err
+		}
+		exps = []*harness.Experiment{e}
+	}
+	for _, e := range exps {
+		tab, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println(tab.Render())
+	}
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("profile: missing application (one of %v)", workload.Apps())
+	}
+	app := args[0]
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	scale := fs.Int("scale", 1, "workload scale factor")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	res, err := workload.Run(app, *scale, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Summary)
+	p := perf.New()
+	for _, e := range res.Breakdown {
+		p.Add(e.Name, e.Time, e.Calls)
+	}
+	fmt.Print(p.Format())
+	return nil
+}
+
+func parseVariant(name string) (kernels.Variant, error) {
+	for v := kernels.Branchy; v < kernels.NumVariants; v++ {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown variant %q (try `bioperf5 variants`)", name)
+}
+
+func cmdDisasm(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("disasm: need <application> <variant>")
+	}
+	k, err := kernels.ByApp(args[0])
+	if err != nil {
+		return err
+	}
+	v, err := parseVariant(args[1])
+	if err != nil {
+		return err
+	}
+	prog, st, err := k.Compile(v)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s / %s: %d instructions, %d spill slots, %d hammocks converted\n\n",
+		k.Name, v, prog.Len(), st.SpillSlots, st.HammocksConverted)
+	fmt.Print(prog.Disasm())
+	return nil
+}
+
+func cmdVariants() error {
+	for v := kernels.Branchy; v < kernels.NumVariants; v++ {
+		fmt.Println(v.String())
+	}
+	return nil
+}

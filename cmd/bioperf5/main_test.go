@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"bioperf5/internal/kernels"
+)
+
+func TestParseVariant(t *testing.T) {
+	for v := kernels.Branchy; v < kernels.NumVariants; v++ {
+		got, err := parseVariant(v.String())
+		if err != nil || got != v {
+			t.Errorf("parseVariant(%q) = %v, %v", v.String(), got, err)
+		}
+	}
+	if _, err := parseVariant("turbo"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	cfg, rest, err := parseConfig(fs, []string{"-scale", "3", "-seeds", "4, 5,6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scale != 3 {
+		t.Errorf("scale = %d", cfg.Scale)
+	}
+	if len(cfg.Seeds) != 3 || cfg.Seeds[0] != 4 || cfg.Seeds[2] != 6 {
+		t.Errorf("seeds = %v", cfg.Seeds)
+	}
+	if len(rest) != 0 {
+		t.Errorf("rest = %v", rest)
+	}
+
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	if _, _, err := parseConfig(fs2, []string{"-seeds", "x"}); err == nil {
+		t.Error("bad seed accepted")
+	}
+}
+
+func TestCommandsSmoke(t *testing.T) {
+	if err := cmdList(); err != nil {
+		t.Errorf("list: %v", err)
+	}
+	if err := cmdVariants(); err != nil {
+		t.Errorf("variants: %v", err)
+	}
+	if err := cmdDisasm([]string{"Clustalw", "hand max"}); err != nil {
+		t.Errorf("disasm: %v", err)
+	}
+	if err := cmdDisasm([]string{"Clustalw"}); err == nil {
+		t.Error("disasm without variant accepted")
+	}
+	if err := cmdRun(nil); err == nil {
+		t.Error("run without id accepted")
+	}
+	if err := cmdRun([]string{"nope"}); err == nil {
+		t.Error("run with unknown id accepted")
+	}
+	if err := cmdProfile([]string{"Fasta"}); err != nil {
+		t.Errorf("profile: %v", err)
+	}
+	if err := cmdProfile(nil); err == nil {
+		t.Error("profile without app accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module bioperf5
+
+go 1.22

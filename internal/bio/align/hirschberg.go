@@ -1,0 +1,228 @@
+package align
+
+import (
+	"bioperf5/internal/bio/score"
+	"bioperf5/internal/bio/seq"
+)
+
+// MyersMiller computes the optimal global alignment with affine gaps in
+// linear space using the Myers-Miller (1988) divide-and-conquer — the
+// algorithm ClustalW's diff()/forward_pass/reverse_pass implement.  It
+// produces the same score as Global but needs O(min(n,m)) working
+// memory instead of O(n*m), which is what makes ClustalW able to align
+// long sequences at all.
+func MyersMiller(a, b *seq.Seq, mat *score.Matrix, gap score.Gap) (*Result, error) {
+	if err := validate(a, b, mat, gap); err != nil {
+		return nil, err
+	}
+	mm := &mmState{mat: mat, g: gap.Open, h: gap.Extend}
+	var ops []OpKind
+	mm.diff(a.Code, b.Code, mm.g, mm.g, &ops)
+	res := &Result{A: a, B: b, StartA: 0, StartB: 0, EndA: a.Len(), EndB: b.Len(),
+		Ops: runLength(ops)}
+	res.Score = scoreOps(res, mat, gap)
+	return res, nil
+}
+
+// scoreOps evaluates an alignment's standard affine-gap score.
+func scoreOps(r *Result, mat *score.Matrix, gap score.Gap) int {
+	ai, bi := r.StartA, r.StartB
+	total := 0
+	for _, op := range r.Ops {
+		switch op.Kind {
+		case OpMatch:
+			for k := 0; k < op.N; k++ {
+				total += mat.Score(r.A.Code[ai], r.B.Code[bi])
+				ai++
+				bi++
+			}
+		case OpDelete:
+			total -= gap.Open + op.N*gap.Extend
+			ai += op.N
+		case OpInsert:
+			total -= gap.Open + op.N*gap.Extend
+			bi += op.N
+		}
+	}
+	return total
+}
+
+type mmState struct {
+	mat  *score.Matrix
+	g, h int // gap open / extend (positive costs)
+}
+
+// gapFull is the cost of a fresh gap of length k.
+func (m *mmState) gapFull(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	return m.g + m.h*k
+}
+
+// diff emits the optimal edit script for aligning A against B, where tb
+// and te are the open costs of a deletion gap (gap in B) touching the
+// top and bottom boundaries — zero when the parent already opened that
+// gap across the split.
+func (m *mmState) diff(A, B []byte, tb, te int, ops *[]OpKind) {
+	N, M := len(A), len(B)
+	switch {
+	case M == 0:
+		for i := 0; i < N; i++ {
+			*ops = append(*ops, OpDelete)
+		}
+		return
+	case N == 0:
+		for j := 0; j < M; j++ {
+			*ops = append(*ops, OpInsert)
+		}
+		return
+	case N == 1:
+		m.base1(A[0], B, tb, te, ops)
+		return
+	}
+
+	mid := N / 2
+	// Forward pass over rows 1..mid.
+	cc, dd := m.forward(A[:mid], B, tb)
+	// Reverse pass over rows mid+1..N (reversed).
+	rr, ss := m.reverse(A[mid:], B, te)
+
+	// Midpoint: best column j and crossing type.
+	bestJ, bestType := 0, 1
+	best := cc[0] + rr[0]
+	for j := 0; j <= M; j++ {
+		if v := cc[j] + rr[j]; v > best {
+			best, bestJ, bestType = v, j, 1
+		}
+		if v := dd[j] + ss[j] + m.g; v > best {
+			best, bestJ, bestType = v, j, 2
+		}
+	}
+
+	if bestType == 1 {
+		m.diff(A[:mid], B[:bestJ], tb, m.g, ops)
+		m.diff(A[mid:], B[bestJ:], m.g, te, ops)
+		return
+	}
+	// Type 2: a deletion gap crosses the split, consuming A[mid-1] and
+	// A[mid]; the sub-problems see an already-open gap at the shared
+	// boundary.
+	m.diff(A[:mid-1], B[:bestJ], tb, 0, ops)
+	*ops = append(*ops, OpDelete, OpDelete)
+	m.diff(A[mid+1:], B[bestJ:], 0, te, ops)
+}
+
+// base1 aligns the single residue x against B optimally.
+func (m *mmState) base1(x byte, B []byte, tb, te int, ops *[]OpKind) {
+	M := len(B)
+	// Option 1: delete x (open cost is the cheaper boundary) and insert
+	// all of B.
+	bestScore := -(min(tb, te) + m.h) - m.gapFull(M)
+	bestJ := -1
+	// Option 2: match x against B[j].
+	row := m.mat.Row(x)
+	for j := 0; j < M; j++ {
+		v := -m.gapFull(j) + int(row[B[j]]) - m.gapFull(M-1-j)
+		if v > bestScore {
+			bestScore, bestJ = v, j
+		}
+	}
+	if bestJ < 0 {
+		*ops = append(*ops, OpDelete)
+		for j := 0; j < M; j++ {
+			*ops = append(*ops, OpInsert)
+		}
+		return
+	}
+	for j := 0; j < bestJ; j++ {
+		*ops = append(*ops, OpInsert)
+	}
+	*ops = append(*ops, OpMatch)
+	for j := bestJ + 1; j < M; j++ {
+		*ops = append(*ops, OpInsert)
+	}
+}
+
+// forward computes CC[j] (best score of aligning A against B[:j]) and
+// DD[j] (best score ending in an open deletion at the bottom row), with
+// tb as the open cost of deletions starting at the top row — ClustalW's
+// forward_pass inside diff().
+func (m *mmState) forward(A, B []byte, tb int) (cc, dd []int) {
+	N, M := len(A), len(B)
+	cc = make([]int, M+1)
+	dd = make([]int, M+1)
+	for j := 1; j <= M; j++ {
+		cc[j] = -m.gapFull(j)
+		dd[j] = negInf
+	}
+	dd[0] = negInf
+	for i := 1; i <= N; i++ {
+		open := m.g
+		if i == 1 {
+			open = tb
+		}
+		diag := cc[0]
+		cc[0] = -(tb + m.h*i) // pure deletion down the left edge
+		e := negInf           // insertion state in this row
+		for j := 1; j <= M; j++ {
+			// Deletion (gap in B): extend dd[j] or open from cc[j].
+			d := dd[j] - m.h
+			if v := cc[j] - open - m.h; v > d {
+				d = v
+			}
+			// Insertion (gap in A): extend e or open from cc[j-1].
+			e -= m.h
+			if v := cc[j-1] - m.g - m.h; v > e {
+				e = v
+			}
+			c := diag + m.mat.Score(A[i-1], B[j-1])
+			if d > c {
+				c = d
+			}
+			if e > c {
+				c = e
+			}
+			diag = cc[j]
+			cc[j] = c
+			dd[j] = d
+		}
+	}
+	// dd[0]: pure deletion of all of A, which is itself an open
+	// deletion state at the bottom row.
+	dd[0] = -(tb + m.h*N)
+	return cc, dd
+}
+
+// reverse is forward on the reversed problem: RR[j] aligns A (the
+// bottom half) against B[j:], SS[j] additionally ends in an open
+// deletion at the top (the split boundary), with te the open cost of
+// deletions touching the bottom boundary.
+func (m *mmState) reverse(A, B []byte, te int) (rr, ss []int) {
+	ar := reverseBytes(A)
+	br := reverseBytes(B)
+	cc, dd := m.forward(ar, br, te)
+	M := len(B)
+	rr = make([]int, M+1)
+	ss = make([]int, M+1)
+	for j := 0; j <= M; j++ {
+		rr[j] = cc[M-j]
+		ss[j] = dd[M-j]
+	}
+	return rr, ss
+}
+
+func reverseBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i := range b {
+		out[len(b)-1-i] = b[i]
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

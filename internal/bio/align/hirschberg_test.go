@@ -1,0 +1,95 @@
+package align
+
+import (
+	"testing"
+
+	"bioperf5/internal/bio/score"
+	"bioperf5/internal/bio/seq"
+)
+
+// checkMM verifies Myers-Miller against the quadratic-space Global on
+// one pair: same optimal score, and a structurally valid traceback.
+func checkMM(t *testing.T, a, b *seq.Seq, mat *score.Matrix, gap score.Gap) {
+	t.Helper()
+	full, err := Global(a, b, mat, gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := MyersMiller(a, b, mat, gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Score != full.Score {
+		t.Errorf("%s vs %s: Myers-Miller score %d != Global %d",
+			a.ID, b.ID, lin.Score, full.Score)
+	}
+	// The traceback must consume both sequences exactly.
+	if got := rescore(t, lin, mat, gap); got != lin.Score {
+		t.Errorf("%s vs %s: ops rescore to %d, header %d", a.ID, b.ID, got, lin.Score)
+	}
+}
+
+func TestMyersMillerMatchesGlobalRandomPairs(t *testing.T) {
+	g := seq.NewGenerator(seq.Protein, 17)
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + trial*3
+		m := 1 + (trial*7)%60
+		a := g.Random("a", n)
+		b := g.Random("b", m)
+		checkMM(t, a, b, score.BLOSUM62, score.DefaultProteinGap)
+	}
+}
+
+func TestMyersMillerMatchesGlobalHomologs(t *testing.T) {
+	g := seq.NewGenerator(seq.Protein, 18)
+	for trial := 0; trial < 10; trial++ {
+		a := g.Random("a", 80)
+		b := g.Mutate(a, "b", 0.7, 0.05)
+		checkMM(t, a, b, score.BLOSUM62, score.ClustalWGap)
+		checkMM(t, a, b, score.BLOSUM50, score.Gap{Open: 10, Extend: 2})
+	}
+}
+
+func TestMyersMillerDegenerateShapes(t *testing.T) {
+	g := seq.NewGenerator(seq.Protein, 19)
+	long := g.Random("long", 40)
+	one := g.Random("one", 1)
+	two := g.Random("two", 2)
+	cases := [][2]*seq.Seq{
+		{one, one}, {one, long}, {long, one},
+		{two, long}, {long, two}, {two, two},
+	}
+	for _, c := range cases {
+		checkMM(t, c[0], c[1], score.BLOSUM62, score.DefaultProteinGap)
+	}
+}
+
+func TestMyersMillerIdentical(t *testing.T) {
+	s := seq.MustSeq("s", "ACDEFGHIKLMNPQRSTVWYACDEFGHIKL", seq.Protein)
+	lin, err := MyersMiller(s, s, score.BLOSUM62, score.DefaultProteinGap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin.Ops) != 1 || lin.Ops[0].Kind != OpMatch || lin.Ops[0].N != s.Len() {
+		t.Errorf("self alignment ops = %+v", lin.Ops)
+	}
+}
+
+func TestMyersMillerLongGapMerging(t *testing.T) {
+	// A long deletion spanning many divide boundaries must still be
+	// charged a single gap open (the type-2 crossing logic).
+	g := seq.NewGenerator(seq.Protein, 20)
+	b := g.Random("b", 30)
+	mid := g.Random("gapfill", 40)
+	a := &seq.Seq{ID: "a", Alpha: seq.Protein,
+		Code: append(append(append([]byte{}, b.Code[:15]...), mid.Code...), b.Code[15:]...)}
+	checkMM(t, a, b, score.BLOSUM62, score.DefaultProteinGap)
+}
+
+func TestMyersMillerRejectsAlphabetMismatch(t *testing.T) {
+	p := seq.MustSeq("p", "ACDE", seq.Protein)
+	d := seq.MustSeq("d", "ACGT", seq.DNA)
+	if _, err := MyersMiller(p, d, score.BLOSUM62, score.DefaultProteinGap); err == nil {
+		t.Error("alphabet mismatch accepted")
+	}
+}

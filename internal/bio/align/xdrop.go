@@ -1,0 +1,176 @@
+package align
+
+import (
+	"bioperf5/internal/bio/score"
+	"bioperf5/internal/bio/seq"
+)
+
+// X-drop extension, the algorithmic core of BLAST: from a seed hit the
+// alignment is extended while the running score stays within X of the
+// best seen, so the DP explores only a self-limiting band around the
+// optimum.  The gapped form is the SEMI_G_ALIGN_EX computation the
+// paper finds Blast spending >40% of its time in.
+
+// XDropUngapped extends a w-long seed at a[ai:]≈b[bi:] in both
+// directions without gaps.  It returns the total segment score and the
+// extended segment boundaries [loA, hiA) in a.
+func XDropUngapped(a, b *seq.Seq, ai, bi, w int, mat *score.Matrix, x int) (sc, loA, hiA int) {
+	// Seed score.
+	s := 0
+	for k := 0; k < w; k++ {
+		s += mat.Score(a.Code[ai+k], b.Code[bi+k])
+	}
+	// Right extension.
+	best := s
+	cur := s
+	endA := ai + w
+	i, j := ai+w, bi+w
+	for i < a.Len() && j < b.Len() {
+		cur += mat.Score(a.Code[i], b.Code[j])
+		i++
+		j++
+		if cur > best {
+			best = cur
+			endA = i
+		}
+		if cur < best-x {
+			break
+		}
+	}
+	// Left extension.
+	cur = best
+	total := best
+	startA := ai
+	i, j = ai-1, bi-1
+	for i >= 0 && j >= 0 {
+		cur += mat.Score(a.Code[i], b.Code[j])
+		if cur > total {
+			total = cur
+			startA = i
+		}
+		if cur < total-x {
+			break
+		}
+		i--
+		j--
+	}
+	return total, startA, endA
+}
+
+// XDropGapped extends a gapped alignment forward from (si, sj): it
+// aligns a[si:] against b[sj:] with affine gaps, abandoning any DP cell
+// whose score falls more than x below the best score seen, and returns
+// the best score reached (>= 0: extension can stop at the seed).  The
+// backward direction is obtained by calling it on reversed sequences.
+func XDropGapped(a, b *seq.Seq, si, sj int, mat *score.Matrix, gap score.Gap, x int) int {
+	n := a.Len() - si
+	m := b.Len() - sj
+	if n <= 0 || m <= 0 {
+		return 0
+	}
+	open := gap.Open + gap.Extend
+	ext := gap.Extend
+
+	h := make([]int, m+1)
+	e := make([]int, m+1)
+	// Row 0: gaps in a.
+	h[0] = 0
+	best := 0
+	lo, hi := 0, 0
+	for j := 1; j <= m; j++ {
+		v := -(gap.Open + j*ext)
+		if v < best-x {
+			break
+		}
+		h[j] = v
+		e[j] = v
+		hi = j
+	}
+	for j := hi + 1; j <= m; j++ {
+		h[j] = negInf
+		e[j] = negInf
+	}
+
+	for i := 1; i <= n && lo <= hi; i++ {
+		diag := negInf
+		if lo == 0 {
+			diag = h[0]
+			if v := -(gap.Open + i*ext); v >= best-x {
+				h[0] = v
+			} else {
+				h[0] = negInf
+				lo = 1
+			}
+		} else if lo >= 1 {
+			diag = h[lo-1]
+			if lo-1 >= 0 {
+				h[lo-1] = negInf
+			}
+		}
+		f := negInf
+		newLo, newHi := -1, lo-1
+		row := mat.Row(a.Code[si+i-1])
+		limJ := hi + 1
+		if limJ > m {
+			limJ = m
+		}
+		for j := maxInt(lo, 1); j <= limJ; j++ {
+			ev := e[j] - ext
+			if v := h[j] - open; v > ev {
+				ev = v
+			}
+			fv := f - ext
+			if v := h[j-1] - open; v > fv {
+				fv = v
+			}
+			hv := negInf
+			if diag > negInf {
+				hv = diag + int(row[b.Code[sj+j-1]])
+			}
+			if ev > hv {
+				hv = ev
+			}
+			if fv > hv {
+				hv = fv
+			}
+			diag = h[j]
+			if hv < best-x {
+				hv = negInf
+				ev = negInf
+				fv = negInf
+			} else {
+				if newLo < 0 {
+					newLo = j
+				}
+				newHi = j
+				if hv > best {
+					best = hv
+				}
+			}
+			h[j], e[j], f = hv, ev, fv
+		}
+		if newLo < 0 {
+			break // the whole row dropped: extension finished
+		}
+		lo = newLo
+		hi = newHi + 1 // the band can grow one cell right per row
+	}
+	return best
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Reversed returns a copy of s with residue order reversed (for
+// leftward X-drop extensions).
+func Reversed(s *seq.Seq) *seq.Seq {
+	code := make([]byte, len(s.Code))
+	for i, c := range s.Code {
+		code[len(code)-1-i] = c
+	}
+	return &seq.Seq{ID: s.ID + "_rev", Code: code, Alpha: s.Alpha}
+}

@@ -1,0 +1,266 @@
+// Package blast implements a blastp-style protein similarity search:
+// neighbourhood word seeding, two-hit diagonal filtering, ungapped
+// X-drop extension, gapped X-drop extension (the SEMI_G_ALIGN_EX
+// computation Figure 1 shows taking >40% of Blast's time), and
+// Karlin-Altschul E-value statistics.
+package blast
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bioperf5/internal/bio/align"
+	"bioperf5/internal/bio/score"
+	"bioperf5/internal/bio/seq"
+)
+
+// Params are the search parameters, defaulting to blastp-like values.
+type Params struct {
+	Matrix *score.Matrix
+	Gap    score.Gap
+
+	WordLen       int // seed word length (blastp: 3)
+	Threshold     int // neighbourhood word score threshold T (blastp: 11)
+	TwoHitWindow  int // max diagonal distance between paired hits (A=40)
+	XDropUngapped int // ungapped extension drop-off
+	XDropGapped   int // gapped extension drop-off
+	GappedTrigger int // ungapped score needed to trigger gapped extension
+	EValueCutoff  float64
+	KA            score.KarlinAltschul
+
+	// Phase, when non-nil, brackets the extension phases for the
+	// Figure 1 function-breakout profiler: it is called with a phase
+	// name and returns the stop function.
+	Phase func(name string) func()
+}
+
+// DefaultParams returns blastp-like defaults over BLOSUM62.
+func DefaultParams() Params {
+	return Params{
+		Matrix:        score.BLOSUM62,
+		Gap:           score.DefaultProteinGap,
+		WordLen:       3,
+		Threshold:     11,
+		TwoHitWindow:  40,
+		XDropUngapped: 16,
+		XDropGapped:   38,
+		GappedTrigger: 22,
+		EValueCutoff:  10,
+		KA:            score.Blosum62Gapped11_1,
+	}
+}
+
+func (p Params) phase(name string) func() {
+	if p.Phase == nil {
+		return func() {}
+	}
+	return p.Phase(name)
+}
+
+// Validate rejects unusable parameter sets.
+func (p Params) Validate() error {
+	if p.Matrix == nil {
+		return fmt.Errorf("blast: no matrix")
+	}
+	if p.WordLen < 2 || p.WordLen > 5 {
+		return fmt.Errorf("blast: word length %d out of range", p.WordLen)
+	}
+	if p.TwoHitWindow < p.WordLen {
+		return fmt.Errorf("blast: two-hit window %d below word length", p.TwoHitWindow)
+	}
+	return p.Gap.Validate()
+}
+
+// Index is the word index over a sequence database.
+type Index struct {
+	DB     []*seq.Seq
+	params Params
+	// words[w] lists (sequence, offset) pairs for exact word w.
+	words map[int][]posting
+	// dbLen is the total residue count (the n of E = K*m*n*e^{-λS}).
+	dbLen int
+}
+
+type posting struct {
+	seq int
+	off int32
+}
+
+func wordKey(code []byte, size int) int {
+	k := 0
+	for _, c := range code {
+		k = k*size + int(c)
+	}
+	return k
+}
+
+// NewIndex builds the word index for db.
+func NewIndex(db []*seq.Seq, p Params) (*Index, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	idx := &Index{DB: db, params: p, words: make(map[int][]posting)}
+	size := p.Matrix.Alpha.Size()
+	for si, s := range db {
+		if s.Alpha != p.Matrix.Alpha {
+			return nil, fmt.Errorf("blast: sequence %s alphabet mismatch", s.ID)
+		}
+		idx.dbLen += s.Len()
+		for off := 0; off+p.WordLen <= s.Len(); off++ {
+			w := wordKey(s.Code[off:off+p.WordLen], size)
+			idx.words[w] = append(idx.words[w], posting{seq: si, off: int32(off)})
+		}
+	}
+	return idx, nil
+}
+
+// neighborhood returns, for every database word within score threshold
+// of some query word, the query offsets it seeds — BLAST's T-neighbour
+// expansion.
+func neighborhood(q *seq.Seq, p Params) map[int][]int32 {
+	size := p.Matrix.Alpha.Size()
+	out := make(map[int][]int32)
+	w := p.WordLen
+	var expand func(qword []byte, prefixKey, prefixScore, depth int, qoff int32)
+	// maxTail[d] is the best achievable score for the remaining d
+	// positions, for pruning.
+	maxRes := p.Matrix.MaxScore()
+	expand = func(qword []byte, prefixKey, prefixScore, depth int, qoff int32) {
+		if depth == w {
+			if prefixScore >= p.Threshold {
+				out[prefixKey] = append(out[prefixKey], qoff)
+			}
+			return
+		}
+		rem := (w - depth - 1) * maxRes
+		row := p.Matrix.Row(qword[depth])
+		for d := 0; d < size; d++ {
+			s := prefixScore + int(row[d])
+			if s+rem < p.Threshold {
+				continue
+			}
+			expand(qword, prefixKey*size+d, s, depth+1, qoff)
+		}
+	}
+	for off := 0; off+w <= q.Len(); off++ {
+		expand(q.Code[off:off+w], 0, 0, 0, int32(off))
+	}
+	return out
+}
+
+// Hit is one database sequence's best gapped alignment.
+type Hit struct {
+	Subject       *seq.Seq
+	UngappedScore int
+	Score         int // best gapped score
+	Bits          float64
+	EValue        float64
+}
+
+// Search runs the blastp pipeline for query against the index.
+func Search(query *seq.Seq, idx *Index, p Params) ([]Hit, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if query.Alpha != p.Matrix.Alpha {
+		return nil, fmt.Errorf("blast: query alphabet mismatch")
+	}
+	if query.Len() < p.WordLen {
+		return nil, fmt.Errorf("blast: query shorter than word length")
+	}
+	neigh := neighborhood(query, p)
+	size := p.Matrix.Alpha.Size()
+
+	var hits []Hit
+	for si, subject := range idx.DB {
+		best := searchOne(query, subject, neigh, p, size)
+		if best == nil {
+			continue
+		}
+		e := evalue(best.Score, query.Len(), idx.dbLen, p.KA)
+		if e > p.EValueCutoff {
+			continue
+		}
+		best.Subject = idx.DB[si]
+		best.EValue = e
+		best.Bits = bitScore(best.Score, p.KA)
+		hits = append(hits, *best)
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Subject.ID < hits[j].Subject.ID
+	})
+	return hits, nil
+}
+
+// searchOne scans one subject for two-hit seeds and extends them.
+func searchOne(query, subject *seq.Seq, neigh map[int][]int32, p Params, size int) *Hit {
+	w := p.WordLen
+	// lastHit[d] = subject offset of the last unextended hit on
+	// diagonal d (offset by query length so d >= 0).
+	diagBase := query.Len()
+	lastHit := make([]int32, query.Len()+subject.Len()+1)
+	extended := make([]int32, len(lastHit))
+	for i := range lastHit {
+		lastHit[i] = -1
+		extended[i] = -1
+	}
+	var best *Hit
+	for joff := 0; joff+w <= subject.Len(); joff++ {
+		wkey := wordKey(subject.Code[joff:joff+w], size)
+		for _, qoff := range neigh[wkey] {
+			d := diagBase + joff - int(qoff)
+			if extended[d] >= int32(joff) {
+				continue // inside an already-extended region
+			}
+			prev := lastHit[d]
+			if prev >= 0 && int(prev)+w > joff {
+				continue // overlaps the previous hit: keep the older one
+			}
+			lastHit[d] = int32(joff)
+			if prev < 0 || joff-int(prev) > p.TwoHitWindow {
+				continue // no usable partner hit yet
+			}
+			// Two-hit trigger: ungapped extension around this hit.
+			stopU := p.phase("UngappedExtend")
+			sc, loA, hiA := align.XDropUngapped(query, subject, int(qoff), joff, w, p.Matrix, p.XDropUngapped)
+			stopU()
+			extended[d] = int32(hiA + (joff - int(qoff)))
+			if sc < p.GappedTrigger {
+				continue
+			}
+			// Gapped extension from the HSP midpoint (SEMI_G_ALIGN_EX
+			// twice: forward, and backward on reversed sequences).
+			mid := (loA + hiA) / 2
+			if mid >= query.Len() {
+				mid = query.Len() - 1
+			}
+			jmid := mid + (joff - int(qoff))
+			if jmid >= subject.Len() {
+				continue
+			}
+			stopG := p.phase("SemiGappedAlignEx")
+			anchor := p.Matrix.Score(query.Code[mid], subject.Code[jmid])
+			fwd := align.XDropGapped(query, subject, mid+1, jmid+1, p.Matrix, p.Gap, p.XDropGapped)
+			bwd := align.XDropGapped(align.Reversed(query), align.Reversed(subject),
+				query.Len()-mid, subject.Len()-jmid, p.Matrix, p.Gap, p.XDropGapped)
+			stopG()
+			total := anchor + fwd + bwd
+			if best == nil || total > best.Score {
+				best = &Hit{UngappedScore: sc, Score: total}
+			}
+		}
+	}
+	return best
+}
+
+func evalue(s, m, n int, ka score.KarlinAltschul) float64 {
+	return ka.K * float64(m) * float64(n) * math.Exp(-ka.Lambda*float64(s))
+}
+
+func bitScore(s int, ka score.KarlinAltschul) float64 {
+	return (ka.Lambda*float64(s) - math.Log(ka.K)) / math.Ln2
+}

@@ -1,0 +1,261 @@
+package blast
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bioperf5/internal/bio/align"
+	"bioperf5/internal/bio/score"
+	"bioperf5/internal/bio/seq"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.WordLen = 1
+	if err := p.Validate(); err == nil {
+		t.Error("word length 1 accepted")
+	}
+	p = DefaultParams()
+	p.TwoHitWindow = 1
+	if err := p.Validate(); err == nil {
+		t.Error("window below word length accepted")
+	}
+	p = DefaultParams()
+	p.Matrix = nil
+	if err := p.Validate(); err == nil {
+		t.Error("nil matrix accepted")
+	}
+}
+
+func TestWordKeyBijective(t *testing.T) {
+	size := seq.Protein.Size()
+	seen := map[int]bool{}
+	words := [][]byte{{0, 0, 0}, {0, 0, 1}, {1, 0, 0}, {19, 19, 19}, {5, 10, 15}}
+	for _, w := range words {
+		k := wordKey(w, size)
+		if seen[k] {
+			t.Errorf("collision for %v", w)
+		}
+		seen[k] = true
+	}
+}
+
+func TestNeighborhoodContainsExactWords(t *testing.T) {
+	g := seq.NewGenerator(seq.Protein, 1)
+	q := g.Random("q", 50)
+	p := DefaultParams()
+	neigh := neighborhood(q, p)
+	size := seq.Protein.Size()
+	for off := 0; off+p.WordLen <= q.Len(); off++ {
+		w := q.Code[off : off+p.WordLen]
+		self := 0
+		for _, c := range w {
+			self += p.Matrix.Score(c, c)
+		}
+		if self < p.Threshold {
+			continue // a rare low-self-score word may legitimately miss
+		}
+		found := false
+		for _, qo := range neigh[wordKey(w, size)] {
+			if qo == int32(off) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("exact word at %d missing from its own neighbourhood", off)
+		}
+	}
+}
+
+func TestNeighborhoodThresholdMonotone(t *testing.T) {
+	g := seq.NewGenerator(seq.Protein, 2)
+	q := g.Random("q", 30)
+	loose := DefaultParams()
+	loose.Threshold = 9
+	tight := DefaultParams()
+	tight.Threshold = 13
+	nl := neighborhood(q, loose)
+	nt := neighborhood(q, tight)
+	sizeOf := func(m map[int][]int32) int {
+		n := 0
+		for _, v := range m {
+			n += len(v)
+		}
+		return n
+	}
+	if sizeOf(nl) <= sizeOf(nt) {
+		t.Errorf("loose threshold neighbourhood (%d) not larger than tight (%d)",
+			sizeOf(nl), sizeOf(nt))
+	}
+	// Every tight entry must appear in the loose set.
+	for w, offs := range nt {
+		lo := map[int32]bool{}
+		for _, o := range nl[w] {
+			lo[o] = true
+		}
+		for _, o := range offs {
+			if !lo[o] {
+				t.Fatalf("tight neighbourhood has %d@%d missing from loose", w, o)
+			}
+		}
+	}
+}
+
+func searchHelper(t *testing.T, seed int64, planted int) ([]Hit, *seq.Seq) {
+	t.Helper()
+	g := seq.NewGenerator(seq.Protein, seed)
+	query := g.Random("query", 200)
+	db := g.Database("db", 60, 80, 300, query, planted)
+	idx, err := NewIndex(db, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := Search(query, idx, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hits, query
+}
+
+func TestSearchFindsPlantedHomologs(t *testing.T) {
+	hits, _ := searchHelper(t, 3, 3)
+	if len(hits) == 0 {
+		t.Fatal("no hits for planted homologs")
+	}
+	homs := 0
+	for _, h := range hits {
+		if strings.Contains(h.Subject.ID, "_hom") {
+			homs++
+		}
+	}
+	if homs == 0 {
+		t.Error("planted homologs not among hits")
+	}
+	// The top hit should be a homolog, with a strong E-value.
+	if !strings.Contains(hits[0].Subject.ID, "_hom") {
+		t.Errorf("top hit %s is not a planted homolog", hits[0].Subject.ID)
+	}
+	if hits[0].EValue > 1e-5 {
+		t.Errorf("top hit E-value %g is weak", hits[0].EValue)
+	}
+}
+
+func TestSearchCleanDatabaseMostlyQuiet(t *testing.T) {
+	hits, _ := searchHelper(t, 4, 0)
+	for _, h := range hits {
+		if h.EValue < 1e-4 {
+			t.Errorf("random database produced a confident hit %s (E=%g)",
+				h.Subject.ID, h.EValue)
+		}
+	}
+}
+
+func TestHitsSortedByScore(t *testing.T) {
+	hits, _ := searchHelper(t, 5, 3)
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatal("hits not sorted by decreasing score")
+		}
+	}
+}
+
+func TestGappedScoreAtLeastTriggeringUngapped(t *testing.T) {
+	hits, _ := searchHelper(t, 6, 3)
+	for _, h := range hits {
+		if h.Score < h.UngappedScore-5 {
+			t.Errorf("%s: gapped %d far below ungapped %d",
+				h.Subject.ID, h.Score, h.UngappedScore)
+		}
+	}
+}
+
+func TestGappedScoreConsistentWithSmithWaterman(t *testing.T) {
+	// The gapped X-drop score cannot exceed the full Smith-Waterman
+	// optimum and should be close to it for strong homologs.
+	g := seq.NewGenerator(seq.Protein, 7)
+	query := g.Random("q", 150)
+	hom := g.Mutate(query, "hom", 0.65, 0.02)
+	p := DefaultParams()
+	idx, err := NewIndex([]*seq.Seq{hom}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := Search(query, idx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("expected a hit on the homolog, got %d", len(hits))
+	}
+	sw, err := align.LocalScore(query, hom, p.Matrix, p.Gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits[0].Score > sw {
+		t.Errorf("blast score %d exceeds Smith-Waterman optimum %d", hits[0].Score, sw)
+	}
+	if float64(hits[0].Score) < 0.8*float64(sw) {
+		t.Errorf("blast score %d far below Smith-Waterman %d", hits[0].Score, sw)
+	}
+}
+
+func TestEValueMath(t *testing.T) {
+	ka := score.Blosum62Gapped11_1
+	e100 := evalue(100, 200, 100000, ka)
+	e200 := evalue(200, 200, 100000, ka)
+	if e200 >= e100 {
+		t.Error("E-value not decreasing in score")
+	}
+	big := evalue(100, 200, 1000000, ka)
+	if big <= e100 {
+		t.Error("E-value not increasing in database size")
+	}
+	b := bitScore(100, ka)
+	want := (ka.Lambda*100 - math.Log(ka.K)) / math.Ln2
+	if math.Abs(b-want) > 1e-9 {
+		t.Errorf("bit score = %f, want %f", b, want)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	g := seq.NewGenerator(seq.Protein, 8)
+	idx, err := NewIndex(g.Database("db", 5, 50, 60, nil, 0), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := seq.MustSeq("dna", "ACGT", seq.DNA)
+	if _, err := Search(d, idx, DefaultParams()); err == nil {
+		t.Error("alphabet mismatch accepted")
+	}
+	tiny := seq.MustSeq("tiny", "AC", seq.Protein)
+	if _, err := Search(tiny, idx, DefaultParams()); err == nil {
+		t.Error("query shorter than word accepted")
+	}
+	if _, err := NewIndex([]*seq.Seq{d}, DefaultParams()); err == nil {
+		t.Error("index accepted DNA sequence under protein matrix")
+	}
+}
+
+func TestIndexCoverage(t *testing.T) {
+	g := seq.NewGenerator(seq.Protein, 9)
+	db := []*seq.Seq{g.Random("a", 100), g.Random("b", 50)}
+	idx, err := NewIndex(db, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.dbLen != 150 {
+		t.Errorf("dbLen = %d", idx.dbLen)
+	}
+	total := 0
+	for _, ps := range idx.words {
+		total += len(ps)
+	}
+	want := (100 - 2) + (50 - 2) // words per sequence
+	if total != want {
+		t.Errorf("indexed %d words, want %d", total, want)
+	}
+}

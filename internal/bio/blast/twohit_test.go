@@ -1,0 +1,81 @@
+package blast
+
+import (
+	"testing"
+
+	"bioperf5/internal/bio/seq"
+)
+
+// TestTwoHitRequiresPairedSeeds plants a single short exact word (one
+// seed hit, no partner on the diagonal) and verifies it does not
+// trigger an extension, while a long shared segment (many word hits on
+// one diagonal) does.
+func TestTwoHitRequiresPairedSeeds(t *testing.T) {
+	g := seq.NewGenerator(seq.Protein, 33)
+	query := g.Random("q", 120)
+	p := DefaultParams()
+
+	// Subject A: only query[10:13] (one word) embedded in random noise.
+	noise := g.Random("n", 120)
+	codeA := append([]byte{}, noise.Code...)
+	copy(codeA[40:], query.Code[10:13])
+	subjA := &seq.Seq{ID: "single", Code: codeA, Alpha: seq.Protein}
+
+	// Subject B: a 40-residue segment of the query (many diagonal hits).
+	codeB := append([]byte{}, noise.Code[:30]...)
+	codeB = append(codeB, query.Code[20:60]...)
+	codeB = append(codeB, noise.Code[30:60]...)
+	subjB := &seq.Seq{ID: "segment", Code: codeB, Alpha: seq.Protein}
+
+	neigh := neighborhood(query, p)
+	size := seq.Protein.Size()
+	if hit := searchOne(query, subjA, neigh, p, size); hit != nil {
+		// One isolated word almost never gets a diagonal partner, but
+		// the random noise can rarely supply one; only fail when the
+		// hit is strong.
+		if hit.Score > p.GappedTrigger*2 {
+			t.Errorf("single isolated seed produced a strong hit: %+v", hit)
+		}
+	}
+	hitB := searchOne(query, subjB, neigh, p, size)
+	if hitB == nil {
+		t.Fatal("40-residue shared segment produced no hit")
+	}
+	// The shared segment scores near its self-score.
+	self := 0
+	for _, c := range query.Code[20:60] {
+		self += p.Matrix.Score(c, c)
+	}
+	if hitB.Score < self/2 {
+		t.Errorf("segment hit scored %d, self-score %d", hitB.Score, self)
+	}
+}
+
+// TestTwoHitWindowLimit verifies that seeds farther apart than the
+// window on the same diagonal do not pair.
+func TestTwoHitWindowLimit(t *testing.T) {
+	g := seq.NewGenerator(seq.Protein, 34)
+	query := g.Random("q", 200)
+	p := DefaultParams()
+	p.TwoHitWindow = 10
+
+	// Two exact words from the query on the same diagonal, 50 apart —
+	// beyond the narrowed window.
+	noise := g.Random("n", 200)
+	code := append([]byte{}, noise.Code...)
+	copy(code[20:], query.Code[20:23])
+	copy(code[70:], query.Code[70:73])
+	subj := &seq.Seq{ID: "far", Code: code, Alpha: seq.Protein}
+
+	neigh := neighborhood(query, p)
+	hit := searchOne(query, subj, neigh, p, seq.Protein.Size())
+	if hit != nil && hit.Score > p.GappedTrigger*2 {
+		t.Errorf("seeds beyond the two-hit window paired: %+v", hit)
+	}
+	// Widen the window: now they pair and trigger an extension attempt.
+	p.TwoHitWindow = 60
+	neigh = neighborhood(query, p)
+	_ = searchOne(query, subj, neigh, p, seq.Protein.Size())
+	// (The extension may still score below the trigger over noise; the
+	// assertion above is the essential one.)
+}

@@ -1,0 +1,374 @@
+package clustal
+
+import (
+	"fmt"
+	"strings"
+
+	"bioperf5/internal/bio/score"
+	"bioperf5/internal/bio/seq"
+)
+
+// GapCode marks a gap position in an alignment row.
+const GapCode byte = 0xFF
+
+// MSA is a multiple sequence alignment: rows of equal length over
+// residue codes and GapCode.
+type MSA struct {
+	IDs   []string
+	Rows  [][]byte
+	Alpha *seq.Alphabet
+}
+
+// NumSeqs returns the number of aligned sequences.
+func (m *MSA) NumSeqs() int { return len(m.Rows) }
+
+// Columns returns the alignment length.
+func (m *MSA) Columns() int {
+	if len(m.Rows) == 0 {
+		return 0
+	}
+	return len(m.Rows[0])
+}
+
+// Row renders one row with '-' for gaps.
+func (m *MSA) Row(i int) string {
+	var b strings.Builder
+	for _, c := range m.Rows[i] {
+		if c == GapCode {
+			b.WriteByte('-')
+		} else {
+			b.WriteByte(m.Alpha.Letter(c))
+		}
+	}
+	return b.String()
+}
+
+// Format renders the alignment in a Clustal-like block layout.
+func (m *MSA) Format(width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	var b strings.Builder
+	for off := 0; off < m.Columns(); off += width {
+		hi := off + width
+		if hi > m.Columns() {
+			hi = m.Columns()
+		}
+		for i := range m.Rows {
+			fmt.Fprintf(&b, "%-12s %s\n", truncID(m.IDs[i]), m.Row(i)[off:hi])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func truncID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}
+
+// Ungapped recovers the original (gap-free) sequence of row i.
+func (m *MSA) Ungapped(i int) *seq.Seq {
+	code := make([]byte, 0, len(m.Rows[i]))
+	for _, c := range m.Rows[i] {
+		if c != GapCode {
+			code = append(code, c)
+		}
+	}
+	return &seq.Seq{ID: m.IDs[i], Code: code, Alpha: m.Alpha}
+}
+
+// Identity returns the fraction of columns in which rows i and j carry
+// the same residue (gap columns count against identity).
+func (m *MSA) Identity(i, j int) float64 {
+	if m.Columns() == 0 {
+		return 0
+	}
+	same := 0
+	for k := 0; k < m.Columns(); k++ {
+		a, b := m.Rows[i][k], m.Rows[j][k]
+		if a != GapCode && a == b {
+			same++
+		}
+	}
+	return float64(same) / float64(m.Columns())
+}
+
+func singleton(s *seq.Seq) *MSA {
+	return &MSA{IDs: []string{s.ID}, Rows: [][]byte{append([]byte(nil), s.Code...)}, Alpha: s.Alpha}
+}
+
+// profileCounts returns, per column, the residue count vector of an
+// alignment (gaps excluded) — the "profile" in profile-profile
+// alignment.
+func profileCounts(m *MSA) [][]int {
+	n := m.Alpha.Size()
+	out := make([][]int, m.Columns())
+	for c := range out {
+		counts := make([]int, n)
+		for _, row := range m.Rows {
+			if r := row[c]; r != GapCode {
+				counts[r]++
+			}
+		}
+		out[c] = counts
+	}
+	return out
+}
+
+// colScorer precomputes, for the right profile, the per-column score of
+// each residue against that column, turning the O(rowsX * rowsY) column
+// score into an O(alphabet) dot product — ClustalW's prfscore.
+type colScorer struct {
+	xCounts [][]int
+	ySc     [][]float64 // ySc[cj][a] = sum_b yCount[cj][b] * mat(a,b)
+	norm    float64
+}
+
+func newColScorer(x, y *MSA, mat *score.Matrix) *colScorer {
+	n := x.Alpha.Size()
+	yCounts := profileCounts(y)
+	ySc := make([][]float64, len(yCounts))
+	for cj, counts := range yCounts {
+		sc := make([]float64, n)
+		for a := 0; a < n; a++ {
+			row := mat.Row(byte(a))
+			t := 0
+			for bsym, cnt := range counts {
+				t += cnt * int(row[bsym])
+			}
+			sc[a] = float64(t)
+		}
+		ySc[cj] = sc
+	}
+	return &colScorer{
+		xCounts: profileCounts(x),
+		ySc:     ySc,
+		norm:    float64(len(x.Rows) * len(y.Rows)),
+	}
+}
+
+// score is the average substitution score between two profile columns;
+// residue-gap pairs contribute zero (ClustalW's convention, simplified
+// to uniform sequence weights).
+func (cs *colScorer) score(ci, cj int) float64 {
+	total := 0.0
+	sc := cs.ySc[cj]
+	for a, cnt := range cs.xCounts[ci] {
+		if cnt != 0 {
+			total += float64(cnt) * sc[a]
+		}
+	}
+	return total / cs.norm
+}
+
+// alignProfiles aligns two sub-alignments with affine-gap NW over
+// profile columns and merges them into one MSA.
+func alignProfiles(x, y *MSA, mat *score.Matrix, gap score.Gap) *MSA {
+	n, m := x.Columns(), y.Columns()
+	cs := newColScorer(x, y, mat)
+	open := float64(gap.Open + gap.Extend)
+	ext := float64(gap.Extend)
+	const negInf = -1e18
+
+	h := make([][]float64, n+1)
+	e := make([][]float64, n+1)
+	f := make([][]float64, n+1)
+	for i := range h {
+		h[i] = make([]float64, m+1)
+		e[i] = make([]float64, m+1)
+		f[i] = make([]float64, m+1)
+	}
+	for i := 1; i <= n; i++ {
+		h[i][0] = -(float64(gap.Open) + float64(i)*ext)
+		e[i][0] = negInf
+		f[i][0] = h[i][0]
+	}
+	for j := 1; j <= m; j++ {
+		h[0][j] = -(float64(gap.Open) + float64(j)*ext)
+		e[0][j] = h[0][j]
+		f[0][j] = negInf
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			ev := e[i][j-1] - ext
+			if v := h[i][j-1] - open; v > ev {
+				ev = v
+			}
+			fv := f[i-1][j] - ext
+			if v := h[i-1][j] - open; v > fv {
+				fv = v
+			}
+			hv := h[i-1][j-1] + cs.score(i-1, j-1)
+			if ev > hv {
+				hv = ev
+			}
+			if fv > hv {
+				hv = fv
+			}
+			e[i][j], f[i][j], h[i][j] = ev, fv, hv
+		}
+	}
+
+	// Traceback producing a column merge plan.
+	type step uint8
+	const (
+		stBoth step = iota
+		stX
+		stY
+	)
+	var rev []step
+	i, j := n, m
+	state := 0
+	const eps = 1e-9
+	for i > 0 || j > 0 {
+		switch state {
+		case 0:
+			switch {
+			case i > 0 && j > 0 && abs(h[i][j]-(h[i-1][j-1]+cs.score(i-1, j-1))) < eps:
+				rev = append(rev, stBoth)
+				i--
+				j--
+			case j > 0 && abs(h[i][j]-e[i][j]) < eps:
+				state = 1
+			case i > 0 && abs(h[i][j]-f[i][j]) < eps:
+				state = 2
+			case j > 0:
+				rev = append(rev, stY)
+				j--
+			default:
+				rev = append(rev, stX)
+				i--
+			}
+		case 1:
+			rev = append(rev, stY)
+			if abs(e[i][j]-(h[i][j-1]-open)) < eps {
+				state = 0
+			}
+			j--
+		case 2:
+			rev = append(rev, stX)
+			if abs(f[i][j]-(h[i-1][j]-open)) < eps {
+				state = 0
+			}
+			i--
+		}
+	}
+	// Build the merged rows.
+	cols := len(rev)
+	out := &MSA{
+		IDs:   append(append([]string(nil), x.IDs...), y.IDs...),
+		Alpha: x.Alpha,
+	}
+	for range x.Rows {
+		out.Rows = append(out.Rows, make([]byte, 0, cols))
+	}
+	for range y.Rows {
+		out.Rows = append(out.Rows, make([]byte, 0, cols))
+	}
+	xi, yj := 0, 0
+	for k := len(rev) - 1; k >= 0; k-- {
+		switch rev[k] {
+		case stBoth:
+			for r := range x.Rows {
+				out.Rows[r] = append(out.Rows[r], x.Rows[r][xi])
+			}
+			for r := range y.Rows {
+				out.Rows[len(x.Rows)+r] = append(out.Rows[len(x.Rows)+r], y.Rows[r][yj])
+			}
+			xi++
+			yj++
+		case stX:
+			for r := range x.Rows {
+				out.Rows[r] = append(out.Rows[r], x.Rows[r][xi])
+			}
+			for r := range y.Rows {
+				out.Rows[len(x.Rows)+r] = append(out.Rows[len(x.Rows)+r], GapCode)
+			}
+			xi++
+		case stY:
+			for r := range x.Rows {
+				out.Rows[r] = append(out.Rows[r], GapCode)
+			}
+			for r := range y.Rows {
+				out.Rows[len(x.Rows)+r] = append(out.Rows[len(x.Rows)+r], y.Rows[r][yj])
+			}
+			yj++
+		}
+	}
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Options configures the aligner.
+type Options struct {
+	Matrix *score.Matrix
+	Gap    score.Gap
+	Tree   TreeMethod
+}
+
+// DefaultOptions returns BLOSUM62 with the ClustalW gap penalties and a
+// UPGMA guide tree.
+func DefaultOptions() Options {
+	return Options{Matrix: score.BLOSUM62, Gap: score.ClustalWGap, Tree: UPGMA}
+}
+
+// Result carries the alignment and the intermediate products the paper
+// describes (distance matrix, guide tree).
+type Result struct {
+	MSA       *MSA
+	Distances [][]float64
+	Tree      *Node
+}
+
+// Align runs the three ClustalW stages on seqs.
+func Align(seqs []*seq.Seq, opt Options) (*Result, error) {
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("clustal: no sequences")
+	}
+	for _, s := range seqs {
+		if s.Len() == 0 {
+			return nil, fmt.Errorf("clustal: sequence %s is empty", s.ID)
+		}
+		if s.Alpha != opt.Matrix.Alpha {
+			return nil, fmt.Errorf("clustal: sequence %s alphabet mismatch", s.ID)
+		}
+	}
+	if len(seqs) == 1 {
+		return &Result{MSA: singleton(seqs[0]), Tree: &Node{Leaf: 0}}, nil
+	}
+	dist, err := Distances(seqs, opt.Matrix, opt.Gap)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := BuildGuideTree(dist, opt.Tree)
+	if err != nil {
+		return nil, err
+	}
+	msa := alignNode(tree, seqs, opt)
+	return &Result{MSA: msa, Distances: dist, Tree: tree}, nil
+}
+
+// AlignWithTree runs only the progressive stage over a precomputed
+// guide tree — the workload drivers time the three ClustalW stages
+// separately with it.
+func AlignWithTree(seqs []*seq.Seq, tree *Node, opt Options) *MSA {
+	return alignNode(tree, seqs, opt)
+}
+
+func alignNode(n *Node, seqs []*seq.Seq, opt Options) *MSA {
+	if n.IsLeaf() {
+		return singleton(seqs[n.Leaf])
+	}
+	l := alignNode(n.Left, seqs, opt)
+	r := alignNode(n.Right, seqs, opt)
+	return alignProfiles(l, r, opt.Matrix, opt.Gap)
+}

@@ -1,0 +1,100 @@
+package hmm
+
+import (
+	"fmt"
+	"math"
+
+	"bioperf5/internal/bio/seq"
+)
+
+// Forward computes the Forward-algorithm log-odds score in bits: the
+// probability of the sequence summed over all paths rather than the
+// single best path.  hmmpfam uses it (or Viterbi) per alignment, as the
+// paper notes in Section II.  The sum is carried in log2 space with
+// log-sum-exp.
+func Forward(s *seq.Seq, p *Plan7) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if s.Alpha != p.Alpha {
+		return 0, fmt.Errorf("hmm %s: sequence alphabet mismatch", p.Name)
+	}
+	L, M := s.Len(), p.M
+	negInf := math.Inf(-1)
+
+	bits := func(v int) float64 {
+		if v <= MinScore {
+			return negInf
+		}
+		return float64(v) / Scale
+	}
+
+	mmx := make([]float64, M+1)
+	imx := make([]float64, M+1)
+	dmx := make([]float64, M+1)
+	pmm := make([]float64, M+1)
+	pim := make([]float64, M+1)
+	pdm := make([]float64, M+1)
+	var xmx, pxmx [numX]float64
+
+	for k := 0; k <= M; k++ {
+		pmm[k], pim[k], pdm[k] = negInf, negInf, negInf
+	}
+	pxmx[XN] = 0
+	pxmx[XB] = bits(p.NMove)
+	pxmx[XE], pxmx[XJ], pxmx[XC] = negInf, negInf, negInf
+
+	for i := 1; i <= L; i++ {
+		sym := s.Code[i-1]
+		mmx[0], imx[0], dmx[0] = negInf, negInf, negInf
+		xmx[XE] = negInf
+
+		for k := 1; k <= M; k++ {
+			sc := logSum4(
+				pmm[k-1]+bits(p.TMM[k-1]),
+				pim[k-1]+bits(p.TIM[k-1]),
+				pdm[k-1]+bits(p.TDM[k-1]),
+				pxmx[XB]+bits(p.Bsc[k]),
+			)
+			mmx[k] = sc + bits(p.Msc[k][sym])
+
+			if k < M {
+				imx[k] = logSum2(pmm[k]+bits(p.TMI[k]), pim[k]+bits(p.TII[k])) +
+					bits(p.Isc[k][sym])
+			} else {
+				imx[k] = negInf
+			}
+			dmx[k] = logSum2(mmx[k-1]+bits(p.TMD[k-1]), dmx[k-1]+bits(p.TDD[k-1]))
+			xmx[XE] = logSum2(xmx[XE], mmx[k]+bits(p.Esc[k]))
+		}
+
+		xmx[XN] = pxmx[XN] + bits(p.NLoop)
+		xmx[XJ] = logSum2(pxmx[XJ]+bits(p.JLoop), xmx[XE]+bits(p.ELoopJ))
+		xmx[XB] = logSum2(xmx[XN]+bits(p.NMove), xmx[XJ]+bits(p.JMove))
+		xmx[XC] = logSum2(pxmx[XC]+bits(p.CLoop), xmx[XE]+bits(p.EMoveC))
+
+		mmx, pmm = pmm, mmx
+		imx, pim = pim, imx
+		dmx, pdm = pdm, dmx
+		pxmx = xmx
+	}
+	return pxmx[XC] + bits(p.CMove), nil
+}
+
+// logSum2 returns log2(2^a + 2^b).
+func logSum2(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log2(1+math.Exp2(b-a))
+}
+
+func logSum4(a, b, c, d float64) float64 {
+	return logSum2(logSum2(a, b), logSum2(c, d))
+}

@@ -1,0 +1,213 @@
+package hmm
+
+import (
+	"math"
+	"testing"
+
+	"bioperf5/internal/bio/clustal"
+	"bioperf5/internal/bio/seq"
+)
+
+// buildTestModel constructs a model from a synthetic family.
+func buildTestModel(t *testing.T, seed int64, members, length int, identity float64) (*Plan7, []*seq.Seq) {
+	t.Helper()
+	g := seq.NewGenerator(seq.Protein, seed)
+	fam := g.Family("fam", members, length, identity)
+	m, err := BuildFromFamily("testmodel", fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, fam
+}
+
+func TestBuildFromMSAStructure(t *testing.T) {
+	m, _ := buildTestModel(t, 1, 6, 60, 0.85)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 85%-identity family: the model length tracks the ancestor length.
+	if m.M < 40 || m.M > 80 {
+		t.Errorf("model length %d implausible for 60-residue family", m.M)
+	}
+}
+
+func TestBuildRejectsEmpty(t *testing.T) {
+	if _, err := BuildFromMSA("x", &clustal.MSA{Alpha: seq.Protein}); err == nil {
+		t.Error("empty MSA accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m, _ := buildTestModel(t, 2, 5, 40, 0.9)
+	m.TMM = m.TMM[:2]
+	if err := m.Validate(); err == nil {
+		t.Error("truncated transitions validated")
+	}
+}
+
+func TestViterbiSeparatesFamilyFromRandom(t *testing.T) {
+	m, fam := buildTestModel(t, 3, 6, 80, 0.85)
+	g := seq.NewGenerator(seq.Protein, 99)
+
+	memberScore, err := Viterbi(fam[0], m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	novel := g.Mutate(fam[1], "novel", 0.85, 0.01) // held-out homolog
+	novelScore, err := Viterbi(novel, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random := g.Random("rand", fam[0].Len())
+	randScore, err := Viterbi(random, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memberScore.Bits() <= randScore.Bits() {
+		t.Errorf("family member %.1f bits not above random %.1f bits",
+			memberScore.Bits(), randScore.Bits())
+	}
+	if novelScore.Bits() <= randScore.Bits() {
+		t.Errorf("held-out homolog %.1f bits not above random %.1f bits",
+			novelScore.Bits(), randScore.Bits())
+	}
+}
+
+func TestViterbiAlphabetMismatch(t *testing.T) {
+	m, _ := buildTestModel(t, 4, 5, 30, 0.9)
+	d := seq.MustSeq("d", "ACGT", seq.DNA)
+	if _, err := Viterbi(d, m); err == nil {
+		t.Error("alphabet mismatch accepted")
+	}
+	if _, err := Forward(d, m); err == nil {
+		t.Error("Forward accepted alphabet mismatch")
+	}
+}
+
+func TestForwardAtLeastViterbi(t *testing.T) {
+	// Forward sums over all paths, so it can never score below the
+	// best single path.
+	m, fam := buildTestModel(t, 5, 6, 50, 0.85)
+	g := seq.NewGenerator(seq.Protein, 7)
+	targets := []*seq.Seq{fam[0], g.Random("r1", 50), g.Mutate(fam[0], "h", 0.7, 0.02)}
+	for _, s := range targets {
+		v, err := Viterbi(s, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Forward(s, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < v.Bits()-0.01 {
+			t.Errorf("%s: forward %.2f < viterbi %.2f", s.ID, f, v.Bits())
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Errorf("%s: forward = %v", s.ID, f)
+		}
+	}
+}
+
+func TestMultiHitScoresTandemRepeat(t *testing.T) {
+	// A sequence containing the domain twice should outscore the
+	// single-domain sequence under the multi-hit (J-state) model.
+	m, fam := buildTestModel(t, 6, 6, 60, 0.9)
+	single := fam[0]
+	double := &seq.Seq{ID: "double", Alpha: seq.Protein,
+		Code: append(append([]byte{}, single.Code...), single.Code...)}
+	s1, err := Viterbi(single, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Viterbi(double, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Score <= s1.Score {
+		t.Errorf("tandem repeat %.1f bits not above single %.1f bits", s2.Bits(), s1.Bits())
+	}
+}
+
+func TestLogSum(t *testing.T) {
+	if got := logSum2(0, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("log2(2^0+2^0) = %f, want 1", got)
+	}
+	if got := logSum2(10, math.Inf(-1)); got != 10 {
+		t.Errorf("sum with -inf = %f", got)
+	}
+	if got := logSum4(2, 2, 2, 2); math.Abs(got-4) > 1e-12 {
+		t.Errorf("log2(4*2^2) = %f, want 4", got)
+	}
+}
+
+func TestPfamSearchRanksTrueFamilyFirst(t *testing.T) {
+	g := seq.NewGenerator(seq.Protein, 8)
+	db := &Pfam{}
+	var families [][]*seq.Seq
+	for i := 0; i < 4; i++ {
+		fam := g.Family(string(rune('a'+i)), 5, 60, 0.85)
+		m, err := BuildFromFamily(string(rune('a'+i)), fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Models = append(db.Models, m)
+		families = append(families, fam)
+	}
+	// Query: a fresh homolog of family 2.
+	query := g.Mutate(families[2][0], "query", 0.8, 0.01)
+	for _, alg := range []Algorithm{UseViterbi, UseForward} {
+		hits, err := db.Search(query, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) != 4 {
+			t.Fatalf("got %d hits", len(hits))
+		}
+		if hits[0].Model != "c" {
+			t.Errorf("alg %d: top hit = %s (%.1f bits), want family c",
+				alg, hits[0].Model, hits[0].Bits)
+		}
+		if hits[0].Bits <= hits[1].Bits {
+			t.Errorf("alg %d: no separation between top hits", alg)
+		}
+	}
+}
+
+func TestSearchUnknownAlgorithm(t *testing.T) {
+	db := &Pfam{}
+	g := seq.NewGenerator(seq.Protein, 9)
+	if _, err := db.Search(g.Random("q", 10), Algorithm(99)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestViterbiDeterministic(t *testing.T) {
+	m, fam := buildTestModel(t, 10, 5, 40, 0.9)
+	a, err := Viterbi(fam[0], m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Viterbi(fam[0], m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Viterbi not deterministic")
+	}
+}
+
+func TestViterbiLongerRandomSequencesDoNotExplode(t *testing.T) {
+	// Guards the MinScore clamping: long random sequences must yield
+	// finite, monotonically reasonable scores, not underflow.
+	m, _ := buildTestModel(t, 11, 5, 40, 0.9)
+	g := seq.NewGenerator(seq.Protein, 12)
+	for _, n := range []int{10, 100, 500} {
+		r, err := Viterbi(g.Random("r", n), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Score <= MinScore/2 {
+			t.Errorf("len %d: score underflowed to %d", n, r.Score)
+		}
+	}
+}

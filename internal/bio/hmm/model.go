@@ -1,0 +1,297 @@
+// Package hmm implements Plan7 profile hidden Markov models in the
+// style of HMMER2: model construction from a multiple alignment,
+// the P7Viterbi dynamic-programming kernel (the function Figure 1 shows
+// consuming most of Hmmer's time), the Forward algorithm, and an
+// hmmpfam-style scan of a model database.
+//
+// Scores are integer log-odds in millibits (log2(p/null) * 1000), the
+// same fixed-point convention HMMER2 uses (INTSCALE), which keeps the
+// simulated kernel integer-only like the real workload.
+package hmm
+
+import (
+	"fmt"
+	"math"
+
+	"bioperf5/internal/bio/clustal"
+	"bioperf5/internal/bio/seq"
+)
+
+// MinScore is the -infinity of the integer log-odds domain, chosen so
+// that sums cannot underflow int32 accumulation semantics.
+const MinScore = -1 << 28
+
+// Scale converts log2 odds to the integer score domain.
+const Scale = 1000
+
+// Plan7 is a profile HMM with M match states.
+//
+// Transition score slices are indexed by match-state position k
+// (1-based; index 0 unused) following HMMER's layout:
+//
+//	TMM[k]: M_k -> M_{k+1}    TIM[k]: I_k -> M_{k+1}   TDM[k]: D_k -> M_{k+1}
+//	TMI[k]: M_k -> I_k        TII[k]: I_k -> I_k
+//	TMD[k]: M_k -> D_{k+1}    TDD[k]: D_k -> D_{k+1}
+type Plan7 struct {
+	Name  string
+	M     int
+	Alpha *seq.Alphabet
+
+	// Emissions: Msc[k][c] match, Isc[k][c] insert (k 1-based).
+	Msc [][]int
+	Isc [][]int
+
+	// Transitions (k 1-based, see above).
+	TMM, TMI, TMD, TIM, TII, TDM, TDD []int
+
+	// Entry/exit: Bsc[k] = B->M_k, Esc[k] = M_k->E.
+	Bsc []int
+	Esc []int
+
+	// Special-state moves (N/C/J loops and exits) in millibits.
+	NLoop, NMove int // N->N, N->B
+	ELoopJ       int // E->J (multi-hit)
+	JLoop, JMove int // J->J, J->B
+	EMoveC       int // E->C
+	CLoop, CMove int // C->C, C->T
+}
+
+// Validate checks structural consistency.
+func (p *Plan7) Validate() error {
+	if p.M < 1 {
+		return fmt.Errorf("hmm %s: no match states", p.Name)
+	}
+	if p.Alpha == nil {
+		return fmt.Errorf("hmm %s: no alphabet", p.Name)
+	}
+	want := p.M + 1
+	for _, s := range [][]int{p.TMM, p.TMI, p.TMD, p.TIM, p.TII, p.TDM, p.TDD, p.Bsc, p.Esc} {
+		if len(s) != want {
+			return fmt.Errorf("hmm %s: transition slice length %d, want %d", p.Name, len(s), want)
+		}
+	}
+	if len(p.Msc) != want || len(p.Isc) != want {
+		return fmt.Errorf("hmm %s: emission tables sized %d/%d, want %d", p.Name, len(p.Msc), len(p.Isc), want)
+	}
+	for k := 1; k <= p.M; k++ {
+		if len(p.Msc[k]) != p.Alpha.Size() || len(p.Isc[k]) != p.Alpha.Size() {
+			return fmt.Errorf("hmm %s: emission row %d wrong width", p.Name, k)
+		}
+	}
+	return nil
+}
+
+func logOdds(p, null float64) int {
+	if p <= 0 {
+		return MinScore
+	}
+	return int(math.Round(math.Log2(p/null) * Scale))
+}
+
+func log2s(p float64) int {
+	if p <= 0 {
+		return MinScore
+	}
+	return int(math.Round(math.Log2(p) * Scale))
+}
+
+// background returns the null-model residue distribution for a.
+func background(a *seq.Alphabet) []float64 {
+	// Robinson-Robinson for protein (matching package seq's generator),
+	// uniform otherwise.
+	if a == seq.Protein {
+		return []float64{
+			0.07805, 0.05129, 0.04487, 0.05364, 0.01925, 0.04264, 0.06295, 0.07377,
+			0.02199, 0.05142, 0.09019, 0.05744, 0.02243, 0.03856, 0.05203, 0.07120,
+			0.05841, 0.01330, 0.03216, 0.06441,
+		}
+	}
+	bg := make([]float64, a.Size())
+	for i := range bg {
+		bg[i] = 1 / float64(a.Size())
+	}
+	return bg
+}
+
+// configDefaults sets the special-state scores for multi-hit local
+// (hmmpfam-style "ls" mode) search.
+func (p *Plan7) configDefaults() {
+	p.NLoop = -15 // log2(0.99) in millibits, ~free flanking residues
+	p.NMove = log2s(0.5)
+	p.ELoopJ = log2s(0.5)
+	p.JLoop = -15
+	p.JMove = log2s(0.5)
+	p.EMoveC = log2s(0.5)
+	p.CLoop = -15
+	p.CMove = log2s(0.5)
+
+	// Local entry/exit: mild preference for full-length matches.
+	for k := 1; k <= p.M; k++ {
+		p.Bsc[k] = log2s(0.1 / float64(p.M))
+		p.Esc[k] = log2s(0.1 / float64(p.M))
+	}
+	p.Bsc[1] = log2s(0.45)
+	p.Esc[p.M] = log2s(0.45)
+}
+
+// BuildFromMSA estimates a Plan7 model from a multiple alignment,
+// using 50%-occupancy match-column assignment, Laplace-smoothed counts
+// and the package's background distribution — the hmmbuild step that
+// precedes every hmmpfam run.
+func BuildFromMSA(name string, msa *clustal.MSA) (*Plan7, error) {
+	if msa.NumSeqs() == 0 || msa.Columns() == 0 {
+		return nil, fmt.Errorf("hmm: empty alignment")
+	}
+	cols := msa.Columns()
+	nseq := msa.NumSeqs()
+	alpha := msa.Alpha
+	bg := background(alpha)
+
+	// Match-column assignment.
+	isMatch := make([]bool, cols)
+	M := 0
+	for c := 0; c < cols; c++ {
+		occ := 0
+		for r := 0; r < nseq; r++ {
+			if msa.Rows[r][c] != clustal.GapCode {
+				occ++
+			}
+		}
+		if 2*occ >= nseq {
+			isMatch[c] = true
+			M++
+		}
+	}
+	if M == 0 {
+		return nil, fmt.Errorf("hmm: alignment has no match columns")
+	}
+
+	p := &Plan7{Name: name, M: M, Alpha: alpha}
+	n := M + 1
+	p.Msc = make([][]int, n)
+	p.Isc = make([][]int, n)
+	mCounts := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		p.Msc[k] = make([]int, alpha.Size())
+		p.Isc[k] = make([]int, alpha.Size())
+		mCounts[k] = make([]float64, alpha.Size())
+	}
+	p.TMM = make([]int, n)
+	p.TMI = make([]int, n)
+	p.TMD = make([]int, n)
+	p.TIM = make([]int, n)
+	p.TII = make([]int, n)
+	p.TDM = make([]int, n)
+	p.TDD = make([]int, n)
+	p.Bsc = make([]int, n)
+	p.Esc = make([]int, n)
+
+	// Transition counts.
+	type tkey int
+	const (
+		tMM tkey = iota
+		tMI
+		tMD
+		tIM
+		tII
+		tDM
+		tDD
+		numT
+	)
+	tc := make([][numT]float64, n)
+
+	// Walk each sequence's state path.
+	for r := 0; r < nseq; r++ {
+		prevState := byte('B')
+		prevK := 0
+		k := 0
+		for c := 0; c < cols; c++ {
+			sym := msa.Rows[r][c]
+			if isMatch[c] {
+				k++
+				var st byte
+				if sym == clustal.GapCode {
+					st = 'D'
+				} else {
+					st = 'M'
+					mCounts[k][sym]++
+				}
+				countTransition(tc, prevState, st, prevK)
+				prevState, prevK = st, k
+			} else if sym != clustal.GapCode {
+				// Insert emission between match states.
+				countTransition(tc, prevState, 'I', prevK)
+				prevState = 'I'
+			}
+		}
+	}
+
+	// Emissions with Laplace smoothing.
+	for k := 1; k <= M; k++ {
+		total := 0.0
+		for c := range mCounts[k] {
+			total += mCounts[k][c] + 0.5
+		}
+		for c := range mCounts[k] {
+			p.Msc[k][c] = logOdds((mCounts[k][c]+0.5)/total, bg[c])
+			p.Isc[k][c] = 0 // insert emissions follow the background
+		}
+	}
+
+	// Transitions with smoothing.
+	for k := 0; k <= M; k++ {
+		mOut := tc[k][tMM] + tc[k][tMI] + tc[k][tMD] + 3
+		p.TMM[k] = log2s((tc[k][tMM] + 1) / mOut)
+		p.TMI[k] = log2s((tc[k][tMI] + 1) / mOut)
+		p.TMD[k] = log2s((tc[k][tMD] + 1) / mOut)
+		iOut := tc[k][tIM] + tc[k][tII] + 2
+		p.TIM[k] = log2s((tc[k][tIM] + 1) / iOut)
+		p.TII[k] = log2s((tc[k][tII] + 1) / iOut)
+		dOut := tc[k][tDM] + tc[k][tDD] + 2
+		p.TDM[k] = log2s((tc[k][tDM] + 1) / dOut)
+		p.TDD[k] = log2s((tc[k][tDD] + 1) / dOut)
+	}
+	p.configDefaults()
+	return p, p.Validate()
+}
+
+func countTransition(tc [][7]float64, from, to byte, fromK int) {
+	var idx int
+	switch {
+	case from == 'M' || from == 'B':
+		switch to {
+		case 'M':
+			idx = 0
+		case 'I':
+			idx = 1
+		default:
+			idx = 2
+		}
+	case from == 'I':
+		switch to {
+		case 'M':
+			idx = 3
+		default:
+			idx = 4
+		}
+	default: // D
+		switch to {
+		case 'M':
+			idx = 5
+		default:
+			idx = 6
+		}
+	}
+	tc[fromK][idx]++
+}
+
+// BuildFromFamily is a convenience that aligns a synthetic family with
+// ClustalW defaults and builds a model from the result — the pipeline
+// the workloads use to create a Pfam-like database.
+func BuildFromFamily(name string, family []*seq.Seq) (*Plan7, error) {
+	res, err := clustal.Align(family, clustal.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return BuildFromMSA(name, res.MSA)
+}

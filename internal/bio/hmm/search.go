@@ -1,0 +1,64 @@
+package hmm
+
+import (
+	"fmt"
+	"sort"
+
+	"bioperf5/internal/bio/seq"
+)
+
+// Hit is one model's score against the query.
+type Hit struct {
+	Model string
+	Bits  float64
+}
+
+// Algorithm selects the per-alignment scorer, as in hmmpfam.
+type Algorithm int
+
+// Scoring algorithms.
+const (
+	UseViterbi Algorithm = iota
+	UseForward
+)
+
+// Pfam is a database of profile HMMs (a miniature Pfam).
+type Pfam struct {
+	Models []*Plan7
+}
+
+// Search aligns query against every model in the database — the
+// hmmpfam workload — and returns hits sorted by decreasing score.
+func (db *Pfam) Search(query *seq.Seq, alg Algorithm) ([]Hit, error) {
+	if alg != UseViterbi && alg != UseForward {
+		return nil, fmt.Errorf("hmmpfam: unknown algorithm %d", alg)
+	}
+	hits := make([]Hit, 0, len(db.Models))
+	for _, m := range db.Models {
+		var bits float64
+		switch alg {
+		case UseViterbi:
+			r, err := Viterbi(query, m)
+			if err != nil {
+				return nil, fmt.Errorf("hmmpfam: %s: %w", m.Name, err)
+			}
+			bits = r.Bits()
+		case UseForward:
+			f, err := Forward(query, m)
+			if err != nil {
+				return nil, fmt.Errorf("hmmpfam: %s: %w", m.Name, err)
+			}
+			bits = f
+		default:
+			return nil, fmt.Errorf("hmmpfam: unknown algorithm %d", alg)
+		}
+		hits = append(hits, Hit{Model: m.Name, Bits: bits})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Bits != hits[j].Bits {
+			return hits[i].Bits > hits[j].Bits
+		}
+		return hits[i].Model < hits[j].Model
+	})
+	return hits, nil
+}

@@ -1,0 +1,151 @@
+package hmm
+
+import (
+	"fmt"
+
+	"bioperf5/internal/bio/seq"
+)
+
+// Special-state indices of the xmx rows, HMMER's layout.
+const (
+	XN = iota
+	XB
+	XE
+	XJ
+	XC
+	numX
+)
+
+// ViterbiResult carries the optimal-path score in millibits.
+type ViterbiResult struct {
+	Score int // log2-odds * Scale
+}
+
+// Bits converts to bits.
+func (v ViterbiResult) Bits() float64 { return float64(v.Score) / Scale }
+
+// Viterbi is the P7Viterbi kernel: the full Plan7 dynamic program over
+// match/insert/delete matrices (mmx/imx/dmx) and the special-state row
+// xmx (N, B, E, J, C), multi-hit local.  Per cell it evaluates the
+// three-to-four-way max statements over many array references that the
+// paper identifies as both the Hmmer hot spot and the reason its
+// modified gcc struggles to if-convert this code.
+func Viterbi(s *seq.Seq, p *Plan7) (ViterbiResult, error) {
+	if err := p.Validate(); err != nil {
+		return ViterbiResult{}, err
+	}
+	if s.Alpha != p.Alpha {
+		return ViterbiResult{}, fmt.Errorf("hmm %s: sequence alphabet mismatch", p.Name)
+	}
+	L := s.Len()
+	M := p.M
+
+	// Rolling rows (HMMER2 keeps the full matrices for traceback; the
+	// score-only form is what hmmpfam's fast path and our simulated
+	// kernel use).
+	mmx := make([]int, M+1)
+	imx := make([]int, M+1)
+	dmx := make([]int, M+1)
+	pmm := make([]int, M+1)
+	pim := make([]int, M+1)
+	pdm := make([]int, M+1)
+	var xmx [numX]int
+	var pxmx [numX]int
+
+	for k := 0; k <= M; k++ {
+		pmm[k], pim[k], pdm[k] = MinScore, MinScore, MinScore
+	}
+	pxmx[XN] = 0
+	pxmx[XB] = pxmx[XN] + p.NMove
+	pxmx[XE], pxmx[XJ], pxmx[XC] = MinScore, MinScore, MinScore
+
+	for i := 1; i <= L; i++ {
+		sym := s.Code[i-1]
+		mmx[0], imx[0], dmx[0] = MinScore, MinScore, MinScore
+		xmx[XE] = MinScore
+
+		for k := 1; k <= M; k++ {
+			// Match state: best of M/I/D at k-1 on the previous row,
+			// or a fresh local entry from B.
+			sc := pmm[k-1] + p.TMM[k-1]
+			if v := pim[k-1] + p.TIM[k-1]; v > sc {
+				sc = v
+			}
+			if v := pdm[k-1] + p.TDM[k-1]; v > sc {
+				sc = v
+			}
+			if v := pxmx[XB] + p.Bsc[k]; v > sc {
+				sc = v
+			}
+			sc += p.Msc[k][sym]
+			if sc < MinScore {
+				sc = MinScore
+			}
+			mmx[k] = sc
+
+			// Insert state.
+			if k < M {
+				ic := pmm[k] + p.TMI[k]
+				if v := pim[k] + p.TII[k]; v > ic {
+					ic = v
+				}
+				ic += p.Isc[k][sym]
+				if ic < MinScore {
+					ic = MinScore
+				}
+				imx[k] = ic
+			} else {
+				imx[k] = MinScore
+			}
+
+			// Delete state (same row, k-1).
+			dc := mmx[k-1] + p.TMD[k-1]
+			if v := dmx[k-1] + p.TDD[k-1]; v > dc {
+				dc = v
+			}
+			if dc < MinScore {
+				dc = MinScore
+			}
+			dmx[k] = dc
+
+			// E state collects local exits.
+			if v := mmx[k] + p.Esc[k]; v > xmx[XE] {
+				xmx[XE] = v
+			}
+		}
+
+		// Special states, in HMMER's dependency order.
+		xmx[XN] = pxmx[XN] + p.NLoop
+		if xmx[XN] < MinScore {
+			xmx[XN] = MinScore
+		}
+		xmx[XJ] = pxmx[XJ] + p.JLoop
+		if v := xmx[XE] + p.ELoopJ; v > xmx[XJ] {
+			xmx[XJ] = v
+		}
+		if xmx[XJ] < MinScore {
+			xmx[XJ] = MinScore
+		}
+		xmx[XB] = xmx[XN] + p.NMove
+		if v := xmx[XJ] + p.JMove; v > xmx[XB] {
+			xmx[XB] = v
+		}
+		xmx[XC] = pxmx[XC] + p.CLoop
+		if v := xmx[XE] + p.EMoveC; v > xmx[XC] {
+			xmx[XC] = v
+		}
+		if xmx[XC] < MinScore {
+			xmx[XC] = MinScore
+		}
+
+		mmx, pmm = pmm, mmx
+		imx, pim = pim, imx
+		dmx, pdm = pdm, dmx
+		pxmx = xmx
+	}
+	score := pxmx[XC] + p.CMove
+	if score < MinScore {
+		score = MinScore
+	}
+	return ViterbiResult{Score: score}, nil
+}

@@ -1,0 +1,288 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCounter2Saturation(t *testing.T) {
+	c := counter2(0)
+	c = c.update(false)
+	if c != 0 {
+		t.Errorf("counter underflowed to %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Errorf("counter = %d, want saturated 3", c)
+	}
+	if !c.taken() {
+		t.Error("saturated counter should predict taken")
+	}
+}
+
+func TestStatic(t *testing.T) {
+	st := &Static{Taken: true}
+	if !st.Predict(123) {
+		t.Error("static-taken predicted not-taken")
+	}
+	st.Update(123, false) // must not learn
+	if !st.Predict(123) {
+		t.Error("static predictor learned")
+	}
+	snt := &Static{}
+	if snt.Predict(0) {
+		t.Error("static-not-taken predicted taken")
+	}
+	if st.Name() == snt.Name() {
+		t.Error("static predictor names collide")
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(10)
+	for i := 0; i < 8; i++ {
+		b.Update(100, true)
+	}
+	if !b.Predict(100) {
+		t.Error("bimodal did not learn always-taken branch")
+	}
+	for i := 0; i < 8; i++ {
+		b.Update(100, false)
+	}
+	if b.Predict(100) {
+		t.Error("bimodal did not re-learn inverted branch")
+	}
+}
+
+func TestBimodalIsolation(t *testing.T) {
+	b := NewBimodal(10)
+	for i := 0; i < 8; i++ {
+		b.Update(1, true)
+		b.Update(2, false)
+	}
+	if !b.Predict(1) || b.Predict(2) {
+		t.Error("distinct PCs interfere within table range")
+	}
+}
+
+// TestBimodalLoopBranch mirrors the paper's observation: a loop-closing
+// branch is mispredicted only once per loop exit.
+func TestBimodalLoopBranch(t *testing.T) {
+	b := NewBimodal(10)
+	const pc = 7
+	misses := 0
+	for rep := 0; rep < 10; rep++ {
+		for it := 0; it < 20; it++ {
+			taken := it != 19 // loop back except last iteration
+			if b.Predict(pc) != taken {
+				misses++
+			}
+			b.Update(pc, taken)
+		}
+	}
+	// Warm-up aside, about one miss per 20-iteration loop execution.
+	if misses > 15 {
+		t.Errorf("loop branch missed %d/200 times; expected roughly 10", misses)
+	}
+}
+
+// TestValueDependentBranchHostile checks that a random, value-dependent
+// branch — the DP-kernel pattern the paper identifies — defeats all
+// dynamic predictors (~50% accuracy), which is the root cause of the
+// low baseline IPC.
+func TestValueDependentBranchHostile(t *testing.T) {
+	preds := []DirectionPredictor{NewBimodal(12), NewGShare(12, 11), NewTournament(12, 11)}
+	rng := rand.New(rand.NewSource(42))
+	outcomes := make([]bool, 20000)
+	for i := range outcomes {
+		outcomes[i] = rng.Intn(2) == 0
+	}
+	for _, p := range preds {
+		correct := 0
+		for _, taken := range outcomes {
+			if p.Predict(33) == taken {
+				correct++
+			}
+			p.Update(33, taken)
+		}
+		acc := float64(correct) / float64(len(outcomes))
+		if acc > 0.6 {
+			t.Errorf("%s: accuracy %.2f on random branch; should be near 0.5", p.Name(), acc)
+		}
+	}
+}
+
+func TestGShareUsesHistory(t *testing.T) {
+	// Pattern TNTN... is not learnable by bimodal at one PC but is
+	// perfectly learnable with history.
+	g := NewGShare(12, 11)
+	b := NewBimodal(12)
+	correctG, correctB := 0, 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		taken := i%2 == 0
+		if g.Predict(55) == taken {
+			correctG++
+		}
+		if b.Predict(55) == taken {
+			correctB++
+		}
+		g.Update(55, taken)
+		b.Update(55, taken)
+	}
+	if accG := float64(correctG) / n; accG < 0.95 {
+		t.Errorf("gshare accuracy on alternating pattern = %.2f, want >0.95", accG)
+	}
+	if accB := float64(correctB) / n; accB > 0.6 {
+		t.Errorf("bimodal accuracy on alternating pattern = %.2f; test premise broken", accB)
+	}
+}
+
+func TestTournamentPicksBetterComponent(t *testing.T) {
+	tp := NewTournament(12, 11)
+	// Alternating pattern: global (gshare) wins; the chooser should
+	// migrate and overall accuracy should approach gshare's.
+	correct := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		taken := i%2 == 0
+		if tp.Predict(55) == taken {
+			correct++
+		}
+		tp.Update(55, taken)
+	}
+	if acc := float64(correct) / n; acc < 0.9 {
+		t.Errorf("tournament accuracy = %.2f, want >0.9", acc)
+	}
+}
+
+func TestPredictorReset(t *testing.T) {
+	for _, p := range []DirectionPredictor{NewBimodal(8), NewGShare(8, 8), NewTournament(8, 8)} {
+		// Enough repetitions that history-indexed predictors saturate
+		// the counter for the steady-state history value too.
+		for i := 0; i < 32; i++ {
+			p.Update(9, true)
+		}
+		if !p.Predict(9) {
+			t.Fatalf("%s did not learn", p.Name())
+		}
+		p.Reset()
+		if p.Predict(9) {
+			t.Errorf("%s still predicts taken after Reset", p.Name())
+		}
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	names := []string{"static-taken", "static-not-taken", "bimodal", "gshare", "tournament"}
+	for _, n := range names {
+		p := New(n)
+		if p == nil {
+			t.Fatalf("New(%q) = nil", n)
+		}
+		if p.Name() != n {
+			t.Errorf("New(%q).Name() = %q", n, p.Name())
+		}
+	}
+	if p := New("anything-else"); p.Name() != "tournament" {
+		t.Errorf("default predictor = %s, want tournament", p.Name())
+	}
+}
+
+func TestBTACMissThenLearn(t *testing.T) {
+	b := NewBTAC(DefaultBTACConfig())
+	if _, predict := b.Lookup(10); predict {
+		t.Error("empty BTAC predicted")
+	}
+	b.Update(10, 42) // allocate with score 0: below threshold
+	if _, predict := b.Lookup(10); predict {
+		t.Error("fresh entry (score 0) should not predict yet")
+	}
+	b.Update(10, 42) // correct: score 1
+	nia, predict := b.Lookup(10)
+	if !predict || nia != 42 {
+		t.Errorf("after training: nia=%d predict=%v", nia, predict)
+	}
+}
+
+func TestBTACScoreDropsOnWrongTarget(t *testing.T) {
+	b := NewBTAC(DefaultBTACConfig())
+	b.Update(10, 42)
+	b.Update(10, 42) // score 1
+	b.Update(10, 99) // wrong: retarget, score back to 0
+	nia, predict := b.Lookup(10)
+	if predict {
+		t.Errorf("entry with decayed score predicted (nia=%d)", nia)
+	}
+	b.Update(10, 99)
+	nia, predict = b.Lookup(10)
+	if !predict || nia != 99 {
+		t.Errorf("retargeted entry: nia=%d predict=%v", nia, predict)
+	}
+}
+
+func TestBTACScoreSaturates(t *testing.T) {
+	cfg := DefaultBTACConfig()
+	b := NewBTAC(cfg)
+	for i := 0; i < 100; i++ {
+		b.Update(10, 42)
+	}
+	// After saturation, a couple of wrong targets should not be enough
+	// to flip prediction off immediately (score decays one per miss).
+	b.Update(10, 7)
+	if _, predict := b.Lookup(10); !predict {
+		t.Error("one wrong target flushed a saturated entry")
+	}
+}
+
+func TestBTACScoreBasedReplacement(t *testing.T) {
+	b := NewBTAC(BTACConfig{Entries: 2, Threshold: 1, MaxScore: 3})
+	b.Update(1, 100)
+	b.Update(1, 100) // pc=1 score 1
+	b.Update(2, 200) // pc=2 score 0 (lowest)
+	b.Update(3, 300) // must evict pc=2, not pc=1
+	if nia, _ := b.Lookup(1); nia != 100 {
+		t.Error("high-score entry was evicted")
+	}
+	if _, predict := b.Lookup(2); predict {
+		t.Error("evicted entry still present")
+	}
+}
+
+func TestBTACCapacity8Paper(t *testing.T) {
+	b := NewBTAC(DefaultBTACConfig())
+	if b.Entries() != 8 {
+		t.Fatalf("default entries = %d, want 8", b.Entries())
+	}
+	// 8 distinct hot branches fit simultaneously.
+	for round := 0; round < 3; round++ {
+		for pc := 0; pc < 8; pc++ {
+			b.Update(pc*16, pc*16+100)
+		}
+	}
+	for pc := 0; pc < 8; pc++ {
+		nia, predict := b.Lookup(pc * 16)
+		if !predict || nia != pc*16+100 {
+			t.Errorf("entry %d lost: nia=%d predict=%v", pc, nia, predict)
+		}
+	}
+}
+
+func TestBTACReset(t *testing.T) {
+	b := NewBTAC(DefaultBTACConfig())
+	b.Update(5, 50)
+	b.Update(5, 50)
+	b.Reset()
+	if _, predict := b.Lookup(5); predict {
+		t.Error("Reset did not clear entries")
+	}
+}
+
+func TestBTACDefaultsApplied(t *testing.T) {
+	b := NewBTAC(BTACConfig{})
+	if b.Entries() != 8 {
+		t.Errorf("zero config entries = %d, want default 8", b.Entries())
+	}
+}

@@ -1,0 +1,110 @@
+package branch
+
+// BTAC is the small Branch Target Address Cache of Section IV-D.  Each
+// entry holds a tag (the fetch address of a taken branch), the predicted
+// next instruction address (nia), and a saturating score counting past
+// prediction successes.  The BTAC forgoes prediction for entries whose
+// score is below a threshold, because a wrong nia costs a pipeline flush
+// — more than the 2-cycle taken-branch delay it would save — and it uses
+// a score-based replacement policy: the entry with the lowest score is
+// the victim.
+type BTAC struct {
+	entries   []btacEntry
+	threshold int
+	maxScore  int
+}
+
+type btacEntry struct {
+	valid bool
+	tag   int
+	nia   int
+	score int
+}
+
+// BTACConfig sizes a BTAC.  The paper's default is 8 entries, initial
+// score 0 and prediction once the score is positive.
+type BTACConfig struct {
+	Entries   int // number of entries (paper: 8)
+	Threshold int // minimum score required to predict (default 1)
+	MaxScore  int // score saturation value (default 3)
+}
+
+// DefaultBTACConfig returns the paper's 8-entry configuration.
+func DefaultBTACConfig() BTACConfig {
+	return BTACConfig{Entries: 8, Threshold: 1, MaxScore: 3}
+}
+
+// NewBTAC returns an empty BTAC; zero or negative config fields fall
+// back to the defaults.
+func NewBTAC(cfg BTACConfig) *BTAC {
+	def := DefaultBTACConfig()
+	if cfg.Entries <= 0 {
+		cfg.Entries = def.Entries
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = def.Threshold
+	}
+	if cfg.MaxScore <= 0 {
+		cfg.MaxScore = def.MaxScore
+	}
+	return &BTAC{
+		entries:   make([]btacEntry, cfg.Entries),
+		threshold: cfg.Threshold,
+		maxScore:  cfg.MaxScore,
+	}
+}
+
+// Entries returns the capacity of the BTAC.
+func (b *BTAC) Entries() int { return len(b.entries) }
+
+// Lookup searches for pc.  It returns the predicted next instruction
+// address and whether the BTAC is confident enough to predict.  A tag
+// match below threshold reports predict=false: the front end falls back
+// to the ordinary 2-cycle taken-branch path.
+func (b *BTAC) Lookup(pc int) (nia int, predict bool) {
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && e.tag == pc {
+			return e.nia, e.score >= b.threshold
+		}
+	}
+	return 0, false
+}
+
+// Update trains the BTAC after a taken control transfer from pc to
+// actual.  A correct entry's score is incremented, an incorrect entry is
+// retargeted and decremented, and a missing entry is allocated over the
+// lowest-score victim with the initial score (zero, per the paper's
+// default configuration).
+func (b *BTAC) Update(pc, actual int) {
+	victim := 0
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && e.tag == pc {
+			if e.nia == actual {
+				if e.score < b.maxScore {
+					e.score++
+				}
+			} else {
+				e.nia = actual
+				if e.score > 0 {
+					e.score--
+				}
+			}
+			return
+		}
+		if !b.entries[i].valid {
+			victim = i
+		} else if b.entries[victim].valid && b.entries[i].score < b.entries[victim].score {
+			victim = i
+		}
+	}
+	b.entries[victim] = btacEntry{valid: true, tag: pc, nia: actual, score: 0}
+}
+
+// Reset invalidates all entries.
+func (b *BTAC) Reset() {
+	for i := range b.entries {
+		b.entries[i] = btacEntry{}
+	}
+}

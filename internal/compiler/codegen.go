@@ -1,0 +1,396 @@
+package compiler
+
+import (
+	"fmt"
+
+	"bioperf5/internal/ir"
+	"bioperf5/internal/isa"
+)
+
+// Scratch registers reserved by the code generator:
+//
+//   - R11 and R12 hold reloaded spill operands;
+//   - R0 holds a spilled destination or a spilled third operand
+//     (store values, select else-values) — safe because the subset
+//     gives R0 zero semantics only as the RA of addi, which the code
+//     generator never emits with RA=R0 except via Li (where it is the
+//     intent).
+const (
+	scratchA    = isa.R11
+	scratchB    = isa.R12
+	scratchC    = isa.R0
+	spillBase   = -8 // first spill slot lives at SP-8
+	spillStep   = -8
+	maxSpillOff = 32000 // keep spill displacements encodable
+)
+
+type codegen struct {
+	f     *ir.Func
+	alloc *allocation
+	asm   *isa.Asm
+}
+
+func (g *codegen) blockLabel(b *ir.Block) string {
+	return fmt.Sprintf("%s.b%d", g.f.Name, b.ID)
+}
+
+func (g *codegen) spillOff(r ir.Reg) int64 {
+	return int64(spillBase + spillStep*g.alloc.slots[r])
+}
+
+// src makes the value of r available in a physical register, reloading
+// from the spill area into scratch when necessary.
+func (g *codegen) src(r ir.Reg, scratch isa.Reg) isa.Reg {
+	if p, ok := g.alloc.phys[r]; ok {
+		return p
+	}
+	g.asm.Emit(isa.Instruction{Op: isa.OpLd, RT: scratch, RA: isa.SP, Imm: g.spillOff(r)})
+	return scratch
+}
+
+// dstBegin returns the physical register an instruction should write;
+// dstEnd stores it back to the spill slot when r is spilled.
+func (g *codegen) dstBegin(r ir.Reg) isa.Reg {
+	if p, ok := g.alloc.phys[r]; ok {
+		return p
+	}
+	return scratchC
+}
+
+func (g *codegen) dstEnd(r ir.Reg, used isa.Reg) {
+	if _, ok := g.alloc.phys[r]; ok {
+		return
+	}
+	g.asm.Emit(isa.Instruction{Op: isa.OpStd, RT: used, RA: isa.SP, Imm: g.spillOff(r)})
+}
+
+var binOps = map[ir.Op]isa.Op{
+	ir.OpAdd: isa.OpAdd,
+	ir.OpMul: isa.OpMulld,
+	ir.OpDiv: isa.OpDivd,
+	ir.OpAnd: isa.OpAnd,
+	ir.OpOr:  isa.OpOr,
+	ir.OpXor: isa.OpXor,
+	ir.OpShl: isa.OpSld,
+	ir.OpShr: isa.OpSrd,
+	ir.OpSar: isa.OpSrad,
+	ir.OpMax: isa.OpMax,
+}
+
+var immOps = map[ir.Op]isa.Op{
+	ir.OpAddImm: isa.OpAddi,
+	ir.OpMulImm: isa.OpMulli,
+	ir.OpAndImm: isa.OpAndi,
+	ir.OpOrImm:  isa.OpOri,
+	ir.OpXorImm: isa.OpXori,
+	ir.OpShlImm: isa.OpSldi,
+	ir.OpShrImm: isa.OpSrdi,
+	ir.OpSarImm: isa.OpSradi,
+}
+
+var loadOps = map[ir.MemKind]isa.Op{
+	ir.MemU8:  isa.OpLbz,
+	ir.MemU16: isa.OpLhz,
+	ir.MemS16: isa.OpLha,
+	ir.MemU32: isa.OpLwz,
+	ir.MemS32: isa.OpLwa,
+	ir.Mem64:  isa.OpLd,
+}
+
+var loadXOps = map[ir.MemKind]isa.Op{
+	ir.MemU8:  isa.OpLbzx,
+	ir.MemU16: isa.OpLhzx,
+	ir.MemS16: isa.OpLhax,
+	ir.MemU32: isa.OpLwzx,
+	ir.MemS32: isa.OpLwax,
+	ir.Mem64:  isa.OpLdx,
+}
+
+func storeOp(k ir.MemKind, indexed bool) isa.Op {
+	switch k.Size() {
+	case 1:
+		if indexed {
+			return isa.OpStbx
+		}
+		return isa.OpStb
+	case 2:
+		if indexed {
+			return isa.OpSthx
+		}
+		return isa.OpSth
+	case 4:
+		if indexed {
+			return isa.OpStwx
+		}
+		return isa.OpStw
+	default:
+		if indexed {
+			return isa.OpStdx
+		}
+		return isa.OpStd
+	}
+}
+
+// cmpBit maps an IR predicate onto the CR bit the compare sets and the
+// sense in which it must be read.  swap reports that the "then" and
+// "else" payloads must be exchanged (for predicates expressed through
+// the complementary bit).
+func cmpBit(c ir.CmpKind) (bit isa.CRBit, want bool) {
+	switch c {
+	case ir.CmpEQ:
+		return isa.CREQ, true
+	case ir.CmpNE:
+		return isa.CREQ, false
+	case ir.CmpLT:
+		return isa.CRLT, true
+	case ir.CmpGE:
+		return isa.CRLT, false
+	case ir.CmpGT:
+		return isa.CRGT, true
+	default: // CmpLE
+		return isa.CRGT, false
+	}
+}
+
+func (g *codegen) emitInstr(in *ir.Instr) error {
+	a := g.asm
+	switch in.Op {
+	case ir.OpConst:
+		d := g.dstBegin(in.Dst)
+		a.Li64(d, in.Imm)
+		g.dstEnd(in.Dst, d)
+
+	case ir.OpArg:
+		// OpArg outside the entry prologue (which generate handles as a
+		// parallel copy) would read a possibly-clobbered argument
+		// register; hoistArgs guarantees this cannot happen.
+		return fmt.Errorf("compiler: %s: argument read outside the entry prologue", g.f.Name)
+
+	case ir.OpCopy:
+		s := g.src(in.A, scratchA)
+		d := g.dstBegin(in.Dst)
+		if d != s {
+			a.Mr(d, s)
+		}
+		g.dstEnd(in.Dst, d)
+
+	case ir.OpNeg:
+		s := g.src(in.A, scratchA)
+		d := g.dstBegin(in.Dst)
+		a.Emit(isa.Instruction{Op: isa.OpNeg, RT: d, RA: s})
+		g.dstEnd(in.Dst, d)
+
+	case ir.OpSub:
+		// subf computes RB - RA.
+		x := g.src(in.A, scratchA)
+		y := g.src(in.B, scratchB)
+		d := g.dstBegin(in.Dst)
+		a.Emit(isa.Instruction{Op: isa.OpSubf, RT: d, RA: y, RB: x})
+		g.dstEnd(in.Dst, d)
+
+	case ir.OpAddImm, ir.OpMulImm, ir.OpAndImm, ir.OpOrImm, ir.OpXorImm,
+		ir.OpShlImm, ir.OpShrImm, ir.OpSarImm:
+		s := g.src(in.A, scratchA)
+		if s == isa.R0 {
+			return fmt.Errorf("compiler: %s: immediate op with R0 source", g.f.Name)
+		}
+		d := g.dstBegin(in.Dst)
+		a.Emit(isa.Instruction{Op: immOps[in.Op], RT: d, RA: s, Imm: in.Imm})
+		g.dstEnd(in.Dst, d)
+
+	case ir.OpAdd, ir.OpMul, ir.OpDiv, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpShr, ir.OpSar, ir.OpMax:
+		x := g.src(in.A, scratchA)
+		y := g.src(in.B, scratchB)
+		d := g.dstBegin(in.Dst)
+		a.Emit(isa.Instruction{Op: binOps[in.Op], RT: d, RA: x, RB: y})
+		g.dstEnd(in.Dst, d)
+
+	case ir.OpSelect:
+		x := g.src(in.A, scratchA)
+		y := g.src(in.B, scratchB)
+		a.Emit(isa.Instruction{Op: isa.OpCmpd, CRF: isa.CR0, RA: x, RB: y})
+		// The compare has consumed the scratches; reuse them for the
+		// payload operands.
+		tv := g.src(in.C, scratchA)
+		ev := g.src(in.D, scratchB)
+		bit, want := cmpBit(in.Cmp)
+		if !want {
+			tv, ev = ev, tv
+		}
+		d := g.dstBegin(in.Dst)
+		a.Emit(isa.Instruction{Op: isa.OpIsel, RT: d, RA: tv, RB: ev, CRF: isa.CR0, Bit: bit})
+		g.dstEnd(in.Dst, d)
+
+	case ir.OpLoad:
+		if in.Off < -32768 || in.Off > 32767 {
+			return fmt.Errorf("compiler: %s: load displacement %d unencodable", g.f.Name, in.Off)
+		}
+		base := g.src(in.A, scratchA)
+		d := g.dstBegin(in.Dst)
+		a.Emit(isa.Instruction{Op: loadOps[in.Mem], RT: d, RA: base, Imm: in.Off})
+		g.dstEnd(in.Dst, d)
+
+	case ir.OpLoadX:
+		base := g.src(in.A, scratchA)
+		idx := g.src(in.B, scratchB)
+		d := g.dstBegin(in.Dst)
+		a.Emit(isa.Instruction{Op: loadXOps[in.Mem], RT: d, RA: base, RB: idx})
+		g.dstEnd(in.Dst, d)
+
+	case ir.OpStore:
+		if in.Off < -32768 || in.Off > 32767 {
+			return fmt.Errorf("compiler: %s: store displacement %d unencodable", g.f.Name, in.Off)
+		}
+		base := g.src(in.A, scratchA)
+		val := g.src(in.C, scratchC)
+		a.Emit(isa.Instruction{Op: storeOp(in.Mem, false), RT: val, RA: base, Imm: in.Off})
+
+	case ir.OpStoreX:
+		base := g.src(in.A, scratchA)
+		idx := g.src(in.B, scratchB)
+		val := g.src(in.C, scratchC)
+		a.Emit(isa.Instruction{Op: storeOp(in.Mem, true), RT: val, RA: base, RB: idx})
+
+	default:
+		return fmt.Errorf("compiler: %s: cannot lower IR op %s", g.f.Name, in.Op)
+	}
+	return nil
+}
+
+func (g *codegen) emitTerm(b *ir.Block, next *ir.Block) error {
+	a := g.asm
+	switch b.Term.Kind {
+	case ir.TermRet:
+		if b.Term.A != ir.NoReg {
+			s := g.src(b.Term.A, scratchA)
+			if s != isa.R3 {
+				a.Mr(isa.R3, s)
+			}
+		}
+		a.Ret()
+
+	case ir.TermJump:
+		if b.Term.Then != next {
+			a.Branch(isa.Instruction{Op: isa.OpB}, g.blockLabel(b.Term.Then))
+		}
+
+	case ir.TermCondBr:
+		x := g.src(b.Term.A, scratchA)
+		if b.Term.B == ir.NoReg {
+			a.Emit(isa.Instruction{Op: isa.OpCmpdi, CRF: isa.CR0, RA: x, Imm: b.Term.BImm})
+		} else {
+			y := g.src(b.Term.B, scratchB)
+			a.Emit(isa.Instruction{Op: isa.OpCmpd, CRF: isa.CR0, RA: x, RB: y})
+		}
+		bit, want := cmpBit(b.Term.Cmp)
+		switch {
+		case b.Term.Else == next:
+			a.Branch(isa.Instruction{Op: isa.OpBc, CRF: isa.CR0, Bit: bit, Want: want},
+				g.blockLabel(b.Term.Then))
+		case b.Term.Then == next:
+			a.Branch(isa.Instruction{Op: isa.OpBc, CRF: isa.CR0, Bit: bit, Want: !want},
+				g.blockLabel(b.Term.Else))
+		default:
+			a.Branch(isa.Instruction{Op: isa.OpBc, CRF: isa.CR0, Bit: bit, Want: want},
+				g.blockLabel(b.Term.Then))
+			a.Branch(isa.Instruction{Op: isa.OpB}, g.blockLabel(b.Term.Else))
+		}
+
+	default:
+		return fmt.Errorf("compiler: %s: block %s not terminated", g.f.Name, b.Name)
+	}
+	return nil
+}
+
+// emitArgPrologue lowers the leading OpArg reads as one parallel copy:
+// spilled destinations store straight from their argument registers
+// (never clobbering anything), then physical destinations are emitted
+// in an order where no move overwrites a still-needed source; a cycle
+// (e.g. arg0 allocated to r4 while arg1 is allocated to r3) is broken
+// through the scratch register.
+func (g *codegen) emitArgPrologue(args []ir.Instr) error {
+	type move struct{ dst, src isa.Reg }
+	var moves []move
+	for i := range args {
+		in := &args[i]
+		src := isa.R3 + isa.Reg(in.Imm)
+		if _, spilled := g.alloc.slots[in.Dst]; spilled {
+			g.asm.Emit(isa.Instruction{Op: isa.OpStd, RT: src, RA: isa.SP, Imm: g.spillOff(in.Dst)})
+			continue
+		}
+		if d := g.alloc.phys[in.Dst]; d != src {
+			moves = append(moves, move{dst: d, src: src})
+		}
+	}
+	for len(moves) > 0 {
+		emitted := false
+		for i, m := range moves {
+			blocked := false
+			for j, o := range moves {
+				if j != i && o.src == m.dst {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				g.asm.Mr(m.dst, m.src)
+				moves = append(moves[:i], moves[i+1:]...)
+				emitted = true
+				break
+			}
+		}
+		if emitted {
+			continue
+		}
+		// Every remaining move's destination is someone's source: break
+		// the cycle by parking one source in the scratch register.
+		g.asm.Mr(scratchA, moves[0].src)
+		src := moves[0].src
+		for i := range moves {
+			if moves[i].src == src {
+				moves[i].src = scratchA
+			}
+		}
+	}
+	return nil
+}
+
+// generate lowers the (already optimized and allocated) function to an
+// assembled program whose entry label is the function name.
+func generate(f *ir.Func, alloc *allocation) (*isa.Program, error) {
+	if len(alloc.slots)*8 > maxSpillOff {
+		return nil, fmt.Errorf("compiler: %s: spill area too large", f.Name)
+	}
+	g := &codegen{f: f, alloc: alloc, asm: isa.NewAsm()}
+	g.asm.Label(f.Name)
+	for i, b := range f.Blocks {
+		g.asm.Label(g.blockLabel(b))
+		start := 0
+		if i == 0 {
+			// The entry block begins with the canonical argument reads
+			// (hoistArgs); they form a parallel copy from r3..r10 into
+			// the allocated registers, which must be sequenced so no
+			// incoming argument is clobbered before it is read.
+			for start < len(b.Instrs) && b.Instrs[start].Op == ir.OpArg {
+				start++
+			}
+			if err := g.emitArgPrologue(b.Instrs[:start]); err != nil {
+				return nil, err
+			}
+		}
+		for j := start; j < len(b.Instrs); j++ {
+			if err := g.emitInstr(&b.Instrs[j]); err != nil {
+				return nil, err
+			}
+		}
+		var next *ir.Block
+		if i+1 < len(f.Blocks) {
+			next = f.Blocks[i+1]
+		}
+		if err := g.emitTerm(b, next); err != nil {
+			return nil, err
+		}
+	}
+	return g.asm.Finish()
+}

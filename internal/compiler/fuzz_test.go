@@ -1,0 +1,137 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+
+	"bioperf5/internal/ir"
+	"bioperf5/internal/machine"
+	"bioperf5/internal/mem"
+)
+
+// genFunc builds a random structured IR function over 3 integer
+// arguments: straight-line arithmetic, hammocks (with and without
+// register-only arms), selects, maxes and a bounded loop.  It is the
+// input generator of the differential fuzzer below.
+func genFunc(rng *rand.Rand) *ir.Func {
+	b := ir.NewBuilder("fuzz", 3)
+	vals := []ir.Reg{b.Arg(0), b.Arg(1), b.Arg(2)}
+	pick := func() ir.Reg { return vals[rng.Intn(len(vals))] }
+	push := func(r ir.Reg) {
+		vals = append(vals, r)
+		if len(vals) > 24 {
+			vals = vals[1:]
+		}
+	}
+
+	emitOne := func() {
+		switch rng.Intn(10) {
+		case 0:
+			push(b.Add(pick(), pick()))
+		case 1:
+			push(b.Sub(pick(), pick()))
+		case 2:
+			push(b.Mul(pick(), b.Const(int64(rng.Intn(7))-3)))
+		case 3:
+			push(b.Xor(pick(), pick()))
+		case 4:
+			push(b.And(pick(), b.Const(int64(rng.Intn(1<<16)))))
+		case 5:
+			push(b.Sar(pick(), b.Const(int64(rng.Intn(8)))))
+		case 6:
+			push(b.Max(pick(), pick()))
+		case 7:
+			cmp := ir.CmpKind(rng.Intn(6))
+			push(b.Select(cmp, pick(), pick(), pick(), pick()))
+		case 8:
+			push(b.Neg(pick()))
+		default:
+			push(b.Const(int64(rng.Intn(2001)) - 1000))
+		}
+	}
+
+	nstmt := 3 + rng.Intn(8)
+	for s := 0; s < nstmt; s++ {
+		switch rng.Intn(4) {
+		case 0: // hammock
+			acc := b.Var(pick())
+			v := pick()
+			cmp := ir.CmpKind(rng.Intn(6))
+			b.If(ir.CondOf(cmp, v, acc), func() {
+				b.Assign(acc, b.Add(v, b.Const(int64(rng.Intn(9)))))
+			})
+			push(acc)
+		case 1: // diamond
+			r := b.Var(b.Const(0))
+			x, y := pick(), pick()
+			b.IfElse(ir.CondOf(ir.CmpGE, x, y),
+				func() { b.Assign(r, b.Sub(x, y)) },
+				func() { b.Assign(r, b.Sub(y, x)) })
+			push(r)
+		case 2: // bounded loop
+			acc := b.Var(pick())
+			n := b.Const(int64(1 + rng.Intn(6)))
+			b.ForRange(b.Const(0), n, 1, func(i ir.Reg) {
+				b.Assign(acc, b.Add(acc, i))
+			})
+			push(acc)
+		default:
+			emitOne()
+		}
+	}
+	sum := b.Const(0)
+	for _, v := range vals {
+		sum = b.Add(sum, v)
+	}
+	b.Ret(sum)
+	f, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// TestDifferentialFuzz generates random IR programs and checks that
+// every target/pipeline combination compiles them to machine code that
+// agrees with the IR interpreter.
+func TestDifferentialFuzz(t *testing.T) {
+	trials := 150
+	if testing.Short() {
+		trials = 25
+	}
+	rng := rand.New(rand.NewSource(20260704))
+	for trial := 0; trial < trials; trial++ {
+		seed := rng.Int63()
+		args := []int64{rng.Int63n(2001) - 1000, rng.Int63n(2001) - 1000, rng.Int63n(2001) - 1000}
+
+		ref := genFunc(rand.New(rand.NewSource(seed)))
+		want, err := ir.Interp(ref, mem.New(), args, 5_000_000)
+		if err != nil {
+			t.Fatalf("trial %d: interp: %v", trial, err)
+		}
+
+		for tname, tgt := range targets {
+			for oname, opts := range optionSets {
+				f := genFunc(rand.New(rand.NewSource(seed)))
+				prog, _, err := Compile(f, tgt, opts)
+				if err != nil {
+					t.Fatalf("trial %d %s/%s: compile: %v", trial, tname, oname, err)
+				}
+				mach := machine.New(prog, mem.New())
+				uargs := make([]uint64, len(args))
+				for i, a := range args {
+					uargs[i] = uint64(a)
+				}
+				got, err := mach.Call("fuzz", 5_000_000, uargs...)
+				if err != nil {
+					t.Fatalf("trial %d %s/%s: run: %v", trial, tname, oname, err)
+				}
+				if int64(got) != want {
+					t.Fatalf("trial %d %s/%s (seed %d, args %v): got %d, want %d\n%s",
+						trial, tname, oname, seed, args, int64(got), want,
+						genFunc(rand.New(rand.NewSource(seed))).String())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"bioperf5/internal/ir"
+	"bioperf5/internal/isa"
+)
+
+// liveness computes per-block live-in/live-out sets of virtual
+// registers by iterating the standard backward dataflow to a fixpoint.
+type liveness struct {
+	in, out map[*ir.Block]map[ir.Reg]bool
+}
+
+func computeLiveness(f *ir.Func) *liveness {
+	lv := &liveness{
+		in:  make(map[*ir.Block]map[ir.Reg]bool, len(f.Blocks)),
+		out: make(map[*ir.Block]map[ir.Reg]bool, len(f.Blocks)),
+	}
+	use := make(map[*ir.Block]map[ir.Reg]bool, len(f.Blocks))
+	def := make(map[*ir.Block]map[ir.Reg]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		u, d := map[ir.Reg]bool{}, map[ir.Reg]bool{}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, r := range in.Uses(nil) {
+				if !d[r] {
+					u[r] = true
+				}
+			}
+			if in.Dst != ir.NoReg {
+				d[in.Dst] = true
+			}
+		}
+		switch b.Term.Kind {
+		case ir.TermCondBr:
+			for _, r := range []ir.Reg{b.Term.A, b.Term.B} {
+				if r != ir.NoReg && !d[r] {
+					u[r] = true
+				}
+			}
+		case ir.TermRet:
+			if b.Term.A != ir.NoReg && !d[b.Term.A] {
+				u[b.Term.A] = true
+			}
+		}
+		use[b], def[b] = u, d
+		lv.in[b] = map[ir.Reg]bool{}
+		lv.out[b] = map[ir.Reg]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := lv.out[b]
+			for _, s := range b.Succs() {
+				for r := range lv.in[s] {
+					if !out[r] {
+						out[r] = true
+						changed = true
+					}
+				}
+			}
+			in := lv.in[b]
+			for r := range use[b] {
+				if !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+			for r := range out {
+				if !def[b][r] && !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return lv
+}
+
+// interval is a conservative single live range of a virtual register
+// over the linearized instruction positions.
+type interval struct {
+	reg        ir.Reg
+	start, end int
+	uses       int     // static use count
+	weight     float64 // loop-depth-scaled spill cost (higher = keep)
+}
+
+// allocation maps virtual registers to physical registers or spill
+// slots.
+type allocation struct {
+	phys  map[ir.Reg]isa.Reg
+	slots map[ir.Reg]int // spill slot index
+}
+
+// allocatable is the physical register pool in allocation-preference
+// order.  R0 (zero semantics in addi), R1 (stack pointer), R2 and R13
+// (ABI reserved), and R11/R12 (codegen scratch) are excluded.  High
+// registers come first so the low argument registers (r3..r10) remain
+// untouched unless pressure demands them; this keeps the entry-block
+// argument moves hazard-free.
+var allocatable = []isa.Reg{
+	isa.R14, isa.R15, isa.R16, isa.R17, isa.R18, isa.R19, isa.R20, isa.R21,
+	isa.R22, isa.R23, isa.R24, isa.R25, isa.R26, isa.R27, isa.R28, isa.R29,
+	isa.R30, isa.R31,
+	isa.R3, isa.R4, isa.R5, isa.R6, isa.R7, isa.R8, isa.R9, isa.R10,
+	// R2 and R13 are TOC/thread pointers under the ELF ABI, but these
+	// standalone kernels have neither, so the pool reclaims them last.
+	isa.R2, isa.R13,
+}
+
+// buildIntervals linearizes blocks in layout order and derives one
+// conservative interval per virtual register.
+func buildIntervals(f *ir.Func, lv *liveness) []interval {
+	type span struct {
+		start, end int
+		seen       bool
+		uses       int
+		weight     float64
+	}
+	spans := make([]span, f.NumRegs())
+	depthCost := func(d int) float64 {
+		if d > 6 {
+			d = 6
+		}
+		c := 1.0
+		for ; d > 0; d-- {
+			c *= 10
+		}
+		return c
+	}
+	curCost := 1.0
+	touch := func(r ir.Reg, pos int, isUse bool) {
+		if r == ir.NoReg {
+			return
+		}
+		s := &spans[r]
+		if !s.seen {
+			s.seen = true
+			s.start, s.end = pos, pos
+		} else {
+			if pos < s.start {
+				s.start = pos
+			}
+			if pos > s.end {
+				s.end = pos
+			}
+		}
+		s.weight += curCost
+		if isUse {
+			s.uses++
+		}
+	}
+	pos := 0
+	for _, b := range f.Blocks {
+		curCost = depthCost(b.Depth)
+		blockStart := pos
+		for r := range lv.in[b] {
+			touch(r, blockStart, false)
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, u := range in.Uses(nil) {
+				touch(u, pos, true)
+			}
+			touch(in.Dst, pos, false)
+			pos++
+		}
+		// Terminator occupies one position.
+		if b.Term.Kind == ir.TermCondBr {
+			touch(b.Term.A, pos, true)
+			touch(b.Term.B, pos, true)
+		}
+		if b.Term.Kind == ir.TermRet && b.Term.A != ir.NoReg {
+			touch(b.Term.A, pos, true)
+		}
+		pos++
+		blockEnd := pos - 1
+		for r := range lv.out[b] {
+			touch(r, blockEnd, false)
+		}
+	}
+	var out []interval
+	for r := range spans {
+		if spans[r].seen {
+			out = append(out, interval{reg: ir.Reg(r), start: spans[r].start,
+				end: spans[r].end, uses: spans[r].uses, weight: spans[r].weight})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].start != out[j].start {
+			return out[i].start < out[j].start
+		}
+		return out[i].reg < out[j].reg
+	})
+	return out
+}
+
+// linearScan performs Poletto/Sarkar linear-scan allocation with
+// furthest-end spilling.
+func linearScan(f *ir.Func) (*allocation, error) {
+	lv := computeLiveness(f)
+	ivals := buildIntervals(f, lv)
+	alloc := &allocation{phys: map[ir.Reg]isa.Reg{}, slots: map[ir.Reg]int{}}
+
+	free := make([]isa.Reg, len(allocatable))
+	copy(free, allocatable)
+	type active struct {
+		iv   interval
+		phys isa.Reg
+	}
+	var act []active
+
+	expire := func(now int) {
+		kept := act[:0]
+		for _, a := range act {
+			if a.iv.end < now {
+				free = append(free, a.phys)
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		act = kept
+	}
+	nextSlot := 0
+	for _, iv := range ivals {
+		expire(iv.start)
+		if len(free) > 0 {
+			// Pop from the front to honour preference order.
+			p := free[0]
+			free = free[1:]
+			alloc.phys[iv.reg] = p
+			act = append(act, active{iv: iv, phys: p})
+			continue
+		}
+		// Spill an active interval that outlives the new one (so the
+		// freed register keeps serving later intervals — the classic
+		// linear-scan progress rule), choosing the one with the lowest
+		// loop-depth-weighted cost so inner-loop values stay in
+		// registers while function-scope constants and pointers go to
+		// the stack.  If nothing outlives it, spill the new interval.
+		victim := -1
+		for i, a := range act {
+			if a.iv.end <= iv.end {
+				continue
+			}
+			if victim < 0 || a.iv.weight < act[victim].iv.weight {
+				victim = i
+			}
+		}
+		if victim >= 0 && act[victim].iv.weight < iv.weight {
+			v := act[victim]
+			alloc.slots[v.iv.reg] = nextSlot
+			nextSlot++
+			delete(alloc.phys, v.iv.reg)
+			alloc.phys[iv.reg] = v.phys
+			act[victim] = active{iv: iv, phys: v.phys}
+		} else {
+			alloc.slots[iv.reg] = nextSlot
+			nextSlot++
+		}
+	}
+	if nextSlot > 2000 {
+		return nil, fmt.Errorf("compiler: %s: unreasonable spill pressure (%d slots)", f.Name, nextSlot)
+	}
+	return alloc, nil
+}

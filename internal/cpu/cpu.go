@@ -1,0 +1,613 @@
+// Package cpu implements the cycle-approximate POWER5-like core timing
+// model.  It is trace-driven: package machine executes the program
+// functionally and feeds each dynamic instruction (with its resolved
+// branch outcome and effective address) to Model.Consume, which charges
+// cycles the way the POWER5 pipeline would.
+//
+// The model covers exactly the behaviours the paper measures and varies:
+//
+//   - an 8-wide fetch front end with a 2-cycle taken-branch bubble
+//     (3 with SMT), removable by the score-based BTAC of Section IV-D;
+//   - a tournament direction predictor whose mispredictions flush the
+//     pipeline (the dominant cost for DP kernels, Table I / Figure 2);
+//   - 5-wide dispatch and in-order 5-wide completion over a reorder
+//     window, with completion-stall attribution by functional-unit
+//     class (Table I's "stalls due FXU instructions");
+//   - configurable numbers of fully pipelined FXUs (Figure 5), plus
+//     LSUs and a BRU;
+//   - an L1D/L2 data-cache hierarchy supplying load-to-use latencies
+//     (Table I's L1D miss rate).
+//
+// Out-of-order issue is modelled with true data dependencies only
+// (registers renamed perfectly, as on POWER5 within its window), using
+// per-register ready cycles and earliest-free functional units.
+package cpu
+
+import (
+	"fmt"
+
+	"bioperf5/internal/branch"
+	"bioperf5/internal/cache"
+	"bioperf5/internal/isa"
+	"bioperf5/internal/machine"
+)
+
+// Config selects the microarchitectural parameters.  The zero value is
+// not usable; start from POWER5Baseline.
+type Config struct {
+	FetchWidth    int // instructions fetched per cycle (POWER5: 8)
+	DispatchWidth int // instructions dispatched per cycle (POWER5: 5)
+	CompleteWidth int // instructions completed per cycle (POWER5: 5)
+
+	NumFXU int // fixed-point units (POWER5: 2; the paper tries 3 and 4)
+	NumLSU int // load/store units (POWER5: 2)
+	NumBRU int // branch units (POWER5: 1)
+	NumCRU int // condition-register units (POWER5: 1)
+
+	Window int // reorder window in instructions
+
+	FrontendDepth      int // fetch-to-dispatch pipeline depth in cycles
+	MispredictPenalty  int // flush/refetch penalty for a mispredicted branch
+	TakenBranchPenalty int // fetch bubble for a taken branch (POWER5: 2, 3 with SMT)
+
+	Predictor string // direction predictor name (see branch.New)
+
+	UseBTAC bool              // add the Section IV-D BTAC
+	BTAC    branch.BTACConfig // BTAC geometry when UseBTAC
+
+	// Extensions gates decode support for the paper's new instructions.
+	// With it false, a program containing max/isel faults, mirroring an
+	// unmodified POWER5.
+	Extensions bool
+}
+
+// POWER5Baseline returns the configuration matching the paper's in-lab
+// 1.65 GHz POWER5 (one core, SMT off): 8-wide fetch, 5-wide
+// dispatch/complete, 2 FXUs, 2 LSUs, 2-cycle taken-branch delay, no
+// BTAC, no predicated instructions.
+func POWER5Baseline() Config {
+	return Config{
+		FetchWidth:         8,
+		DispatchWidth:      5,
+		CompleteWidth:      5,
+		NumFXU:             2,
+		NumLSU:             2,
+		NumBRU:             1,
+		NumCRU:             1,
+		Window:             120,
+		FrontendDepth:      6,
+		MispredictPenalty:  12,
+		TakenBranchPenalty: 2,
+		Predictor:          "tournament",
+		BTAC:               branch.DefaultBTACConfig(),
+	}
+}
+
+// Validate reports structurally impossible configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.FetchWidth <= 0 || c.DispatchWidth <= 0 || c.CompleteWidth <= 0:
+		return fmt.Errorf("cpu: non-positive pipeline width")
+	case c.NumFXU <= 0 || c.NumLSU <= 0 || c.NumBRU <= 0 || c.NumCRU <= 0:
+		return fmt.Errorf("cpu: need at least one unit of each class")
+	case c.Window <= 0:
+		return fmt.Errorf("cpu: non-positive reorder window")
+	case c.MispredictPenalty < 0 || c.TakenBranchPenalty < 0 || c.FrontendDepth < 0:
+		return fmt.Errorf("cpu: negative latency")
+	}
+	return nil
+}
+
+// Counters is the hardware performance-counter set of the model; it is
+// a superset of the events the paper reports.
+type Counters struct {
+	Cycles       uint64
+	Instructions uint64
+
+	FXUOps  uint64 // instructions executed on FXUs (includes cmp/max/isel)
+	LSUOps  uint64
+	BRUOps  uint64
+	CmpOps  uint64 // compare instructions (isel path-length effect)
+	MaxOps  uint64 // executed max instructions
+	IselOps uint64 // executed isel instructions
+
+	Branches       uint64 // all branch instructions
+	CondBranches   uint64 // conditional branches
+	TakenBranches  uint64 // branches that were taken
+	DirMispredicts uint64 // direction mispredictions (conditional only)
+	TgtMispredicts uint64 // target mispredictions (BTAC predicted wrong nia)
+
+	BTACLookups  uint64 // taken branches that consulted the BTAC
+	BTACPredicts uint64 // lookups confident enough to predict
+	BTACCorrect  uint64 // predictions with the right target
+	TakenBubbles uint64 // taken branches that paid the fetch bubble
+
+	L1DAccesses uint64
+	L1DMisses   uint64
+	L2Accesses  uint64
+	L2Misses    uint64
+
+	// Completion-stall attribution: cycles in which no instruction
+	// completed, attributed to what the oldest instruction was doing.
+	StallFXU      uint64 // oldest instruction executing in an FXU
+	StallLSU      uint64 // oldest instruction waiting on a load/store
+	StallBRU      uint64
+	StallFrontend uint64 // completion starved by fetch (flush refill etc.)
+}
+
+// IPC returns committed instructions per cycle.
+func (c Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// L1DMissRate returns L1D misses per access.
+func (c Counters) L1DMissRate() float64 {
+	if c.L1DAccesses == 0 {
+		return 0
+	}
+	return float64(c.L1DMisses) / float64(c.L1DAccesses)
+}
+
+// BranchMispredictRate returns direction+target mispredictions per
+// conditional branch, the rate plotted in Figure 2.
+func (c Counters) BranchMispredictRate() float64 {
+	if c.CondBranches == 0 {
+		return 0
+	}
+	return float64(c.DirMispredicts+c.TgtMispredicts) / float64(c.CondBranches)
+}
+
+// DirectionShare returns the fraction of all mispredictions that are
+// direction (not target) mispredictions — Table I's third column.
+func (c Counters) DirectionShare() float64 {
+	total := c.DirMispredicts + c.TgtMispredicts
+	if total == 0 {
+		return 0
+	}
+	return float64(c.DirMispredicts) / float64(total)
+}
+
+// BranchFraction returns branches per instruction (Table II column 1).
+func (c Counters) BranchFraction() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.Branches) / float64(c.Instructions)
+}
+
+// TakenFraction returns taken branches per branch (Table II column 3).
+func (c Counters) TakenFraction() float64 {
+	if c.Branches == 0 {
+		return 0
+	}
+	return float64(c.TakenBranches) / float64(c.Branches)
+}
+
+// BTACMispredictRate returns wrong-target predictions per BTAC
+// prediction (the table under Figure 4).
+func (c Counters) BTACMispredictRate() float64 {
+	if c.BTACPredicts == 0 {
+		return 0
+	}
+	return float64(c.BTACPredicts-c.BTACCorrect) / float64(c.BTACPredicts)
+}
+
+// StallFXUShare returns FXU completion-stall cycles as a fraction of all
+// cycles (Table I's last column).
+func (c Counters) StallFXUShare() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.StallFXU) / float64(c.Cycles)
+}
+
+// Add returns c + o field-wise; used to aggregate counters over
+// multiple kernel invocations of one workload.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Cycles:         c.Cycles + o.Cycles,
+		Instructions:   c.Instructions + o.Instructions,
+		FXUOps:         c.FXUOps + o.FXUOps,
+		LSUOps:         c.LSUOps + o.LSUOps,
+		BRUOps:         c.BRUOps + o.BRUOps,
+		CmpOps:         c.CmpOps + o.CmpOps,
+		MaxOps:         c.MaxOps + o.MaxOps,
+		IselOps:        c.IselOps + o.IselOps,
+		Branches:       c.Branches + o.Branches,
+		CondBranches:   c.CondBranches + o.CondBranches,
+		TakenBranches:  c.TakenBranches + o.TakenBranches,
+		DirMispredicts: c.DirMispredicts + o.DirMispredicts,
+		TgtMispredicts: c.TgtMispredicts + o.TgtMispredicts,
+		BTACLookups:    c.BTACLookups + o.BTACLookups,
+		BTACPredicts:   c.BTACPredicts + o.BTACPredicts,
+		BTACCorrect:    c.BTACCorrect + o.BTACCorrect,
+		TakenBubbles:   c.TakenBubbles + o.TakenBubbles,
+		L1DAccesses:    c.L1DAccesses + o.L1DAccesses,
+		L1DMisses:      c.L1DMisses + o.L1DMisses,
+		L2Accesses:     c.L2Accesses + o.L2Accesses,
+		L2Misses:       c.L2Misses + o.L2Misses,
+		StallFXU:       c.StallFXU + o.StallFXU,
+		StallLSU:       c.StallLSU + o.StallLSU,
+		StallBRU:       c.StallBRU + o.StallBRU,
+		StallFrontend:  c.StallFrontend + o.StallFrontend,
+	}
+}
+
+// Sub returns c - o field-wise; used for interval statistics (Figure 2).
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Cycles:         c.Cycles - o.Cycles,
+		Instructions:   c.Instructions - o.Instructions,
+		FXUOps:         c.FXUOps - o.FXUOps,
+		LSUOps:         c.LSUOps - o.LSUOps,
+		BRUOps:         c.BRUOps - o.BRUOps,
+		CmpOps:         c.CmpOps - o.CmpOps,
+		MaxOps:         c.MaxOps - o.MaxOps,
+		IselOps:        c.IselOps - o.IselOps,
+		Branches:       c.Branches - o.Branches,
+		CondBranches:   c.CondBranches - o.CondBranches,
+		TakenBranches:  c.TakenBranches - o.TakenBranches,
+		DirMispredicts: c.DirMispredicts - o.DirMispredicts,
+		TgtMispredicts: c.TgtMispredicts - o.TgtMispredicts,
+		BTACLookups:    c.BTACLookups - o.BTACLookups,
+		BTACPredicts:   c.BTACPredicts - o.BTACPredicts,
+		BTACCorrect:    c.BTACCorrect - o.BTACCorrect,
+		TakenBubbles:   c.TakenBubbles - o.TakenBubbles,
+		L1DAccesses:    c.L1DAccesses - o.L1DAccesses,
+		L1DMisses:      c.L1DMisses - o.L1DMisses,
+		L2Accesses:     c.L2Accesses - o.L2Accesses,
+		L2Misses:       c.L2Misses - o.L2Misses,
+		StallFXU:       c.StallFXU - o.StallFXU,
+		StallLSU:       c.StallLSU - o.StallLSU,
+		StallBRU:       c.StallBRU - o.StallBRU,
+		StallFrontend:  c.StallFrontend - o.StallFrontend,
+	}
+}
+
+// Model is the timing model for one core.
+type Model struct {
+	cfg  Config
+	pred branch.DirectionPredictor
+	btac *branch.BTAC
+	mem  *cache.Hierarchy
+
+	ctr Counters
+
+	// Pipeline timing state.  All times are absolute cycle numbers.
+	fetchCycle   uint64 // cycle the next instruction can be fetched
+	fetchedAt    uint64 // how many instructions fetched in fetchCycle
+	dispCycle    uint64
+	dispatchedAt uint64
+	complCycle   uint64 // cycle of the most recent completion
+	completedAt  uint64 // completions in complCycle
+
+	regReady  [isa.NumRegs]uint64
+	regWriter [isa.NumRegs]isa.Class // unit class of each register's last producer
+	units     map[isa.Class][]uint64 // next-free cycle per unit
+
+	// Completion-group accounting for stall attribution.
+	groupCompl uint64   // cycle the previous completion group retired
+	groupFill  uint64   // instructions accumulated into the current group
+	window     []uint64 // completion cycles, ring of size Window
+	wpos       int
+	wcount     int
+}
+
+// New builds a model; cfg must Validate.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		cfg:  cfg,
+		pred: branch.New(cfg.Predictor),
+		mem:  cache.NewPOWER5Hierarchy(),
+	}
+	if cfg.UseBTAC {
+		m.btac = branch.NewBTAC(cfg.BTAC)
+	}
+	m.units = map[isa.Class][]uint64{
+		isa.ClassFXU: make([]uint64, cfg.NumFXU),
+		isa.ClassLSU: make([]uint64, cfg.NumLSU),
+		isa.ClassBRU: make([]uint64, cfg.NumBRU),
+		isa.ClassCRU: make([]uint64, cfg.NumCRU),
+	}
+	m.window = make([]uint64, cfg.Window)
+	m.fetchCycle = 1
+	return m, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Model {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Counters returns a snapshot of the accumulated counters with Cycles
+// set to the current pipeline time.
+func (m *Model) Counters() Counters {
+	c := m.ctr
+	c.Cycles = m.complCycle
+	return c
+}
+
+// Consume advances the pipeline model by one dynamic instruction.
+func (m *Model) Consume(d machine.DynInst) error {
+	ins := d.Ins
+	if !m.cfg.Extensions && (ins.Op == isa.OpMax || ins.Op == isa.OpIsel) {
+		return fmt.Errorf("cpu: illegal instruction %s: ISA extensions disabled (unmodified POWER5)", ins.Op)
+	}
+
+	// ---- Fetch: width-limited, plus any pending front-end bubble.
+	fetchC := m.fetchCycle
+	if m.fetchedAt >= uint64(m.cfg.FetchWidth) {
+		fetchC++
+	}
+	if fetchC > m.fetchCycle {
+		m.fetchCycle = fetchC
+		m.fetchedAt = 0
+	}
+	m.fetchedAt++
+
+	// ---- Dispatch: width-limited, in order, after the front-end depth,
+	// and only when the reorder window has space.
+	dispC := fetchC + uint64(m.cfg.FrontendDepth)
+	if dispC < m.dispCycle {
+		dispC = m.dispCycle
+	}
+	if dispC == m.dispCycle && m.dispatchedAt >= uint64(m.cfg.DispatchWidth) {
+		dispC++
+	}
+	if m.wcount >= len(m.window) {
+		// Window full: wait for the oldest instruction to complete.
+		if oldest := m.window[m.wpos]; dispC <= oldest {
+			dispC = oldest + 1
+		}
+	}
+	if dispC > m.dispCycle {
+		m.dispCycle = dispC
+		m.dispatchedAt = 0
+	}
+	m.dispatchedAt++
+
+	// ---- Issue: after dispatch, operands ready, and a unit free.
+	readyC := dispC + 1
+	blockerClass := isa.ClassFXU
+	for _, r := range ins.Uses(nil) {
+		if m.regReady[r] > readyC {
+			readyC = m.regReady[r]
+			blockerClass = m.regWriter[r]
+		}
+	}
+	class := ins.Class()
+	units := m.units[class]
+	best := 0
+	for i := 1; i < len(units); i++ {
+		if units[i] < units[best] {
+			best = i
+		}
+	}
+	issueC := readyC
+	if units[best] > issueC {
+		issueC = units[best]
+	}
+	units[best] = issueC + 1 // fully pipelined units
+
+	// The class whose delay dominates this instruction's issue: the
+	// producer of its latest operand, or its own unit when the unit
+	// itself was the constraint.
+	stallClass := blockerClass
+	if issueC > readyC {
+		stallClass = class
+	}
+
+	// ---- Execute.
+	lat := uint64(ins.Op.Info().Latency)
+	if ins.IsLoad() || ins.IsStore() {
+		m.ctr.L1DAccesses++
+		l1Before := m.mem.L1.Stats()
+		l2Before := m.mem.L2.Stats()
+		accLat := m.mem.Access(d.EA)
+		if m.mem.L1.Stats().Misses > l1Before.Misses {
+			m.ctr.L1DMisses++
+			m.ctr.L2Accesses++
+			if m.mem.L2.Stats().Misses > l2Before.Misses {
+				m.ctr.L2Misses++
+			}
+		}
+		if ins.IsLoad() {
+			lat = uint64(accLat)
+		}
+		// Stores retire from the LSU in one cycle; the line fill still
+		// happened above, charging the cache state, matching a
+		// store-queue that drains off the critical path.
+	}
+	doneC := issueC + lat
+	for _, r := range ins.Defs(nil) {
+		m.regReady[r] = doneC
+		m.regWriter[r] = class
+	}
+
+	switch class {
+	case isa.ClassFXU:
+		m.ctr.FXUOps++
+	case isa.ClassLSU:
+		m.ctr.LSUOps++
+	case isa.ClassBRU:
+		m.ctr.BRUOps++
+	}
+	switch {
+	case ins.Op.Info().Compare:
+		m.ctr.CmpOps++
+	case ins.Op == isa.OpMax:
+		m.ctr.MaxOps++
+	case ins.Op == isa.OpIsel:
+		m.ctr.IselOps++
+	}
+
+	// ---- Branch resolution: redirect the front end.
+	if ins.IsBranch() {
+		m.branchTiming(d, fetchC, doneC)
+	}
+
+	// ---- In-order completion, width-limited.
+	complC := doneC
+	if complC < m.complCycle {
+		complC = m.complCycle
+	}
+	if complC == m.complCycle && m.completedAt >= uint64(m.cfg.CompleteWidth) {
+		complC++
+	}
+	// Attribute the cycles in which completion was blocked.
+	// Completion-stall attribution at POWER5 group granularity: every
+	// CompleteWidth instructions form a completion group, and the
+	// cycles in which no group completed are charged once — to the
+	// unit class that delayed the group's critical instruction
+	// (Table I's "completion stalls due to FXU instructions"), or to
+	// the front end when the group simply arrived late (flush refill,
+	// fetch bubbles).
+	m.groupFill++
+	if gap := int64(complC) - int64(m.groupCompl) - 1; gap > 0 {
+		stall := uint64(gap)
+		switch {
+		case doneC == complC && (issueC > dispC+1 || lat > 1):
+			if issueC > dispC+1 {
+				m.attributeStall(stallClass, stall)
+			} else {
+				m.attributeStall(class, stall) // long-latency execution
+			}
+		default:
+			m.ctr.StallFrontend += stall
+		}
+		m.groupCompl = complC
+		m.groupFill = 0
+	} else if m.groupFill >= uint64(m.cfg.CompleteWidth) {
+		m.groupCompl = complC
+		m.groupFill = 0
+	}
+	if complC > m.complCycle {
+		m.complCycle = complC
+		m.completedAt = 0
+	}
+	m.completedAt++
+	m.ctr.Instructions++
+
+	// Reorder-window bookkeeping.
+	if m.wcount >= len(m.window) {
+		m.wpos = (m.wpos + 1) % len(m.window)
+	} else {
+		m.wcount++
+	}
+	idx := (m.wpos + m.wcount - 1) % len(m.window)
+	m.window[idx] = complC
+	return nil
+}
+
+func (m *Model) attributeStall(class isa.Class, n uint64) {
+	switch class {
+	case isa.ClassFXU, isa.ClassCRU:
+		m.ctr.StallFXU += n
+	case isa.ClassLSU:
+		m.ctr.StallLSU += n
+	case isa.ClassBRU:
+		m.ctr.StallBRU += n
+	}
+}
+
+// branchTiming charges front-end redirection costs for a resolved
+// branch and trains the predictors.
+func (m *Model) branchTiming(d machine.DynInst, fetchC, doneC uint64) {
+	ins := d.Ins
+	m.ctr.Branches++
+
+	mispredicted := false
+	if ins.IsCondBranch() {
+		m.ctr.CondBranches++
+		predTaken := m.pred.Predict(d.Index)
+		m.pred.Update(d.Index, d.Taken)
+		if predTaken != d.Taken {
+			m.ctr.DirMispredicts++
+			mispredicted = true
+		}
+	}
+
+	if d.Taken {
+		m.ctr.TakenBranches++
+	}
+
+	switch {
+	case mispredicted:
+		// Direction mispredict: flush; fetch restarts after resolve.
+		m.redirect(doneC + uint64(m.cfg.MispredictPenalty))
+		if m.btac != nil && d.Taken {
+			m.btac.Update(d.Index, d.Next)
+		}
+	case d.Taken:
+		// Correctly predicted (or unconditional) taken branch: the
+		// POWER5 pays the 2-cycle next-fetch-address bubble unless the
+		// BTAC supplies the target.
+		bubble := uint64(m.cfg.TakenBranchPenalty)
+		if m.btac != nil {
+			m.ctr.BTACLookups++
+			nia, predict := m.btac.Lookup(d.Index)
+			if predict {
+				m.ctr.BTACPredicts++
+				if nia == d.Next {
+					m.ctr.BTACCorrect++
+					bubble = 0
+				} else {
+					// Wrong target: the fetch went down a wrong path
+					// and is caught at branch execution.
+					m.ctr.TgtMispredicts++
+					m.btac.Update(d.Index, d.Next)
+					m.redirect(doneC + uint64(m.cfg.MispredictPenalty))
+					return
+				}
+			}
+			m.btac.Update(d.Index, d.Next)
+		}
+		if bubble > 0 {
+			m.ctr.TakenBubbles++
+			m.redirect(fetchC + 1 + bubble)
+		}
+	}
+}
+
+// redirect stalls instruction fetch until cycle c.
+func (m *Model) redirect(c uint64) {
+	if c > m.fetchCycle {
+		m.fetchCycle = c
+		m.fetchedAt = 0
+	}
+}
+
+// Run drives prog on a fresh functional machine through the timing
+// model until the machine halts or limit instructions execute.  It is a
+// convenience for tests and small experiments; the core package's
+// runner handles sampling and argument marshaling for real workloads.
+func (m *Model) Run(mach *machine.Machine, limit uint64) (Counters, error) {
+	var n uint64
+	for !mach.Halted() {
+		if n >= limit {
+			return m.Counters(), machine.ErrLimit
+		}
+		d, err := mach.Step()
+		if err != nil {
+			return m.Counters(), err
+		}
+		if err := m.Consume(d); err != nil {
+			return m.Counters(), err
+		}
+		n++
+	}
+	return m.Counters(), nil
+}

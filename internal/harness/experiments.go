@@ -1,0 +1,304 @@
+package harness
+
+import (
+	"fmt"
+
+	"bioperf5/internal/core"
+	"bioperf5/internal/cpu"
+	"bioperf5/internal/kernels"
+	"bioperf5/internal/workload"
+)
+
+// Fig1 reproduces Figure 1: the gprof-style function-wise breakout of
+// the four applications running end-to-end in pure Go.
+func Fig1(cfg Config) (*Table, error) {
+	cfg = cfg.normalize()
+	t := &Table{
+		ID:      "fig1",
+		Title:   "Function-wise breakout of Blast, Clustalw, Fasta, and Hmmer",
+		Note:    "synthetic class-C-like inputs; top functions by inclusive time",
+		Columns: []string{"application", "function", "%time", "calls"},
+	}
+	for _, app := range workload.Apps() {
+		res, err := workload.Run(app, cfg.Scale, cfg.Seeds[0])
+		if err != nil {
+			return nil, err
+		}
+		for i, e := range res.Breakdown {
+			if i >= 4 {
+				break
+			}
+			name := app
+			if i > 0 {
+				name = ""
+			}
+			t.Rows = append(t.Rows, []string{name, e.Name, pct(e.Share),
+				fmt.Sprintf("%d", e.Calls)})
+		}
+	}
+	return t, nil
+}
+
+// Table1 reproduces Table I: baseline hardware counters per
+// application — IPC, L1D miss rate, the share of mispredictions due to
+// incorrect direction, and FXU completion stalls.
+func Table1(cfg Config) (*Table, error) {
+	cfg = cfg.normalize()
+	t := &Table{
+		ID:    "table1",
+		Title: "Hardware counter data (POWER5 baseline, original binaries)",
+		Columns: []string{"application", "IPC", "L1D miss rate",
+			"% mispred. due to direction", "stalls due FXU"},
+	}
+	for _, k := range kernels.All() {
+		ctr, err := core.RunKernel(k, core.Baseline(), cfg.Seeds, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{k.App, f2(ctr.IPC()),
+			pct(ctr.L1DMissRate()), pct(ctr.DirectionShare()),
+			pct(ctr.StallFXUShare())})
+	}
+	return t, nil
+}
+
+// Fig2 reproduces Figure 2: Clustalw's interval IPC against interval
+// branch misprediction rate over the course of a run.
+func Fig2(cfg Config) (*Table, error) {
+	cfg = cfg.normalize()
+	k, err := kernels.ByApp("Clustalw")
+	if err != nil {
+		return nil, err
+	}
+	scale := cfg.Scale * 2 // enough rows for the phase behaviour to show
+	ivs, err := core.RunIntervals(k, core.Baseline(), cfg.Seeds[0], scale, 10_000)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig2",
+		Title:   "Clustalw IPC and branch misprediction rate per 10k-instruction interval",
+		Note:    "the series move inversely: mispredictions limit IPC (Section III)",
+		Columns: []string{"instructions", "IPC", "branch mispredict rate"},
+	}
+	for _, iv := range ivs {
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", iv.Instructions),
+			f2(iv.IPC), pct(iv.MispredictRate)})
+	}
+	return t, nil
+}
+
+// appVariantCounters runs one application kernel under one variant on
+// the baseline core.
+func appVariantCounters(k *kernels.Kernel, v kernels.Variant, cfg Config) (cpu.Counters, error) {
+	return core.RunKernel(k, core.Baseline().WithVariant(v), cfg.Seeds, cfg.Scale)
+}
+
+// normIPC is the performance metric of Figures 3-6: instructions of the
+// original binary divided by the cycles a configuration needs for the
+// same work.  Comparing raw per-binary IPCs would reward variants that
+// merely execute more instructions (isel's extra compares); normalizing
+// to one work unit makes the ratio a true speedup, which is how the
+// paper's improvement percentages behave.
+func normIPC(baseWork cpu.Counters, ctr cpu.Counters) float64 {
+	if ctr.Cycles == 0 {
+		return 0
+	}
+	return float64(baseWork.Instructions) / float64(ctr.Cycles)
+}
+
+// Fig3 reproduces Figure 3: IPC under hand- and compiler-inserted max
+// and isel, plus the hand-max + compiler-isel combination.
+func Fig3(cfg Config) (*Table, error) {
+	cfg = cfg.normalize()
+	t := &Table{
+		ID:      "fig3",
+		Title:   "IPC with max and isel instructions",
+		Note:    "IPC normalized to the original binary's instruction count (a speedup measure)",
+		Columns: []string{"application", "variant", "IPC", "improvement"},
+	}
+	for _, k := range kernels.All() {
+		base, err := appVariantCounters(k, kernels.Branchy, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{k.App, kernels.Branchy.String(), f2(base.IPC()), "-"})
+		for _, v := range figure3Variants() {
+			ctr, err := appVariantCounters(k, v, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ipc := normIPC(base, ctr)
+			t.Rows = append(t.Rows, []string{"", v.String(), f2(ipc),
+				pctDelta(ipc, base.IPC())})
+		}
+	}
+	return t, nil
+}
+
+// Table2 reproduces Table II: branch statistics per application and
+// predication variant.
+func Table2(cfg Config) (*Table, error) {
+	cfg = cfg.normalize()
+	t := &Table{
+		ID:    "table2",
+		Title: "Branch performance with predicated instructions added",
+		Columns: []string{"application", "variant", "% branches/instrs",
+			"branch mispredict rate", "% taken brs/branches"},
+	}
+	order := []kernels.Variant{
+		kernels.HandISel, kernels.CompISel,
+		kernels.HandMax, kernels.CompMax,
+		kernels.Branchy,
+	}
+	for _, k := range kernels.All() {
+		for i, v := range order {
+			ctr, err := appVariantCounters(k, v, cfg)
+			if err != nil {
+				return nil, err
+			}
+			app := k.App
+			if i > 0 {
+				app = ""
+			}
+			t.Rows = append(t.Rows, []string{app, v.String(),
+				pct(ctr.BranchFraction()), pct(ctr.BranchMispredictRate()),
+				pct(ctr.TakenFraction())})
+		}
+	}
+	return t, nil
+}
+
+// Fig4 reproduces Figure 4: the 8-entry BTAC added to the original
+// POWER5 and to the predication-enhanced core, with the BTAC's own
+// misprediction rate.
+func Fig4(cfg Config) (*Table, error) {
+	cfg = cfg.normalize()
+	t := &Table{
+		ID:    "fig4",
+		Title: "Effect of adding an eight-entry BTAC",
+		Columns: []string{"application", "core", "IPC", "IPC +BTAC",
+			"gain", "BTAC mispredict rate"},
+	}
+	setups := []struct {
+		name string
+		base core.Setup
+	}{
+		{"original POWER5", core.Baseline()},
+		{"with predication", core.Baseline().WithVariant(kernels.Combination)},
+	}
+	for _, k := range kernels.All() {
+		baseWork, err := core.RunKernel(k, core.Baseline(), cfg.Seeds, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		for i, s := range setups {
+			plain, err := core.RunKernel(k, s.base, cfg.Seeds, cfg.Scale)
+			if err != nil {
+				return nil, err
+			}
+			btac, err := core.RunKernel(k, s.base.WithBTAC(), cfg.Seeds, cfg.Scale)
+			if err != nil {
+				return nil, err
+			}
+			app := k.App
+			if i > 0 {
+				app = ""
+			}
+			p, q := normIPC(baseWork, plain), normIPC(baseWork, btac)
+			t.Rows = append(t.Rows, []string{app, s.name, f2(p), f2(q),
+				pctDelta(q, p), pct(btac.BTACMispredictRate())})
+		}
+	}
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: IPC as the number of fixed-point units
+// grows from 2 to 4, for the original binaries and the combination
+// predication build.
+func Fig5(cfg Config) (*Table, error) {
+	cfg = cfg.normalize()
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Effect of additional fixed-point units",
+		Columns: []string{"application", "core", "2 FXU", "3 FXU", "4 FXU"},
+	}
+	bases := []struct {
+		name string
+		s    core.Setup
+	}{
+		{"original", core.Baseline()},
+		{"combination", core.Baseline().WithVariant(kernels.Combination)},
+	}
+	for _, k := range kernels.All() {
+		baseWork, err := core.RunKernel(k, core.Baseline(), cfg.Seeds, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		for i, b := range bases {
+			var ipcs []string
+			for _, n := range []int{2, 3, 4} {
+				ctr, err := core.RunKernel(k, b.s.WithFXUs(n), cfg.Seeds, cfg.Scale)
+				if err != nil {
+					return nil, err
+				}
+				ipcs = append(ipcs, f2(normIPC(baseWork, ctr)))
+			}
+			app := k.App
+			if i > 0 {
+				app = ""
+			}
+			t.Rows = append(t.Rows, append([]string{app, b.name}, ipcs...))
+		}
+	}
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: stacking predication, the BTAC and four
+// FXUs, with the residual — the extra gain of the combination over the
+// sum of the individual deltas.
+func Fig6(cfg Config) (*Table, error) {
+	cfg = cfg.normalize()
+	t := &Table{
+		ID:    "fig6",
+		Title: "Combined predication + BTAC + 4 FXUs",
+		Note:  "residual = IPC(all) - IPC(base) - sum of individual deltas",
+		Columns: []string{"application", "base IPC", "+pred", "+BTAC", "+4 FXU",
+			"all", "residual", "total gain"},
+	}
+	for _, k := range kernels.All() {
+		base, err := core.RunKernel(k, core.Baseline(), cfg.Seeds, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := core.RunKernel(k, core.Baseline().WithVariant(kernels.Combination), cfg.Seeds, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		btac, err := core.RunKernel(k, core.Baseline().WithBTAC(), cfg.Seeds, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		fxu, err := core.RunKernel(k, core.Baseline().WithFXUs(4), cfg.Seeds, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		all, err := core.RunKernel(k,
+			core.Baseline().WithVariant(kernels.Combination).WithBTAC().WithFXUs(4),
+			cfg.Seeds, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		b := base.IPC()
+		dPred := normIPC(base, pred) - b
+		dBTAC := normIPC(base, btac) - b
+		dFXU := normIPC(base, fxu) - b
+		allIPC := normIPC(base, all)
+		residual := allIPC - b - dPred - dBTAC - dFXU
+		t.Rows = append(t.Rows, []string{k.App, f2(b),
+			fmt.Sprintf("%+.2f", dPred), fmt.Sprintf("%+.2f", dBTAC),
+			fmt.Sprintf("%+.2f", dFXU), f2(allIPC),
+			fmt.Sprintf("%+.2f", residual), pctDelta(allIPC, b)})
+	}
+	return t, nil
+}

@@ -1,0 +1,228 @@
+package ir
+
+// Builder provides structured construction of IR functions: straight-
+// line emission plus If/IfElse/While combinators that create the block
+// graph.  Mutable variables (loop carried values, running maxima) are
+// ordinary virtual registers written with Assign.
+type Builder struct {
+	F     *Func
+	cur   *Block
+	depth int // current loop-nesting depth, stamped onto new blocks
+}
+
+// NewBuilder starts a function with nargs integer arguments and an
+// open entry block.
+func NewBuilder(name string, nargs int) *Builder {
+	f := &Func{Name: name, NArgs: nargs}
+	entry := f.NewBlock("entry")
+	return &Builder{F: f, cur: entry}
+}
+
+// Block returns the block currently being appended to.
+func (b *Builder) Block() *Block { return b.cur }
+
+func (b *Builder) emit(in Instr) Reg {
+	if in.Dst == NoReg && !in.HasSideEffects() {
+		in.Dst = b.F.NewReg()
+	}
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	return in.Dst
+}
+
+// Const materializes a constant.
+func (b *Builder) Const(v int64) Reg {
+	return b.emit(Instr{Op: OpConst, Dst: NoReg, Imm: v})
+}
+
+// Arg reads incoming argument i.
+func (b *Builder) Arg(i int) Reg {
+	return b.emit(Instr{Op: OpArg, Dst: NoReg, Imm: int64(i)})
+}
+
+// Var introduces a mutable variable initialized to init.
+func (b *Builder) Var(init Reg) Reg {
+	return b.emit(Instr{Op: OpCopy, Dst: NoReg, A: init})
+}
+
+// Assign writes src into the existing variable dst.
+func (b *Builder) Assign(dst, src Reg) {
+	b.emit(Instr{Op: OpCopy, Dst: dst, A: src})
+}
+
+func (b *Builder) bin(op Op, x, y Reg) Reg {
+	return b.emit(Instr{Op: op, Dst: NoReg, A: x, B: y})
+}
+
+// Add emits x + y.
+func (b *Builder) Add(x, y Reg) Reg { return b.bin(OpAdd, x, y) }
+
+// Sub emits x - y.
+func (b *Builder) Sub(x, y Reg) Reg { return b.bin(OpSub, x, y) }
+
+// Mul emits x * y.
+func (b *Builder) Mul(x, y Reg) Reg { return b.bin(OpMul, x, y) }
+
+// Div emits the signed quotient x / y.
+func (b *Builder) Div(x, y Reg) Reg { return b.bin(OpDiv, x, y) }
+
+// And emits x & y.
+func (b *Builder) And(x, y Reg) Reg { return b.bin(OpAnd, x, y) }
+
+// Or emits x | y.
+func (b *Builder) Or(x, y Reg) Reg { return b.bin(OpOr, x, y) }
+
+// Xor emits x ^ y.
+func (b *Builder) Xor(x, y Reg) Reg { return b.bin(OpXor, x, y) }
+
+// Shl emits x << y.
+func (b *Builder) Shl(x, y Reg) Reg { return b.bin(OpShl, x, y) }
+
+// Shr emits the logical shift x >> y.
+func (b *Builder) Shr(x, y Reg) Reg { return b.bin(OpShr, x, y) }
+
+// Sar emits the arithmetic shift x >> y.
+func (b *Builder) Sar(x, y Reg) Reg { return b.bin(OpSar, x, y) }
+
+// Neg emits -x.
+func (b *Builder) Neg(x Reg) Reg {
+	return b.emit(Instr{Op: OpNeg, Dst: NoReg, A: x})
+}
+
+// AddI emits x + constant.
+func (b *Builder) AddI(x Reg, v int64) Reg { return b.Add(x, b.Const(v)) }
+
+// SubI emits x - constant.
+func (b *Builder) SubI(x Reg, v int64) Reg { return b.Sub(x, b.Const(v)) }
+
+// MulI emits x * constant.
+func (b *Builder) MulI(x Reg, v int64) Reg { return b.Mul(x, b.Const(v)) }
+
+// Max emits the paper's max operation directly (the hand-inserted form).
+func (b *Builder) Max(x, y Reg) Reg { return b.bin(OpMax, x, y) }
+
+// Select emits dst = (x cmp y) ? t : e.
+func (b *Builder) Select(cmp CmpKind, x, y, t, e Reg) Reg {
+	return b.emit(Instr{Op: OpSelect, Dst: NoReg, Cmp: cmp, A: x, B: y, C: t, D: e})
+}
+
+// Load emits a displacement-form load.  The safe flag asserts the full
+// speculation proof (non-faulting and unaliased); kernels model loads a
+// compiler could not prove speculatable by passing false.  Tests that
+// need the two proofs split apart clear Safe or NoAlias on the emitted
+// instruction directly.
+func (b *Builder) Load(kind MemKind, base Reg, off int64, safe bool) Reg {
+	return b.emit(Instr{Op: OpLoad, Dst: NoReg, A: base, Off: off, Mem: kind, Safe: safe, NoAlias: safe})
+}
+
+// LoadX emits an indexed load; safe as for Load.
+func (b *Builder) LoadX(kind MemKind, base, idx Reg, safe bool) Reg {
+	return b.emit(Instr{Op: OpLoadX, Dst: NoReg, A: base, B: idx, Mem: kind, Safe: safe, NoAlias: safe})
+}
+
+// Store emits a displacement-form store.
+func (b *Builder) Store(kind MemKind, base Reg, off int64, val Reg) {
+	b.emit(Instr{Op: OpStore, Dst: NoReg, A: base, Off: off, C: val, Mem: kind})
+}
+
+// StoreX emits an indexed store.
+func (b *Builder) StoreX(kind MemKind, base, idx, val Reg) {
+	b.emit(Instr{Op: OpStoreX, Dst: NoReg, A: base, B: idx, C: val, Mem: kind})
+}
+
+// Cond is a comparison used by control-flow combinators.
+type Cond struct {
+	Cmp  CmpKind
+	A, B Reg
+}
+
+// CondOf builds a Cond value.
+func CondOf(cmp CmpKind, a, b Reg) Cond { return Cond{Cmp: cmp, A: a, B: b} }
+
+// If emits: if (cond) { then() }.
+func (b *Builder) If(c Cond, then func()) {
+	b.IfElse(c, then, nil)
+}
+
+// IfElse emits a two-armed conditional.  Either arm may be nil.
+func (b *Builder) IfElse(c Cond, then, els func()) {
+	thenB := b.newBlock("if.then")
+	join := b.newBlock("if.end")
+	elseB := join
+	if els != nil {
+		elseB = b.newBlock("if.else")
+	}
+	b.cur.Term = Term{Kind: TermCondBr, Cmp: c.Cmp, A: c.A, B: c.B, Then: thenB, Else: elseB}
+
+	b.cur = thenB
+	if then != nil {
+		then()
+	}
+	if b.cur.Term.Kind == TermNone {
+		b.cur.Term = Term{Kind: TermJump, Then: join}
+	}
+	if els != nil {
+		b.cur = elseB
+		els()
+		if b.cur.Term.Kind == TermNone {
+			b.cur.Term = Term{Kind: TermJump, Then: join}
+		}
+	}
+	b.cur = join
+}
+
+// While emits: while (head()) { body() }.  The head callback runs in
+// the loop-header block and returns the continuation condition; any
+// instructions it emits are re-evaluated every iteration.
+func (b *Builder) While(head func() Cond, body func()) {
+	b.depth++
+	headB := b.newBlock("while.head")
+	b.cur.Term = Term{Kind: TermJump, Then: headB}
+	b.cur = headB
+	c := head()
+	bodyB := b.newBlock("while.body")
+	b.depth--
+	exitB := b.newBlock("while.end")
+	b.depth++
+	// head() may itself have created control flow; terminate whatever
+	// block we are now in.
+	b.cur.Term = Term{Kind: TermCondBr, Cmp: c.Cmp, A: c.A, B: c.B, Then: bodyB, Else: exitB}
+	b.cur = bodyB
+	body()
+	if b.cur.Term.Kind == TermNone {
+		b.cur.Term = Term{Kind: TermJump, Then: headB}
+	}
+	b.depth--
+	b.cur = exitB
+}
+
+// newBlock appends a block stamped with the current loop depth.
+func (b *Builder) newBlock(name string) *Block {
+	blk := b.F.NewBlock(name)
+	blk.Depth = b.depth
+	return blk
+}
+
+// ForRange emits: for i := lo; i < hi; i += step { body(i) } and
+// returns after the loop.  i is a fresh variable.
+func (b *Builder) ForRange(lo, hi Reg, step int64, body func(i Reg)) {
+	i := b.Var(lo)
+	b.While(func() Cond {
+		return CondOf(CmpLT, i, hi)
+	}, func() {
+		body(i)
+		b.Assign(i, b.AddI(i, step))
+	})
+}
+
+// Ret terminates the function returning v (NoReg for void).
+func (b *Builder) Ret(v Reg) {
+	b.cur.Term = Term{Kind: TermRet, A: v}
+}
+
+// Finish verifies and returns the built function.
+func (b *Builder) Finish() (*Func, error) {
+	if err := b.F.Verify(); err != nil {
+		return nil, err
+	}
+	return b.F, nil
+}

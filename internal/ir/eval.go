@@ -1,0 +1,159 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+
+	"bioperf5/internal/mem"
+)
+
+// ErrInterpLimit is returned when interpretation exceeds its step budget.
+var ErrInterpLimit = errors.New("ir: interpreter step limit exceeded")
+
+// Interp executes f against memory m with the given arguments and
+// returns the function's result.  It is the reference semantics of the
+// IR: compiler passes are property-tested by comparing Interp results
+// before and after a transformation, and compiled code is validated by
+// comparing machine execution against Interp.
+func Interp(f *Func, m *mem.Memory, args []int64, maxSteps uint64) (int64, error) {
+	if len(args) != f.NArgs {
+		return 0, fmt.Errorf("ir: %s expects %d args, got %d", f.Name, f.NArgs, len(args))
+	}
+	regs := make([]int64, f.NumRegs())
+	b := f.Entry()
+	var steps uint64
+	for {
+		for i := range b.Instrs {
+			if steps++; steps > maxSteps {
+				return 0, ErrInterpLimit
+			}
+			in := &b.Instrs[i]
+			switch in.Op {
+			case OpConst:
+				regs[in.Dst] = in.Imm
+			case OpArg:
+				regs[in.Dst] = args[in.Imm]
+			case OpCopy:
+				regs[in.Dst] = regs[in.A]
+			case OpAdd:
+				regs[in.Dst] = regs[in.A] + regs[in.B]
+			case OpSub:
+				regs[in.Dst] = regs[in.A] - regs[in.B]
+			case OpMul:
+				regs[in.Dst] = regs[in.A] * regs[in.B]
+			case OpDiv:
+				if regs[in.B] == 0 {
+					regs[in.Dst] = 0
+				} else {
+					regs[in.Dst] = regs[in.A] / regs[in.B]
+				}
+			case OpAnd:
+				regs[in.Dst] = regs[in.A] & regs[in.B]
+			case OpOr:
+				regs[in.Dst] = regs[in.A] | regs[in.B]
+			case OpXor:
+				regs[in.Dst] = regs[in.A] ^ regs[in.B]
+			case OpShl:
+				if sh := uint64(regs[in.B]) & 127; sh >= 64 {
+					regs[in.Dst] = 0
+				} else {
+					regs[in.Dst] = regs[in.A] << sh
+				}
+			case OpShr:
+				if sh := uint64(regs[in.B]) & 127; sh >= 64 {
+					regs[in.Dst] = 0
+				} else {
+					regs[in.Dst] = int64(uint64(regs[in.A]) >> sh)
+				}
+			case OpSar:
+				sh := uint64(regs[in.B]) & 127
+				if sh >= 64 {
+					sh = 63
+				}
+				regs[in.Dst] = regs[in.A] >> sh
+			case OpNeg:
+				regs[in.Dst] = -regs[in.A]
+			case OpAddImm:
+				regs[in.Dst] = regs[in.A] + in.Imm
+			case OpMulImm:
+				regs[in.Dst] = regs[in.A] * in.Imm
+			case OpAndImm:
+				regs[in.Dst] = regs[in.A] & in.Imm
+			case OpOrImm:
+				regs[in.Dst] = regs[in.A] | in.Imm
+			case OpXorImm:
+				regs[in.Dst] = regs[in.A] ^ in.Imm
+			case OpShlImm:
+				regs[in.Dst] = regs[in.A] << uint(in.Imm)
+			case OpShrImm:
+				regs[in.Dst] = int64(uint64(regs[in.A]) >> uint(in.Imm))
+			case OpSarImm:
+				regs[in.Dst] = regs[in.A] >> uint(in.Imm)
+			case OpMax:
+				a, bb := regs[in.A], regs[in.B]
+				if a >= bb {
+					regs[in.Dst] = a
+				} else {
+					regs[in.Dst] = bb
+				}
+			case OpSelect:
+				if in.Cmp.Eval(regs[in.A], regs[in.B]) {
+					regs[in.Dst] = regs[in.C]
+				} else {
+					regs[in.Dst] = regs[in.D]
+				}
+			case OpLoad:
+				regs[in.Dst] = loadMem(m, in.Mem, uint64(regs[in.A]+in.Off))
+			case OpLoadX:
+				regs[in.Dst] = loadMem(m, in.Mem, uint64(regs[in.A]+regs[in.B]))
+			case OpStore:
+				m.WriteInt(uint64(regs[in.A]+in.Off), in.Mem.Size(), regs[in.C])
+			case OpStoreX:
+				m.WriteInt(uint64(regs[in.A]+regs[in.B]), in.Mem.Size(), regs[in.C])
+			default:
+				return 0, fmt.Errorf("ir: interp: unhandled op %s", in.Op)
+			}
+		}
+		switch b.Term.Kind {
+		case TermJump:
+			b = b.Term.Then
+		case TermCondBr:
+			if steps++; steps > maxSteps {
+				return 0, ErrInterpLimit
+			}
+			rhs := b.Term.BImm
+			if b.Term.B != NoReg {
+				rhs = regs[b.Term.B]
+			}
+			if b.Term.Cmp.Eval(regs[b.Term.A], rhs) {
+				b = b.Term.Then
+			} else {
+				b = b.Term.Else
+			}
+		case TermRet:
+			if b.Term.A == NoReg {
+				return 0, nil
+			}
+			return regs[b.Term.A], nil
+		default:
+			return 0, fmt.Errorf("ir: interp: block %s not terminated", b.Name)
+		}
+	}
+}
+
+func loadMem(m *mem.Memory, k MemKind, addr uint64) int64 {
+	switch k {
+	case MemU8:
+		return int64(m.ReadUint(addr, 1))
+	case MemU16:
+		return int64(m.ReadUint(addr, 2))
+	case MemS16:
+		return m.ReadInt(addr, 2)
+	case MemU32:
+		return int64(m.ReadUint(addr, 4))
+	case MemS32:
+		return m.ReadInt(addr, 4)
+	default:
+		return m.ReadInt(addr, 8)
+	}
+}

@@ -1,0 +1,507 @@
+// Package ir defines the small intermediate representation the kernel
+// compiler works on.  The four BioPerf dynamic-programming kernels are
+// expressed in this IR (package kernels), optimized (package compiler:
+// if-conversion, dead-code elimination), register-allocated and lowered
+// to the PPC-subset of package isa.
+//
+// The IR is deliberately non-SSA: virtual registers are mutable, which
+// keeps hammock if-conversion — the transformation the paper's modified
+// gcc performs — a local rewrite.  Control flow is a graph of basic
+// blocks ending in explicit terminators.
+package ir
+
+import "fmt"
+
+// Reg is a virtual register.  NoReg marks an unused operand.
+type Reg int32
+
+// NoReg is the absent-operand sentinel.
+const NoReg Reg = -1
+
+// String renders the virtual register as %n.
+func (r Reg) String() string {
+	if r == NoReg {
+		return "%-"
+	}
+	return fmt.Sprintf("%%%d", int32(r))
+}
+
+// Op enumerates IR operations.
+type Op uint8
+
+// IR operations.
+const (
+	OpInvalid Op = iota
+
+	OpConst // dst = Imm
+	OpArg   // dst = incoming argument #Imm
+	OpCopy  // dst = a
+
+	OpAdd // dst = a + b
+	OpSub // dst = a - b
+	OpMul // dst = a * b
+	OpDiv // dst = a / b (signed)
+	OpAnd // dst = a & b
+	OpOr  // dst = a | b
+	OpXor // dst = a ^ b
+	OpShl // dst = a << b
+	OpShr // dst = a >> b (logical)
+	OpSar // dst = a >> b (arithmetic)
+	OpNeg // dst = -a
+
+	OpMax    // dst = max(a, b) — the paper's hand-inserted max
+	OpSelect // dst = (a Cmp b) ? c : d — lowers to cmp+isel or branches
+
+	// Immediate forms, produced by the constant-folding pass; they map
+	// onto the PPC D-form instructions (addi, mulli, andi, ...).
+	OpAddImm // dst = a + Imm
+	OpMulImm // dst = a * Imm
+	OpAndImm // dst = a & Imm
+	OpOrImm  // dst = a | Imm
+	OpXorImm // dst = a ^ Imm
+	OpShlImm // dst = a << Imm
+	OpShrImm // dst = a >> Imm (logical)
+	OpSarImm // dst = a >> Imm (arithmetic)
+
+	OpLoad   // dst = mem[a + Off]   (width/sign in Mem; a=base)
+	OpLoadX  // dst = mem[a + b]     (indexed)
+	OpStore  // mem[a + Off] = c     (c in the C operand slot)
+	OpStoreX // mem[a + b] = c
+
+	NumOps // number of IR operations
+)
+
+var opNames = [NumOps]string{
+	OpInvalid: "invalid",
+	OpConst:   "const",
+	OpArg:     "arg",
+	OpCopy:    "copy",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpMul:     "mul",
+	OpDiv:     "div",
+	OpAnd:     "and",
+	OpOr:      "or",
+	OpXor:     "xor",
+	OpShl:     "shl",
+	OpShr:     "shr",
+	OpSar:     "sar",
+	OpNeg:     "neg",
+	OpMax:     "max",
+	OpSelect:  "select",
+	OpAddImm:  "addi",
+	OpMulImm:  "muli",
+	OpAndImm:  "andi",
+	OpOrImm:   "ori",
+	OpXorImm:  "xori",
+	OpShlImm:  "shli",
+	OpShrImm:  "shri",
+	OpSarImm:  "sari",
+	OpLoad:    "load",
+	OpLoadX:   "loadx",
+	OpStore:   "store",
+	OpStoreX:  "storex",
+}
+
+// String names the op.
+func (o Op) String() string {
+	if o >= NumOps {
+		return "op?"
+	}
+	return opNames[o]
+}
+
+// MemKind is the width and signedness of a memory access.
+type MemKind uint8
+
+// Memory access kinds.
+const (
+	MemNone MemKind = iota
+	MemU8           // zero-extended byte
+	MemU16          // zero-extended halfword
+	MemS16          // sign-extended halfword
+	MemU32          // zero-extended word
+	MemS32          // sign-extended word
+	Mem64           // doubleword
+)
+
+// Size returns the access width in bytes.
+func (m MemKind) Size() int {
+	switch m {
+	case MemU8:
+		return 1
+	case MemU16, MemS16:
+		return 2
+	case MemU32, MemS32:
+		return 4
+	case Mem64:
+		return 8
+	}
+	return 0
+}
+
+// String names the kind.
+func (m MemKind) String() string {
+	switch m {
+	case MemU8:
+		return "u8"
+	case MemU16:
+		return "u16"
+	case MemS16:
+		return "s16"
+	case MemU32:
+		return "u32"
+	case MemS32:
+		return "s32"
+	case Mem64:
+		return "i64"
+	}
+	return "mem?"
+}
+
+// CmpKind is a signed comparison predicate.
+type CmpKind uint8
+
+// Comparison predicates.
+const (
+	CmpEQ CmpKind = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// String renders the predicate symbol.
+func (c CmpKind) String() string {
+	switch c {
+	case CmpEQ:
+		return "=="
+	case CmpNE:
+		return "!="
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	}
+	return "?"
+}
+
+// Negate returns the complementary predicate.
+func (c CmpKind) Negate() CmpKind {
+	switch c {
+	case CmpEQ:
+		return CmpNE
+	case CmpNE:
+		return CmpEQ
+	case CmpLT:
+		return CmpGE
+	case CmpLE:
+		return CmpGT
+	case CmpGT:
+		return CmpLE
+	}
+	return CmpLT // CmpGE
+}
+
+// Eval applies the predicate to two signed values.
+func (c CmpKind) Eval(a, b int64) bool {
+	switch c {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpGT:
+		return a > b
+	}
+	return a >= b
+}
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op  Op
+	Dst Reg // result (NoReg for stores)
+	A   Reg // first operand / load-store base
+	B   Reg // second operand / index
+	C   Reg // select "then" value / store value
+	D   Reg // select "else" value
+	Cmp CmpKind
+	Imm int64   // constant / argument index
+	Mem MemKind // load/store width
+	Off int64   // load/store displacement
+
+	// Safe marks a load the front end can prove non-faulting (in
+	// bounds for the whole loop).  The if-converter may speculate only
+	// safe loads — the legality rule the paper's gcc must obey, and the
+	// reason compiler-converted Hmmer/Clustalw lag hand-inserted code.
+	Safe bool
+
+	// NoAlias marks a load known not to alias any store in its hammock
+	// (the "memory aliasing can preclude generating max instructions"
+	// restriction of Section IV-B).
+	NoAlias bool
+}
+
+// uses appends the virtual registers read by the instruction.
+func (in *Instr) Uses(dst []Reg) []Reg {
+	appendIf := func(r Reg) {
+		if r != NoReg {
+			dst = append(dst, r)
+		}
+	}
+	switch in.Op {
+	case OpConst, OpArg:
+	case OpCopy, OpNeg, OpAddImm, OpMulImm, OpAndImm, OpOrImm,
+		OpXorImm, OpShlImm, OpShrImm, OpSarImm:
+		appendIf(in.A)
+	case OpLoad:
+		appendIf(in.A)
+	case OpLoadX:
+		appendIf(in.A)
+		appendIf(in.B)
+	case OpStore:
+		appendIf(in.A)
+		appendIf(in.C)
+	case OpStoreX:
+		appendIf(in.A)
+		appendIf(in.B)
+		appendIf(in.C)
+	case OpSelect:
+		appendIf(in.A)
+		appendIf(in.B)
+		appendIf(in.C)
+		appendIf(in.D)
+	default:
+		appendIf(in.A)
+		appendIf(in.B)
+	}
+	return dst
+}
+
+// HasSideEffects reports whether the instruction writes memory.
+func (in *Instr) HasSideEffects() bool {
+	return in.Op == OpStore || in.Op == OpStoreX
+}
+
+// IsLoad reports whether the instruction reads memory.
+func (in *Instr) IsLoad() bool { return in.Op == OpLoad || in.Op == OpLoadX }
+
+// String renders the instruction.
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%s = const %d", in.Dst, in.Imm)
+	case OpArg:
+		return fmt.Sprintf("%s = arg %d", in.Dst, in.Imm)
+	case OpCopy:
+		return fmt.Sprintf("%s = %s", in.Dst, in.A)
+	case OpNeg:
+		return fmt.Sprintf("%s = neg %s", in.Dst, in.A)
+	case OpSelect:
+		return fmt.Sprintf("%s = select(%s %s %s, %s, %s)",
+			in.Dst, in.A, in.Cmp, in.B, in.C, in.D)
+	case OpLoad:
+		return fmt.Sprintf("%s = load.%s %d(%s) safe=%v", in.Dst, in.Mem, in.Off, in.A, in.Safe)
+	case OpLoadX:
+		return fmt.Sprintf("%s = load.%s (%s+%s) safe=%v", in.Dst, in.Mem, in.A, in.B, in.Safe)
+	case OpStore:
+		return fmt.Sprintf("store.%s %d(%s) = %s", in.Mem, in.Off, in.A, in.C)
+	case OpStoreX:
+		return fmt.Sprintf("store.%s (%s+%s) = %s", in.Mem, in.A, in.B, in.C)
+	default:
+		return fmt.Sprintf("%s = %s %s, %s", in.Dst, in.Op, in.A, in.B)
+	}
+}
+
+// TermKind discriminates block terminators.
+type TermKind uint8
+
+// Terminator kinds.
+const (
+	TermNone TermKind = iota
+	TermJump
+	TermCondBr
+	TermRet
+)
+
+// Term is a block terminator.
+type Term struct {
+	Kind TermKind
+	Cmp  CmpKind // TermCondBr: predicate
+	A, B Reg     // TermCondBr: operands; TermRet: A is the return value (or NoReg)
+	// BImm is the immediate right-hand side when B is NoReg (produced
+	// by the constant-folding pass; lowers to cmpdi).
+	BImm int64
+	Then *Block // TermCondBr taken target / TermJump target
+	Else *Block // TermCondBr fall-through target
+}
+
+// Block is a basic block.
+type Block struct {
+	ID     int
+	Name   string
+	Instrs []Instr
+	Term   Term
+	// Depth is the loop-nesting depth the builder recorded; the
+	// register allocator uses it to keep inner-loop values in
+	// registers when spilling is unavoidable.
+	Depth int
+}
+
+// Succs returns the successor blocks.
+func (b *Block) Succs() []*Block {
+	switch b.Term.Kind {
+	case TermJump:
+		return []*Block{b.Term.Then}
+	case TermCondBr:
+		return []*Block{b.Term.Then, b.Term.Else}
+	}
+	return nil
+}
+
+// Func is one IR function.
+type Func struct {
+	Name    string
+	NArgs   int
+	Blocks  []*Block
+	regHint int32
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// NewReg allocates a fresh virtual register.
+func (f *Func) NewReg() Reg {
+	r := Reg(f.regHint)
+	f.regHint++
+	return r
+}
+
+// NumRegs returns the number of virtual registers allocated so far.
+func (f *Func) NumRegs() int { return int(f.regHint) }
+
+// NewBlock appends a fresh empty block.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{ID: len(f.Blocks), Name: name}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Preds computes the predecessor lists of all blocks.
+func (f *Func) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// String renders the function as readable IR text.
+func (f *Func) String() string {
+	s := fmt.Sprintf("func %s(%d args):\n", f.Name, f.NArgs)
+	for _, b := range f.Blocks {
+		s += fmt.Sprintf("%s (b%d):\n", b.Name, b.ID)
+		for i := range b.Instrs {
+			s += "  " + b.Instrs[i].String() + "\n"
+		}
+		switch b.Term.Kind {
+		case TermJump:
+			s += fmt.Sprintf("  jump b%d\n", b.Term.Then.ID)
+		case TermCondBr:
+			s += fmt.Sprintf("  if %s %s %s -> b%d else b%d\n",
+				b.Term.A, b.Term.Cmp, b.Term.B, b.Term.Then.ID, b.Term.Else.ID)
+		case TermRet:
+			if b.Term.A == NoReg {
+				s += "  ret\n"
+			} else {
+				s += fmt.Sprintf("  ret %s\n", b.Term.A)
+			}
+		default:
+			s += "  <no terminator>\n"
+		}
+	}
+	return s
+}
+
+// Verify checks structural invariants: every block terminated, operands
+// in range, terminator targets within the function.
+func (f *Func) Verify() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: %s: no blocks", f.Name)
+	}
+	inFunc := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		inFunc[b] = true
+	}
+	checkReg := func(b *Block, r Reg, what string) error {
+		if r != NoReg && (int32(r) < 0 || int32(r) >= f.regHint) {
+			return fmt.Errorf("ir: %s/%s: %s register %d out of range", f.Name, b.Name, what, r)
+		}
+		return nil
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == OpInvalid || in.Op >= NumOps {
+				return fmt.Errorf("ir: %s/%s: invalid op", f.Name, b.Name)
+			}
+			for _, u := range in.Uses(nil) {
+				if err := checkReg(b, u, "use"); err != nil {
+					return err
+				}
+			}
+			if !in.HasSideEffects() {
+				if in.Dst == NoReg {
+					return fmt.Errorf("ir: %s/%s: %s lacks a destination", f.Name, b.Name, in)
+				}
+				if err := checkReg(b, in.Dst, "dst"); err != nil {
+					return err
+				}
+			}
+			if (in.IsLoad() || in.HasSideEffects()) && in.Mem == MemNone {
+				return fmt.Errorf("ir: %s/%s: %s lacks a memory kind", f.Name, b.Name, in)
+			}
+			if in.Op == OpArg && (in.Imm < 0 || int(in.Imm) >= f.NArgs) {
+				return fmt.Errorf("ir: %s: arg %d out of range (%d args)", f.Name, in.Imm, f.NArgs)
+			}
+		}
+		switch b.Term.Kind {
+		case TermNone:
+			return fmt.Errorf("ir: %s/%s: missing terminator", f.Name, b.Name)
+		case TermJump:
+			if !inFunc[b.Term.Then] {
+				return fmt.Errorf("ir: %s/%s: jump to foreign block", f.Name, b.Name)
+			}
+		case TermCondBr:
+			if !inFunc[b.Term.Then] || !inFunc[b.Term.Else] {
+				return fmt.Errorf("ir: %s/%s: branch to foreign block", f.Name, b.Name)
+			}
+			if b.Term.A == NoReg {
+				return fmt.Errorf("ir: %s/%s: branch without left operand", f.Name, b.Name)
+			}
+			if err := checkReg(b, b.Term.A, "cond"); err != nil {
+				return err
+			}
+			if err := checkReg(b, b.Term.B, "cond"); err != nil {
+				return err
+			}
+		case TermRet:
+			if b.Term.A != NoReg {
+				if err := checkReg(b, b.Term.A, "ret"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,407 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bioperf5/internal/mem"
+)
+
+func TestCmpKindEval(t *testing.T) {
+	cases := []struct {
+		c    CmpKind
+		a, b int64
+		want bool
+	}{
+		{CmpEQ, 1, 1, true}, {CmpEQ, 1, 2, false},
+		{CmpNE, 1, 2, true}, {CmpNE, 2, 2, false},
+		{CmpLT, -1, 0, true}, {CmpLT, 0, 0, false},
+		{CmpLE, 0, 0, true}, {CmpLE, 1, 0, false},
+		{CmpGT, 3, 2, true}, {CmpGT, 2, 3, false},
+		{CmpGE, 2, 2, true}, {CmpGE, 1, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Eval(c.a, c.b); got != c.want {
+			t.Errorf("(%d %s %d) = %v, want %v", c.a, c.c, c.b, got, c.want)
+		}
+	}
+}
+
+func TestQuickNegateIsComplement(t *testing.T) {
+	f := func(sel uint8, a, b int64) bool {
+		c := CmpKind(sel % 6)
+		return c.Eval(a, b) == !c.Negate().Eval(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderStraightLine(t *testing.T) {
+	b := NewBuilder("f", 2)
+	x := b.Arg(0)
+	y := b.Arg(1)
+	sum := b.Add(x, y)
+	b.Ret(b.MulI(sum, 3))
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Interp(f, mem.New(), []int64{4, 5}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 27 {
+		t.Errorf("f(4,5) = %d, want 27", got)
+	}
+}
+
+func TestBuilderArith(t *testing.T) {
+	b := NewBuilder("f", 2)
+	x, y := b.Arg(0), b.Arg(1)
+	v := b.Sub(x, y)          // x-y
+	v = b.Add(v, b.Div(x, y)) // + x/y
+	v = b.Xor(v, b.And(x, y))
+	v = b.Or(v, b.Shl(y, b.Const(1)))
+	v = b.Add(v, b.Sar(x, b.Const(2)))
+	v = b.Add(v, b.Shr(x, b.Const(60)))
+	v = b.Add(v, b.Neg(y))
+	b.Ret(v)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := func(x, y int64) int64 {
+		v := x - y
+		if y != 0 {
+			v += x / y
+		}
+		v ^= x & y
+		v |= y << 1
+		v += x >> 2
+		v += int64(uint64(x) >> 60)
+		v += -y
+		return v
+	}
+	for _, c := range [][2]int64{{100, 7}, {-100, 7}, {5, -3}, {0, 1}, {1 << 62, 3}} {
+		got, err := Interp(f, mem.New(), c[:], 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := ref(c[0], c[1]); got != want {
+			t.Errorf("f(%d,%d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestBuilderIfElse(t *testing.T) {
+	b := NewBuilder("absdiff", 2)
+	x, y := b.Arg(0), b.Arg(1)
+	r := b.Var(b.Const(0))
+	b.IfElse(CondOf(CmpGT, x, y),
+		func() { b.Assign(r, b.Sub(x, y)) },
+		func() { b.Assign(r, b.Sub(y, x)) })
+	b.Ret(r)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][3]int64{{7, 3, 4}, {3, 7, 4}, {5, 5, 0}, {-2, 3, 5}}
+	for _, c := range cases {
+		got, _ := Interp(f, mem.New(), c[:2], 1000)
+		if got != c[2] {
+			t.Errorf("absdiff(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestBuilderIfWithoutElse(t *testing.T) {
+	b := NewBuilder("clamp0", 1)
+	x := b.Arg(0)
+	r := b.Var(x)
+	b.If(CondOf(CmpLT, r, b.Const(0)), func() {
+		b.Assign(r, b.Const(0))
+	})
+	b.Ret(r)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][2]int64{{5, 5}, {-5, 0}, {0, 0}} {
+		got, _ := Interp(f, mem.New(), c[:1], 1000)
+		if got != c[1] {
+			t.Errorf("clamp0(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestBuilderWhileSum(t *testing.T) {
+	b := NewBuilder("sum", 1)
+	n := b.Arg(0)
+	i := b.Var(b.Const(1))
+	acc := b.Var(b.Const(0))
+	b.While(func() Cond { return CondOf(CmpLE, i, n) }, func() {
+		b.Assign(acc, b.Add(acc, i))
+		b.Assign(i, b.AddI(i, 1))
+	})
+	b.Ret(acc)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Interp(f, mem.New(), []int64{10}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 55 {
+		t.Errorf("sum(10) = %d, want 55", got)
+	}
+	if got, _ := Interp(f, mem.New(), []int64{0}, 1000); got != 0 {
+		t.Errorf("sum(0) = %d, want 0", got)
+	}
+}
+
+func TestBuilderForRange(t *testing.T) {
+	b := NewBuilder("count", 2)
+	lo, hi := b.Arg(0), b.Arg(1)
+	acc := b.Var(b.Const(0))
+	b.ForRange(lo, hi, 2, func(i Reg) {
+		b.Assign(acc, b.AddI(acc, 1))
+	})
+	b.Ret(acc)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := Interp(f, mem.New(), []int64{0, 10}, 10000)
+	if got != 5 {
+		t.Errorf("count(0,10,step2) = %d, want 5", got)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// The DP shape: for i { for j { acc += i*j } }.
+	b := NewBuilder("dp", 2)
+	m, n := b.Arg(0), b.Arg(1)
+	acc := b.Var(b.Const(0))
+	b.ForRange(b.Const(0), m, 1, func(i Reg) {
+		b.ForRange(b.Const(0), n, 1, func(j Reg) {
+			b.Assign(acc, b.Add(acc, b.Mul(i, j)))
+		})
+	})
+	b.Ret(acc)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Interp(f, mem.New(), []int64{4, 5}, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for i := int64(0); i < 4; i++ {
+		for j := int64(0); j < 5; j++ {
+			want += i * j
+		}
+	}
+	if got != want {
+		t.Errorf("dp(4,5) = %d, want %d", got, want)
+	}
+}
+
+func TestMaxAndSelect(t *testing.T) {
+	b := NewBuilder("f", 2)
+	x, y := b.Arg(0), b.Arg(1)
+	mx := b.Max(x, y)
+	mn := b.Select(CmpLT, x, y, x, y)
+	b.Ret(b.Sub(mx, mn)) // |x-y|
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// int32-range inputs keep |x-y| free of int64 overflow, where
+	// max-min and x-y would wrap differently.
+	chk := func(x32, y32 int32) bool {
+		x, y := int64(x32), int64(y32)
+		got, err := Interp(f, mem.New(), []int64{x, y}, 1000)
+		want := x - y
+		if want < 0 {
+			want = -want
+		}
+		return err == nil && got == want
+	}
+	if err := quick.Check(chk, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	m := mem.New()
+	m.WriteInt(100, 4, -7)          // s32
+	m.WriteUint(104, 4, 0xFFFFFFF9) // u32 view of -7
+	m.WriteInt(108, 2, -3)          // s16
+	m.StoreByte(110, 250)
+
+	b := NewBuilder("f", 1)
+	base := b.Arg(0)
+	s32 := b.Load(MemS32, base, 0, true)
+	u32 := b.Load(MemU32, base, 4, true)
+	s16 := b.Load(MemS16, base, 8, true)
+	u8 := b.Load(MemU8, base, 10, true)
+	sum := b.Add(b.Add(s32, u32), b.Add(s16, u8))
+	b.Store(Mem64, base, 16, sum)
+	out := b.Load(Mem64, base, 16, true)
+	b.Ret(out)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Interp(f, m, []int64{100}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(-7) + 0xFFFFFFF9 + -3 + 250
+	if got != want {
+		t.Errorf("got %d, want %d", got, want)
+	}
+}
+
+func TestIndexedMemoryOps(t *testing.T) {
+	m := mem.New()
+	b := NewBuilder("f", 2)
+	base, idx := b.Arg(0), b.Arg(1)
+	b.StoreX(MemU16, base, idx, b.Const(513))
+	v := b.LoadX(MemU16, base, idx, true)
+	b.Ret(v)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Interp(f, m, []int64{0x400, 6}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 513 {
+		t.Errorf("got %d, want 513", got)
+	}
+	if m.ReadUint(0x406, 2) != 513 {
+		t.Error("store went to the wrong address")
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	f := &Func{Name: "bad"}
+	f.NewBlock("entry")
+	if err := f.Verify(); err == nil {
+		t.Error("unterminated block verified")
+	}
+}
+
+func TestVerifyCatchesBadReg(t *testing.T) {
+	b := NewBuilder("bad", 0)
+	blk := b.Block()
+	blk.Instrs = append(blk.Instrs, Instr{Op: OpCopy, Dst: 0, A: 999})
+	b.Ret(NoReg)
+	if _, err := b.Finish(); err == nil {
+		t.Error("out-of-range register verified")
+	}
+}
+
+func TestVerifyCatchesBadArg(t *testing.T) {
+	b := NewBuilder("bad", 1)
+	b.Ret(b.Arg(3))
+	if _, err := b.Finish(); err == nil {
+		t.Error("out-of-range argument verified")
+	}
+}
+
+func TestVerifyCatchesMissingMemKind(t *testing.T) {
+	b := NewBuilder("bad", 1)
+	x := b.Arg(0)
+	blk := b.Block()
+	blk.Instrs = append(blk.Instrs, Instr{Op: OpLoad, Dst: b.F.NewReg(), A: x})
+	b.Ret(x)
+	if _, err := b.Finish(); err == nil {
+		t.Error("load without MemKind verified")
+	}
+}
+
+func TestInterpStepLimit(t *testing.T) {
+	b := NewBuilder("spin", 0)
+	one := b.Const(1)
+	b.While(func() Cond { return CondOf(CmpEQ, one, one) }, func() {})
+	b.Ret(one)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Interp(f, mem.New(), nil, 1000); err != ErrInterpLimit {
+		t.Errorf("err = %v, want ErrInterpLimit", err)
+	}
+}
+
+func TestInterpArgMismatch(t *testing.T) {
+	b := NewBuilder("f", 2)
+	b.Ret(b.Arg(0))
+	f, _ := b.Finish()
+	if _, err := Interp(f, mem.New(), []int64{1}, 100); err == nil {
+		t.Error("argument-count mismatch accepted")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	b := NewBuilder("show", 1)
+	x := b.Arg(0)
+	v := b.Var(b.Const(3))
+	b.IfElse(CondOf(CmpGT, x, v),
+		func() { b.Assign(v, b.Max(x, v)) },
+		func() { b.Assign(v, b.Select(CmpLT, x, v, x, v)) })
+	st := b.Load(MemS32, x, 4, true)
+	b.Store(MemU8, x, 0, st)
+	b.Ret(v)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := f.String()
+	for _, want := range []string{"func show", "select", "max", "load.s32", "store.u8", "ret", "if "} {
+		if !strings.Contains(text, want) {
+			t.Errorf("IR dump missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPreds(t *testing.T) {
+	b := NewBuilder("p", 1)
+	x := b.Arg(0)
+	b.If(CondOf(CmpGT, x, b.Const(0)), func() {})
+	b.Ret(x)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := f.Preds()
+	// join block ("if.end") must have two predecessors: entry and then.
+	var join *Block
+	for _, blk := range f.Blocks {
+		if blk.Name == "if.end" {
+			join = blk
+		}
+	}
+	if join == nil {
+		t.Fatal("no join block")
+	}
+	if len(preds[join]) != 2 {
+		t.Errorf("join preds = %d, want 2", len(preds[join]))
+	}
+}
+
+func TestMemKindSizes(t *testing.T) {
+	cases := map[MemKind]int{MemU8: 1, MemU16: 2, MemS16: 2, MemU32: 4, MemS32: 4, Mem64: 8, MemNone: 0}
+	for k, want := range cases {
+		if got := k.Size(); got != want {
+			t.Errorf("%s.Size() = %d, want %d", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package isa
+
+import "fmt"
+
+// Disasm renders the instruction in an assembler-like syntax.  Branch
+// targets are shown as absolute instruction indices (the assembler works
+// in instruction units, not bytes).
+func (ins *Instruction) Disasm() string {
+	switch ins.Op {
+	case OpAddi, OpAddis:
+		if ins.RA == R0 {
+			mn := "li"
+			if ins.Op == OpAddis {
+				mn = "lis"
+			}
+			return fmt.Sprintf("%-7s %s, %d", mn, ins.RT, ins.Imm)
+		}
+		return fmt.Sprintf("%-7s %s, %s, %d", ins.Op, ins.RT, ins.RA, ins.Imm)
+	case OpMulli, OpAndi, OpOri, OpXori, OpSldi, OpSrdi, OpSradi:
+		return fmt.Sprintf("%-7s %s, %s, %d", ins.Op, ins.RT, ins.RA, ins.Imm)
+	case OpAdd, OpSubf, OpMulld, OpDivd, OpAnd, OpOr, OpXor,
+		OpSld, OpSrd, OpSrad, OpMax:
+		return fmt.Sprintf("%-7s %s, %s, %s", ins.Op, ins.RT, ins.RA, ins.RB)
+	case OpNeg, OpExtsb, OpExtsh, OpExtsw:
+		return fmt.Sprintf("%-7s %s, %s", ins.Op, ins.RT, ins.RA)
+	case OpIsel:
+		return fmt.Sprintf("%-7s %s, %s, %s, 4*%s+%s",
+			ins.Op, ins.RT, ins.RA, ins.RB, ins.CRF, ins.Bit)
+	case OpCmpd, OpCmpld:
+		return fmt.Sprintf("%-7s %s, %s, %s", ins.Op, ins.CRF, ins.RA, ins.RB)
+	case OpCmpdi, OpCmpldi:
+		return fmt.Sprintf("%-7s %s, %s, %d", ins.Op, ins.CRF, ins.RA, ins.Imm)
+	case OpB:
+		mn := "b"
+		if ins.ImmLK() {
+			mn = "bl"
+		}
+		return fmt.Sprintf("%-7s .%d", mn, ins.Target)
+	case OpBc:
+		mn := "bf" // branch if false
+		if ins.Want {
+			mn = "bt"
+		}
+		return fmt.Sprintf("%-7s 4*%s+%s, .%d", mn, ins.CRF, ins.Bit, ins.Target)
+	case OpBdnz:
+		return fmt.Sprintf("%-7s .%d", ins.Op, ins.Target)
+	case OpBlr, OpNop:
+		return ins.Op.String()
+	case OpLbz, OpLhz, OpLha, OpLwz, OpLwa, OpLd,
+		OpStb, OpSth, OpStw, OpStd:
+		return fmt.Sprintf("%-7s %s, %d(%s)", ins.Op, ins.RT, ins.Imm, ins.RA)
+	case OpLbzx, OpLhzx, OpLhax, OpLwzx, OpLwax, OpLdx,
+		OpStbx, OpSthx, OpStwx, OpStdx:
+		return fmt.Sprintf("%-7s %s, %s, %s", ins.Op, ins.RT, ins.RA, ins.RB)
+	case OpMtlr, OpMtctr:
+		return fmt.Sprintf("%-7s %s", ins.Op, ins.RA)
+	case OpMflr, OpMfctr:
+		return fmt.Sprintf("%-7s %s", ins.Op, ins.RT)
+	}
+	return fmt.Sprintf("%-7s ???", ins.Op)
+}

@@ -1,0 +1,421 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{R0, "r0"}, {R31, "r31"}, {CR0, "cr0"}, {CR7, "cr7"},
+		{LR, "lr"}, {CTR, "ctr"}, {NoReg, "-"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegClassPredicates(t *testing.T) {
+	for r := R0; r <= R31; r++ {
+		if !r.IsGPR() || r.IsCR() {
+			t.Errorf("%s misclassified", r)
+		}
+	}
+	for r := CR0; r <= CR7; r++ {
+		if r.IsGPR() || !r.IsCR() {
+			t.Errorf("%s misclassified", r)
+		}
+	}
+	if LR.IsGPR() || LR.IsCR() || CTR.IsGPR() || CTR.IsCR() {
+		t.Error("lr/ctr misclassified")
+	}
+}
+
+func TestOpInfoComplete(t *testing.T) {
+	for op := OpAdd; op < NumOps; op++ {
+		info := op.Info()
+		if info.Name == "" {
+			t.Errorf("op %d has no metadata", op)
+		}
+		if info.Latency <= 0 {
+			t.Errorf("op %s has non-positive latency %d", info.Name, info.Latency)
+		}
+	}
+}
+
+func TestUsesDefs(t *testing.T) {
+	cases := []struct {
+		ins  Instruction
+		uses []Reg
+		defs []Reg
+	}{
+		{Instruction{Op: OpAdd, RT: R3, RA: R4, RB: R5}, []Reg{R4, R5}, []Reg{R3}},
+		{Instruction{Op: OpAddi, RT: R3, RA: R0, Imm: 1}, nil, []Reg{R3}},
+		{Instruction{Op: OpAddi, RT: R3, RA: R4, Imm: 1}, []Reg{R4}, []Reg{R3}},
+		{Instruction{Op: OpMax, RT: R3, RA: R4, RB: R5}, []Reg{R4, R5}, []Reg{R3}},
+		{Instruction{Op: OpIsel, RT: R3, RA: R4, RB: R5, CRF: CR1, Bit: CRGT}, []Reg{R4, R5, CR1}, []Reg{R3}},
+		{Instruction{Op: OpCmpd, CRF: CR2, RA: R4, RB: R5}, []Reg{R4, R5}, []Reg{CR2}},
+		{Instruction{Op: OpBc, CRF: CR2, Bit: CRGT, Want: true}, []Reg{CR2}, nil},
+		{Instruction{Op: OpBdnz}, []Reg{CTR}, []Reg{CTR}},
+		{Instruction{Op: OpBlr}, []Reg{LR}, nil},
+		{Instruction{Op: OpLwzx, RT: R3, RA: R4, RB: R5}, []Reg{R4, R5}, []Reg{R3}},
+		{Instruction{Op: OpStw, RT: R3, RA: R4, Imm: 8}, []Reg{R3, R4}, nil},
+		{Instruction{Op: OpMtlr, RA: R3}, []Reg{R3}, []Reg{LR}},
+		{Instruction{Op: OpMflr, RT: R3}, []Reg{LR}, []Reg{R3}},
+		{Instruction{Op: OpMfctr, RT: R3}, []Reg{CTR}, []Reg{R3}},
+	}
+	for _, c := range cases {
+		if got := c.ins.Uses(nil); !regsEqual(got, c.uses) {
+			t.Errorf("%s: Uses = %v, want %v", c.ins.Disasm(), got, c.uses)
+		}
+		if got := c.ins.Defs(nil); !regsEqual(got, c.defs) {
+			t.Errorf("%s: Defs = %v, want %v", c.ins.Disasm(), got, c.defs)
+		}
+	}
+}
+
+func regsEqual(a, b []Reg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMflrTracksLR verifies mflr reads LR and defines its target, so
+// the timing model sees the dependency through the link register.
+func TestMflrTracksLR(t *testing.T) {
+	ins := Instruction{Op: OpMflr, RT: R3}
+	if defs := ins.Defs(nil); len(defs) != 1 || defs[0] != R3 {
+		t.Fatalf("mflr defs = %v", defs)
+	}
+	if uses := ins.Uses(nil); len(uses) != 1 || uses[0] != LR {
+		t.Fatalf("mflr uses = %v", uses)
+	}
+}
+
+// encodableSamples returns one representative valid instruction per
+// encodable operation.
+func encodableSamples() []Instruction {
+	return []Instruction{
+		{Op: OpAdd, RT: R3, RA: R4, RB: R5},
+		{Op: OpAddi, RT: R3, RA: R4, Imm: -42},
+		{Op: OpAddis, RT: R3, RA: R4, Imm: 17},
+		{Op: OpSubf, RT: R6, RA: R7, RB: R8},
+		{Op: OpNeg, RT: R9, RA: R10},
+		{Op: OpMulld, RT: R11, RA: R12, RB: R13},
+		{Op: OpMulli, RT: R14, RA: R15, Imm: 1000},
+		{Op: OpDivd, RT: R16, RA: R17, RB: R18},
+		{Op: OpAnd, RT: R3, RA: R4, RB: R5},
+		{Op: OpAndi, RT: R3, RA: R4, Imm: 0xFFFF},
+		{Op: OpOr, RT: R3, RA: R4, RB: R5},
+		{Op: OpOri, RT: R3, RA: R4, Imm: 0x1234},
+		{Op: OpXor, RT: R3, RA: R4, RB: R5},
+		{Op: OpXori, RT: R3, RA: R4, Imm: 0xBEEF},
+		{Op: OpSld, RT: R3, RA: R4, RB: R5},
+		{Op: OpSrd, RT: R3, RA: R4, RB: R5},
+		{Op: OpSrad, RT: R3, RA: R4, RB: R5},
+		{Op: OpSldi, RT: R3, RA: R4, Imm: 63},
+		{Op: OpSrdi, RT: R3, RA: R4, Imm: 1},
+		{Op: OpSradi, RT: R3, RA: R4, Imm: 31},
+		{Op: OpExtsb, RT: R3, RA: R4},
+		{Op: OpExtsh, RT: R3, RA: R4},
+		{Op: OpExtsw, RT: R3, RA: R4},
+		{Op: OpMax, RT: R3, RA: R4, RB: R5},
+		{Op: OpIsel, RT: R3, RA: R4, RB: R5, CRF: CR3, Bit: CRGT},
+		{Op: OpCmpd, CRF: CR1, RA: R4, RB: R5, RT: NoReg},
+		{Op: OpCmpdi, CRF: CR7, RA: R4, Imm: -1, RT: NoReg},
+		{Op: OpCmpld, CRF: CR0, RA: R4, RB: R5, RT: NoReg},
+		{Op: OpCmpldi, CRF: CR2, RA: R4, Imm: 7, RT: NoReg},
+		{Op: OpB, Target: 100},
+		{Op: OpB, Target: 2, Imm: 1}, // bl
+		{Op: OpBc, CRF: CR4, Bit: CREQ, Want: true, Target: 33},
+		{Op: OpBc, CRF: CR4, Bit: CRLT, Want: false, Target: 60},
+		{Op: OpBdnz, Target: 40},
+		{Op: OpBlr, RT: NoReg, RA: NoReg, RB: NoReg},
+		{Op: OpLbz, RT: R3, RA: R4, Imm: 12},
+		{Op: OpLbzx, RT: R3, RA: R4, RB: R5},
+		{Op: OpLhz, RT: R3, RA: R4, Imm: -2},
+		{Op: OpLhzx, RT: R3, RA: R4, RB: R5},
+		{Op: OpLha, RT: R3, RA: R4, Imm: 2},
+		{Op: OpLhax, RT: R3, RA: R4, RB: R5},
+		{Op: OpLwz, RT: R3, RA: R4, Imm: 4},
+		{Op: OpLwzx, RT: R3, RA: R4, RB: R5},
+		{Op: OpLwa, RT: R3, RA: R4, Imm: 8},
+		{Op: OpLwax, RT: R3, RA: R4, RB: R5},
+		{Op: OpLd, RT: R3, RA: R4, Imm: 16},
+		{Op: OpLdx, RT: R3, RA: R4, RB: R5},
+		{Op: OpStb, RT: R3, RA: R4, Imm: 1},
+		{Op: OpStbx, RT: R3, RA: R4, RB: R5},
+		{Op: OpSth, RT: R3, RA: R4, Imm: 2},
+		{Op: OpSthx, RT: R3, RA: R4, RB: R5},
+		{Op: OpStw, RT: R3, RA: R4, Imm: 4},
+		{Op: OpStwx, RT: R3, RA: R4, RB: R5},
+		{Op: OpStd, RT: R3, RA: R4, Imm: 8},
+		{Op: OpStdx, RT: R3, RA: R4, RB: R5},
+		{Op: OpMtlr, RA: R3, RT: NoReg},
+		{Op: OpMflr, RT: R3, RA: NoReg},
+		{Op: OpMtctr, RA: R3, RT: NoReg},
+		{Op: OpMfctr, RT: R3, RA: NoReg},
+		{Op: OpNop, RT: NoReg, RA: NoReg, RB: NoReg},
+	}
+}
+
+func normalizeForEncoding(ins Instruction) Instruction {
+	// Fields the encoding legitimately does not preserve for a given
+	// op (unused register slots) are normalized to NoReg/zero by
+	// Decode; apply the same normalization to the original.
+	switch ins.Op {
+	case OpBlr, OpNop:
+		ins.RT, ins.RA, ins.RB = NoReg, NoReg, NoReg
+	case OpB, OpBc, OpBdnz:
+		ins.RT, ins.RA, ins.RB = 0, 0, 0
+		if ins.Op == OpB {
+			ins.Imm &= 1
+		}
+	case OpNeg, OpExtsb, OpExtsh, OpExtsw, OpMtlr, OpMtctr:
+		ins.RB = NoReg
+	case OpMflr, OpMfctr:
+		ins.RA, ins.RB = NoReg, NoReg
+	}
+	if ins.Op.Info().Compare {
+		ins.RT = NoReg
+	}
+	return ins
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	const idx = 50
+	for _, ins := range encodableSamples() {
+		word, err := Encode(&ins, idx)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", ins.Disasm(), err)
+		}
+		got, err := Decode(word, idx)
+		if err != nil {
+			t.Fatalf("%s: decode %#08x: %v", ins.Disasm(), word, err)
+		}
+		want := normalizeForEncoding(ins)
+		gotN := normalizeForEncoding(got)
+		if gotN != want {
+			t.Errorf("round trip mismatch:\n  in:  %+v\n  out: %+v", want, gotN)
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRangeImmediates(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpAddi, RT: R3, RA: R4, Imm: 40000},
+		{Op: OpAddi, RT: R3, RA: R4, Imm: -40000},
+		{Op: OpAndi, RT: R3, RA: R4, Imm: -1},
+		{Op: OpAndi, RT: R3, RA: R4, Imm: 0x10000},
+		{Op: OpSldi, RT: R3, RA: R4, Imm: 64},
+	}
+	for _, ins := range cases {
+		if _, err := Encode(&ins, 0); err == nil {
+			t.Errorf("%s with imm %d: expected range error", ins.Op, ins.Imm)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalidRegisters(t *testing.T) {
+	bad := []Instruction{
+		{Op: OpAdd, RT: CR0, RA: R4, RB: R5},
+		{Op: OpCmpd, CRF: R3, RA: R4, RB: R5},
+		{Op: OpIsel, RT: R3, RA: LR, RB: R5, CRF: CR0},
+	}
+	for _, ins := range bad {
+		if _, err := Encode(&ins, 0); err == nil {
+			t.Errorf("%+v: expected validation error", ins)
+		}
+	}
+}
+
+func TestBranchDisplacementRoundTrip(t *testing.T) {
+	// Branches encode target-relative displacements; verify extremes.
+	for _, idx := range []int{0, 1000, 1 << 20} {
+		for _, target := range []int{idx - 8000, idx - 1, idx, idx + 1, idx + 8000} {
+			ins := Instruction{Op: OpBc, CRF: CR0, Bit: CRGT, Want: true, Target: target}
+			word, err := Encode(&ins, idx)
+			if err != nil {
+				t.Fatalf("encode bc @%d -> %d: %v", idx, target, err)
+			}
+			got, err := Decode(word, idx)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if got.Target != target {
+				t.Errorf("bc @%d: target %d round-tripped to %d", idx, target, got.Target)
+			}
+		}
+	}
+}
+
+func TestBranchDisplacementRange(t *testing.T) {
+	ins := Instruction{Op: OpBc, CRF: CR0, Bit: CRGT, Target: 1 << 14}
+	if _, err := Encode(&ins, 0); err == nil {
+		t.Error("bc displacement beyond 14 bits should not encode")
+	}
+	b := Instruction{Op: OpB, Target: 1 << 24}
+	if _, err := Encode(&b, 0); err == nil {
+		t.Error("b displacement beyond 24 bits should not encode")
+	}
+}
+
+// TestEncodingsDistinct verifies no two sample instructions encode to
+// the same word (the opcode space is unambiguous).
+func TestEncodingsDistinct(t *testing.T) {
+	seen := make(map[uint32]string)
+	for _, ins := range encodableSamples() {
+		word, err := Encode(&ins, 128)
+		if err != nil {
+			t.Fatalf("%s: %v", ins.Disasm(), err)
+		}
+		if prev, dup := seen[word]; dup {
+			t.Errorf("%#08x encodes both %q and %q", word, prev, ins.Disasm())
+		}
+		seen[word] = ins.Disasm()
+	}
+}
+
+// Property: any D-form immediate in range survives the round trip.
+func TestQuickAddiImmediateRoundTrip(t *testing.T) {
+	f := func(raw int16, rt, ra uint8) bool {
+		ins := Instruction{Op: OpAddi, RT: Reg(rt % 32), RA: Reg(ra % 32), Imm: int64(raw)}
+		word, err := Encode(&ins, 0)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(word, 0)
+		return err == nil && got.Imm == int64(raw) && got.RT == ins.RT && got.RA == ins.RA
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rejected := 0
+	for i := 0; i < 1000; i++ {
+		w := rng.Uint32()
+		if _, err := Decode(w, 0); err != nil {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Error("decoder accepted 1000/1000 random words; opcode space should not be dense")
+	}
+}
+
+func TestDisasmFormats(t *testing.T) {
+	cases := []struct {
+		ins  Instruction
+		want string
+	}{
+		{Instruction{Op: OpAddi, RT: R3, RA: R0, Imm: 5}, "li"},
+		{Instruction{Op: OpMax, RT: R3, RA: R4, RB: R5}, "max"},
+		{Instruction{Op: OpIsel, RT: R3, RA: R4, RB: R5, CRF: CR1, Bit: CRGT}, "isel"},
+		{Instruction{Op: OpBc, CRF: CR0, Bit: CRGT, Want: true, Target: 7}, "bt"},
+		{Instruction{Op: OpBc, CRF: CR0, Bit: CRGT, Want: false, Target: 7}, "bf"},
+		{Instruction{Op: OpLwz, RT: R3, RA: R4, Imm: 8}, "8(r4)"},
+	}
+	for _, c := range cases {
+		if got := c.ins.Disasm(); !strings.Contains(got, c.want) {
+			t.Errorf("Disasm %+v = %q, want substring %q", c.ins, got, c.want)
+		}
+	}
+}
+
+func TestAsmLabelsAndFixups(t *testing.T) {
+	a := NewAsm()
+	a.Label("entry")
+	a.Li(R3, 0)
+	a.Branch(Instruction{Op: OpB}, "end") // forward reference
+	a.Li(R3, 99)
+	a.Label("end")
+	a.Ret()
+	p, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["entry"] != 0 || p.Symbols["end"] != 3 {
+		t.Errorf("symbols = %v", p.Symbols)
+	}
+	if p.Code[1].Target != 3 {
+		t.Errorf("forward branch target = %d, want 3", p.Code[1].Target)
+	}
+}
+
+func TestAsmUndefinedLabel(t *testing.T) {
+	a := NewAsm()
+	a.Branch(Instruction{Op: OpB}, "nowhere")
+	if _, err := a.Finish(); err == nil {
+		t.Error("expected undefined-label error")
+	}
+}
+
+func TestAsmDuplicateLabel(t *testing.T) {
+	a := NewAsm()
+	a.Label("x")
+	a.Ret()
+	a.Label("x")
+	if _, err := a.Finish(); err == nil {
+		t.Error("expected duplicate-label error")
+	}
+}
+
+func TestProgramEncodeDecodeAll(t *testing.T) {
+	a := NewAsm()
+	a.Label("f")
+	a.Li(R3, 10)
+	a.Li(R4, 32)
+	a.Emit(Instruction{Op: OpAdd, RT: R3, RA: R3, RB: R4})
+	a.Ret()
+	p, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, err := p.EncodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := DecodeAll(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != p.Len() {
+		t.Fatalf("length mismatch %d != %d", q.Len(), p.Len())
+	}
+	for i := range p.Code {
+		if normalizeForEncoding(q.Code[i]) != normalizeForEncoding(p.Code[i]) {
+			t.Errorf("instruction %d mismatch: %+v vs %+v", i, p.Code[i], q.Code[i])
+		}
+	}
+}
+
+func TestProgramDisasmHasLabels(t *testing.T) {
+	a := NewAsm()
+	a.Label("main")
+	a.Li(R3, 1)
+	a.Ret()
+	p, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.Disasm()
+	if !strings.Contains(text, "main:") || !strings.Contains(text, "li") {
+		t.Errorf("disasm missing content:\n%s", text)
+	}
+}

@@ -1,0 +1,73 @@
+package kernels
+
+import "bioperf5/internal/ir"
+
+// emitter renders the "if (a < b) a = b" max statements of the DP
+// kernels in the IR shape a variant compiles from.
+type emitter struct {
+	b     *ir.Builder
+	shape Shape
+}
+
+// maxInto emits acc = max(acc, v) with v already held in a register
+// (the hoisted-load source style of Fasta and Blast): in branchy shape
+// the hammock arm is a plain register copy, which the if-converter can
+// always legalize.
+func (e *emitter) maxInto(acc, v ir.Reg) {
+	switch e.shape {
+	case ShapeHandMax:
+		e.b.Assign(acc, e.b.Max(acc, v))
+	case ShapeHandISel:
+		e.b.Assign(acc, e.b.Select(ir.CmpGT, v, acc, v, acc))
+	default:
+		e.b.If(ir.CondOf(ir.CmpGT, v, acc), func() {
+			e.b.Assign(acc, v)
+		})
+	}
+}
+
+// maxIntoReload emits the same computation in the source style of
+// Clustalw and Hmmer: the branchy arm re-references the array (an
+// unprovable load emitted by reload) instead of using the hoisted
+// value, so the if-converter must leave the hammock intact.  Hand
+// shapes use the hoisted value — the programmer knows the reload is
+// redundant.  reload must produce exactly v's value.
+func (e *emitter) maxIntoReload(acc, v ir.Reg, reload func() ir.Reg) {
+	switch e.shape {
+	case ShapeHandMax:
+		e.b.Assign(acc, e.b.Max(acc, v))
+	case ShapeHandISel:
+		e.b.Assign(acc, e.b.Select(ir.CmpGT, v, acc, v, acc))
+	default:
+		e.b.If(ir.CondOf(ir.CmpGT, v, acc), func() {
+			e.b.Assign(acc, reload())
+		})
+	}
+}
+
+// maxIntoSite is maxInto for a site the hand editor may have missed:
+// when handFound is false, the hand shapes keep the original hammock
+// (the paper: compiler-generated code found "opportunities ... beyond
+// those we were able to identify by inspection" in Blast and Fasta,
+// whose E/F updates hide behind macros).
+func (e *emitter) maxIntoSite(acc, v ir.Reg, handFound bool) {
+	if !handFound && (e.shape == ShapeHandMax || e.shape == ShapeHandISel) {
+		e.b.If(ir.CondOf(ir.CmpGT, v, acc), func() {
+			e.b.Assign(acc, v)
+		})
+		return
+	}
+	e.maxInto(acc, v)
+}
+
+// trackBest emits the best-score-and-position bookkeeping that the
+// paper's hand edits left branchy in every application (it is not a
+// simple max), but which the compiler can if-convert wherever the arm
+// is load-free: if (v > best) { best = v; bestI = i; bestJ = j }.
+func (e *emitter) trackBest(best, v, bestI, i, bestJ, j ir.Reg) {
+	e.b.If(ir.CondOf(ir.CmpGT, v, best), func() {
+		e.b.Assign(best, v)
+		e.b.Assign(bestI, i)
+		e.b.Assign(bestJ, j)
+	})
+}

@@ -1,0 +1,233 @@
+// Package kernels carries the four BioPerf dynamic-programming kernels
+// onto the simulator: each kernel is expressed in compiler IR in the
+// code shapes the paper studies, marshalled with real workload data
+// into simulated memory, compiled for a chosen ISA variant and executed
+// on the POWER5 timing model.
+//
+// The paper's Figure 3 bars map to variants as follows:
+//
+//	Branchy   — the unmodified application: max statements compiled to
+//	            compare-and-branch (the POWER5 baseline).
+//	HandMax   — the authors' hand-inserted max instructions.
+//	HandISel  — the authors' hand-inserted cmp+isel sequences.
+//	CompMax   — modified gcc: if-conversion, max pattern matching.
+//	CompISel  — modified gcc: if-conversion to isel.
+//	Combination — hand-inserted max plus compiler-emitted isel for the
+//	            remaining hammocks (the paper's best mix).
+//
+// Each kernel's branchy IR reflects how its C source reads: Fasta and
+// Blast hoist loads out of the conditionals (so the compiler can
+// legally if-convert everything, including hammocks the hand edits
+// skipped), whereas Clustalw and Hmmer re-reference arrays inside the
+// conditionals (the "abundant array memory references" of Section VI-A
+// that defeat the compiler's safety analysis but not the programmer).
+package kernels
+
+import (
+	"fmt"
+
+	"bioperf5/internal/compiler"
+	"bioperf5/internal/cpu"
+	"bioperf5/internal/ir"
+	"bioperf5/internal/isa"
+	"bioperf5/internal/machine"
+	"bioperf5/internal/mem"
+)
+
+// Entry conventions shared by Execute and Simulate.
+const (
+	spReg  = isa.SP
+	spInit = uint64(0x7FFF0000)
+)
+
+func argReg(i int) isa.Reg { return isa.R3 + isa.Reg(i) }
+
+// Variant selects a predication strategy (a Figure 3 bar).
+type Variant int
+
+// Predication variants.
+const (
+	Branchy Variant = iota
+	HandISel
+	HandMax
+	CompISel
+	CompMax
+	Combination
+	NumVariants
+)
+
+// String names the variant as in the paper's figures.
+func (v Variant) String() string {
+	switch v {
+	case Branchy:
+		return "original"
+	case HandISel:
+		return "hand isel"
+	case HandMax:
+		return "hand max"
+	case CompISel:
+		return "comp. isel"
+	case CompMax:
+		return "comp. max"
+	case Combination:
+		return "combination"
+	}
+	return fmt.Sprintf("variant%d", int(v))
+}
+
+// Shape is the IR form a variant compiles from.
+type Shape int
+
+// IR shapes.
+const (
+	ShapeBranchy  Shape = iota // hammocks everywhere
+	ShapeHandMax               // explicit OpMax at the max statements
+	ShapeHandISel              // explicit OpSelect at the max statements
+)
+
+// Plan returns the IR shape, compile target and options for a variant.
+func (v Variant) Plan() (Shape, compiler.Target, compiler.Options) {
+	switch v {
+	case Branchy:
+		return ShapeBranchy, compiler.POWER5Stock(), compiler.Options{}
+	case HandISel:
+		return ShapeHandISel, compiler.Target{HasISel: true}, compiler.Options{}
+	case HandMax:
+		return ShapeHandMax, compiler.Target{HasMax: true}, compiler.Options{}
+	case CompISel:
+		return ShapeBranchy, compiler.Target{HasISel: true}, compiler.DefaultOptions()
+	case CompMax:
+		// The compiler-max build also has isel available for converted
+		// hammocks that are not max patterns, as the paper's modified
+		// gcc targets the embedded-core isel as its fallback.
+		return ShapeBranchy, compiler.Target{HasMax: true, HasISel: true}, compiler.DefaultOptions()
+	case Combination:
+		// Hand-placed max instructions plus compiler isel conversion of
+		// everything else.
+		return ShapeHandMax, compiler.Target{HasMax: true, HasISel: true}, compiler.DefaultOptions()
+	}
+	return ShapeBranchy, compiler.POWER5Stock(), compiler.Options{}
+}
+
+// NeedsExtensions reports whether the compiled program may contain
+// max/isel (i.e. requires the extended core).
+func (v Variant) NeedsExtensions() bool { return v != Branchy }
+
+// Run is a marshalled kernel invocation: memory image, entry arguments
+// and the expected result.
+type Run struct {
+	Mem  *mem.Memory
+	Args []uint64
+	Want int64
+}
+
+// Kernel describes one application's DP kernel.
+type Kernel struct {
+	Name string // function name (dropgsw, forward_pass, ...)
+	App  string // application (Fasta, Clustalw, ...)
+
+	// Build constructs the kernel IR in the given shape.
+	Build func(s Shape) (*ir.Func, error)
+
+	// NewRun marshals a workload-scale input; scale 1 is the unit used
+	// by tests, larger scales by the harness.
+	NewRun func(seed int64, scale int) (*Run, error)
+}
+
+// Compile builds and compiles the kernel for a variant, returning the
+// assembled program and the compiler's transformation statistics.
+func (k *Kernel) Compile(v Variant) (*isa.Program, *compiler.Stats, error) {
+	shape, tgt, opts := v.Plan()
+	f, err := k.Build(shape)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kernels: %s/%s: %w", k.Name, v, err)
+	}
+	prog, st, err := compiler.Compile(f, tgt, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kernels: %s/%s: %w", k.Name, v, err)
+	}
+	return prog, st, nil
+}
+
+// Execute runs a compiled kernel on the functional machine alone (no
+// timing) and checks the result; it returns the dynamic instruction
+// count.
+func Execute(k *Kernel, v Variant, run *Run, limit uint64) (uint64, error) {
+	shape, tgt, opts := v.Plan()
+	f, err := k.Build(shape)
+	if err != nil {
+		return 0, err
+	}
+	prog, _, err := compiler.Compile(f, tgt, opts)
+	if err != nil {
+		return 0, err
+	}
+	mach := machine.New(prog, run.Mem)
+	got, err := mach.Call(k.Name, limit, run.Args...)
+	if err != nil {
+		return 0, fmt.Errorf("kernels: %s/%s: %w", k.Name, v, err)
+	}
+	if int64(got) != run.Want {
+		return 0, fmt.Errorf("kernels: %s/%s: computed %d, want %d", k.Name, v, int64(got), run.Want)
+	}
+	return mach.Steps(), nil
+}
+
+// Simulate runs a compiled kernel through the timing model and returns
+// the counters; the functional result is verified against run.Want.
+func Simulate(k *Kernel, v Variant, run *Run, cfg cpu.Config, limit uint64) (cpu.Counters, error) {
+	shape, tgt, opts := v.Plan()
+	f, err := k.Build(shape)
+	if err != nil {
+		return cpu.Counters{}, err
+	}
+	prog, _, err := compiler.Compile(f, tgt, opts)
+	if err != nil {
+		return cpu.Counters{}, err
+	}
+	if v.NeedsExtensions() {
+		cfg.Extensions = true
+	}
+	model, err := cpu.New(cfg)
+	if err != nil {
+		return cpu.Counters{}, err
+	}
+	mach := machine.New(prog, run.Mem)
+	mach.Reset()
+	if err := mach.SetPC(k.Name); err != nil {
+		return cpu.Counters{}, err
+	}
+	mach.SetReg(spReg, spInit)
+	for i, a := range run.Args {
+		mach.SetReg(argReg(i), a)
+	}
+	ctr, err := model.Run(mach, limit)
+	if err != nil {
+		return ctr, fmt.Errorf("kernels: %s/%s: %w", k.Name, v, err)
+	}
+	if got := int64(mach.Reg(argReg(0))); got != run.Want {
+		return ctr, fmt.Errorf("kernels: %s/%s: computed %d, want %d", k.Name, v, got, run.Want)
+	}
+	return ctr, nil
+}
+
+// All returns the four kernels in the order the paper lists the
+// applications (Blast, Clustalw, Fasta, Hmmer).
+func All() []*Kernel {
+	return []*Kernel{
+		SemiGappedKernel(),
+		ForwardPassKernel(),
+		DropgswKernel(),
+		ViterbiKernel(),
+	}
+}
+
+// ByApp returns the kernel for an application name.
+func ByApp(app string) (*Kernel, error) {
+	for _, k := range All() {
+		if k.App == app {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("kernels: unknown application %q", app)
+}

@@ -1,0 +1,402 @@
+package kernels
+
+import (
+	"testing"
+
+	"bioperf5/internal/bio/align"
+	"bioperf5/internal/bio/clustal"
+	"bioperf5/internal/bio/score"
+	"bioperf5/internal/bio/seq"
+	"bioperf5/internal/cpu"
+	"bioperf5/internal/isa"
+	"bioperf5/internal/machine"
+	"bioperf5/internal/mem"
+)
+
+const stepLimit = 100_000_000
+
+func allVariants() []Variant {
+	return []Variant{Branchy, HandISel, HandMax, CompISel, CompMax, Combination}
+}
+
+// TestAllKernelsAllVariantsComputeCorrectly is the central integration
+// test: every kernel, compiled under every predication strategy, must
+// produce the same answer as the production Go implementation it
+// models.
+func TestAllKernelsAllVariantsComputeCorrectly(t *testing.T) {
+	for _, k := range All() {
+		for _, v := range allVariants() {
+			for seed := int64(1); seed <= 2; seed++ {
+				run, err := k.NewRun(seed, 1)
+				if err != nil {
+					t.Fatalf("%s/%s: NewRun: %v", k.App, v, err)
+				}
+				if _, err := Execute(k, v, run, stepLimit); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
+			}
+		}
+	}
+}
+
+func TestVariantNamesAndPlans(t *testing.T) {
+	seen := map[string]bool{}
+	for _, v := range allVariants() {
+		name := v.String()
+		if seen[name] {
+			t.Errorf("duplicate variant name %q", name)
+		}
+		seen[name] = true
+		shape, tgt, opts := v.Plan()
+		switch v {
+		case Branchy:
+			if tgt.HasMax || tgt.HasISel || opts.IfConvert {
+				t.Error("branchy plan has extensions or if-conversion")
+			}
+		case HandMax:
+			if shape != ShapeHandMax || !tgt.HasMax || opts.IfConvert {
+				t.Errorf("hand max plan wrong: %v %v %v", shape, tgt, opts)
+			}
+		case CompISel:
+			if shape != ShapeBranchy || !tgt.HasISel || !opts.IfConvert {
+				t.Errorf("comp isel plan wrong: %v %v %v", shape, tgt, opts)
+			}
+		case Combination:
+			if shape != ShapeHandMax || !tgt.HasMax || !tgt.HasISel || !opts.IfConvert {
+				t.Errorf("combination plan wrong: %v %v %v", shape, tgt, opts)
+			}
+		}
+	}
+	if Branchy.NeedsExtensions() || !HandMax.NeedsExtensions() {
+		t.Error("NeedsExtensions wrong")
+	}
+}
+
+// countOps tallies generated machine instructions by opcode class.
+func countProgOps(t *testing.T, k *Kernel, v Variant) (maxN, iselN, condBr int) {
+	t.Helper()
+	prog, _, err := k.Compile(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog.Code {
+		switch {
+		case prog.Code[i].Op == isa.OpMax:
+			maxN++
+		case prog.Code[i].Op == isa.OpIsel:
+			iselN++
+		case prog.Code[i].IsCondBranch():
+			condBr++
+		}
+	}
+	return
+}
+
+func TestBranchyContainsNoExtensions(t *testing.T) {
+	for _, k := range All() {
+		maxN, iselN, condBr := countProgOps(t, k, Branchy)
+		if maxN != 0 || iselN != 0 {
+			t.Errorf("%s: branchy build contains %d max, %d isel", k.App, maxN, iselN)
+		}
+		if condBr < 5 {
+			t.Errorf("%s: branchy build has only %d conditional branches", k.App, condBr)
+		}
+	}
+}
+
+func TestHandVariantsUseTheirInstruction(t *testing.T) {
+	for _, k := range All() {
+		maxN, iselN, _ := countProgOps(t, k, HandMax)
+		if maxN == 0 {
+			t.Errorf("%s: hand-max build contains no max instructions", k.App)
+		}
+		if iselN != 0 {
+			t.Errorf("%s: hand-max build contains isel", k.App)
+		}
+		maxN, iselN, _ = countProgOps(t, k, HandISel)
+		if iselN == 0 {
+			t.Errorf("%s: hand-isel build contains no isel", k.App)
+		}
+		if maxN != 0 {
+			t.Errorf("%s: hand-isel build contains max", k.App)
+		}
+	}
+}
+
+func TestPredicationReducesBranches(t *testing.T) {
+	for _, k := range All() {
+		_, _, branchy := countProgOps(t, k, Branchy)
+		_, _, handMax := countProgOps(t, k, HandMax)
+		if handMax >= branchy {
+			t.Errorf("%s: hand max has %d cond branches, branchy %d", k.App, handMax, branchy)
+		}
+	}
+}
+
+// TestCompilerLegalityStory verifies the hand-vs-compiler asymmetry the
+// paper reports: on Fasta and Blast (hoisted loads) the compiler
+// converts *more* hammocks than the hand edits; on Clustalw and Hmmer
+// (array references inside the conditionals) it converts fewer.
+func TestCompilerLegalityStory(t *testing.T) {
+	type counts struct{ hand, comp int }
+	sites := map[string]counts{}
+	for _, k := range All() {
+		_, _, hand := countProgOps(t, k, HandMax)
+		_, _, comp := countProgOps(t, k, CompISel)
+		sites[k.App] = counts{hand: hand, comp: comp}
+	}
+	// Compiler leaves fewer branches than hand on Fasta and Blast.
+	for _, app := range []string{"Fasta", "Blast"} {
+		if sites[app].comp >= sites[app].hand {
+			t.Errorf("%s: compiler left %d cond branches, hand %d — compiler should win",
+				app, sites[app].comp, sites[app].hand)
+		}
+	}
+	// Hand leaves fewer branches than the compiler on Clustalw and Hmmer.
+	for _, app := range []string{"Clustalw", "Hmmer"} {
+		if sites[app].hand >= sites[app].comp {
+			t.Errorf("%s: hand left %d cond branches, compiler %d — hand should win",
+				app, sites[app].hand, sites[app].comp)
+		}
+	}
+}
+
+func TestHandMaxImprovesCyclesAndBoundsPath(t *testing.T) {
+	// The physically meaningful claim (Figure 3): hand-inserted max
+	// makes every kernel *faster in cycles*.  The dynamic path also
+	// shrinks or stays within register-pressure noise (the max itself
+	// removes instructions; occasionally an extra spill eats part of
+	// the saving, as the paper observes for complex Blast code).
+	cfg := cpu.POWER5Baseline()
+	for _, k := range All() {
+		run1, err := k.NewRun(3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := Simulate(k, Branchy, run1, cfg, stepLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run2, err := k.NewRun(3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxed, err := Simulate(k, HandMax, run2, cfg, stepLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxed.Cycles >= base.Cycles {
+			t.Errorf("%s: hand max %d cycles, branchy %d", k.App, maxed.Cycles, base.Cycles)
+		}
+		if maxed.Instructions > base.Instructions+base.Instructions/5 {
+			t.Errorf("%s: hand max path %d more than 20%% above branchy %d",
+				k.App, maxed.Instructions, base.Instructions)
+		}
+	}
+}
+
+func TestIselNeverCheaperThanMax(t *testing.T) {
+	// Section VI-A: the cmp required before each isel lengthens the
+	// path relative to max (register-pressure noise can make them
+	// equal, never shorter).
+	for _, k := range All() {
+		run1, err := k.NewRun(4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nISel, err := Execute(k, HandISel, run1, stepLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run2, err := k.NewRun(4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nMax, err := Execute(k, HandMax, run2, stepLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nMax > nISel {
+			t.Errorf("%s: hand max path (%d) longer than hand isel (%d)",
+				k.App, nMax, nISel)
+		}
+	}
+}
+
+func TestForwardPassEndpointsMatchGo(t *testing.T) {
+	k := ForwardPassKernel()
+	g := seq.NewGenerator(seq.Protein, 7)
+	anc := g.Random("anc", 55)
+	a := g.Mutate(anc, "s1", 0.8, 0.02)
+	b := g.Mutate(anc, "s2", 0.8, 0.02)
+	m := mem.New()
+	lay := mem.NewLayout(0x100000, 1<<24)
+	args := marshalSW(m, lay, a, b, score.BLOSUM62, score.ClustalWGap)
+	fp, err := clustal.ForwardPass(a, b, score.BLOSUM62, score.ClustalWGap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := &Run{Mem: m, Args: args, Want: int64(fp.Score)}
+	if _, err := Execute(k, Branchy, run, stepLimit); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySWEndpoints(run, int64(fp.EndA), int64(fp.EndB)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefSemiGappedBoundedBySmithWaterman(t *testing.T) {
+	g := seq.NewGenerator(seq.Protein, 8)
+	for trial := 0; trial < 5; trial++ {
+		a := g.Random("a", 60)
+		b := g.Mutate(a, "b", 0.6, 0.03)
+		ref := RefSemiGapped(a, b, score.BLOSUM62, score.DefaultProteinGap, 38)
+		sw, err := align.LocalScore(a, b, score.BLOSUM62, score.DefaultProteinGap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref > int64(sw) {
+			t.Errorf("trial %d: semi-gapped %d exceeds Smith-Waterman %d", trial, ref, sw)
+		}
+		if ref < 0 {
+			t.Errorf("trial %d: negative extension score %d", trial, ref)
+		}
+	}
+}
+
+func TestSimulateBaselineCounters(t *testing.T) {
+	cfg := cpu.POWER5Baseline()
+	for _, k := range All() {
+		run, err := k.NewRun(5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctr, err := Simulate(k, Branchy, run, cfg, stepLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipc := ctr.IPC()
+		if ipc < 0.3 || ipc > 2.5 {
+			t.Errorf("%s: baseline IPC %.2f out of plausible range", k.App, ipc)
+		}
+		if ctr.L1DMissRate() > 0.08 {
+			t.Errorf("%s: L1D miss rate %.3f; Table I expects low single digits",
+				k.App, ctr.L1DMissRate())
+		}
+		if ctr.DirectionShare() < 0.9 {
+			t.Errorf("%s: direction share %.2f; Table I expects ~1", k.App, ctr.DirectionShare())
+		}
+		if ctr.BranchFraction() < 0.05 {
+			t.Errorf("%s: branch fraction %.3f implausibly low", k.App, ctr.BranchFraction())
+		}
+	}
+}
+
+func TestSimulatePredicationImprovesIPCOverBaselineCycles(t *testing.T) {
+	cfg := cpu.POWER5Baseline()
+	for _, k := range All() {
+		run1, err := k.NewRun(6, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := Simulate(k, Branchy, run1, cfg, stepLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run2, err := k.NewRun(6, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxed, err := Simulate(k, HandMax, run2, cfg, stepLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxed.Cycles >= base.Cycles {
+			t.Errorf("%s: hand max (%d cycles) not faster than branchy (%d cycles)",
+				k.App, maxed.Cycles, base.Cycles)
+		}
+		if maxed.DirMispredicts >= base.DirMispredicts {
+			t.Errorf("%s: hand max mispredicts (%d) not below branchy (%d)",
+				k.App, maxed.DirMispredicts, base.DirMispredicts)
+		}
+	}
+}
+
+func TestSimulateRejectsExtensionsOnStockCore(t *testing.T) {
+	k := DropgswKernel()
+	run, err := k.NewRun(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate force-enables extensions for non-branchy variants, so
+	// exercise the guard through the cpu model directly.
+	prog, _, err := k.Compile(HandMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cpu.MustNew(cpu.POWER5Baseline()) // Extensions false
+	mach := machine.New(prog, run.Mem)
+	mach.Reset()
+	if err := mach.SetPC(k.Name); err != nil {
+		t.Fatal(err)
+	}
+	mach.SetReg(isa.SP, spInit)
+	for i, a := range run.Args {
+		mach.SetReg(argReg(i), a)
+	}
+	if _, err := model.Run(mach, stepLimit); err == nil {
+		t.Error("stock core executed max instruction")
+	}
+}
+
+func TestByApp(t *testing.T) {
+	for _, app := range []string{"Blast", "Clustalw", "Fasta", "Hmmer"} {
+		k, err := ByApp(app)
+		if err != nil || k.App != app {
+			t.Errorf("ByApp(%s) = %v, %v", app, k, err)
+		}
+	}
+	if _, err := ByApp("nope"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestKernelIRVerifies(t *testing.T) {
+	for _, k := range All() {
+		for _, s := range []Shape{ShapeBranchy, ShapeHandMax, ShapeHandISel} {
+			f, err := k.Build(s)
+			if err != nil {
+				t.Fatalf("%s shape %d: %v", k.App, s, err)
+			}
+			if err := f.Verify(); err != nil {
+				t.Errorf("%s shape %d: %v", k.App, s, err)
+			}
+			if f.Name != k.Name {
+				t.Errorf("%s: IR function named %q", k.App, f.Name)
+			}
+		}
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	k := ForwardPassKernel()
+	r1, err := k.NewRun(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := Execute(k, Branchy, r1, stepLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := k.NewRun(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := Execute(k, Branchy, r2, stepLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 < n1*2 {
+		t.Errorf("scale 2 executed %d instructions, scale 1 %d", n2, n1)
+	}
+}

@@ -1,0 +1,251 @@
+package kernels
+
+import (
+	"fmt"
+
+	"bioperf5/internal/bio/align"
+	"bioperf5/internal/bio/clustal"
+	"bioperf5/internal/bio/score"
+	"bioperf5/internal/bio/seq"
+	"bioperf5/internal/ir"
+	"bioperf5/internal/mem"
+)
+
+// The Smith-Waterman/Gotoh cell recurrence is shared by Fasta's dropgsw
+// and Clustalw's forward_pass (Section III notes both packages use the
+// same pairwise kernels).  What differs — besides inputs — is the
+// source style: Fasta's C hoists the row loads out of the max
+// statements, Clustalw's macro-heavy code re-references the HH/DD
+// arrays inside them, which is why the paper's compiler beats the hand
+// edits on Fasta but loses on Clustalw.
+type swConfig struct {
+	name       string
+	app        string
+	loadInArms bool // Clustalw style
+	// handMissesEF models Fasta: the E/F max statements hide behind
+	// macros, so the hand edits only caught the H-side maxes while the
+	// compiler converts everything (Section VI-A's Fasta result).
+	handMissesEF bool
+	gap          score.Gap
+	// pair sizes at scale 1 (Fasta inputs are ~2x Clustalw's).
+	lenA, lenB int
+}
+
+// swArgs is the register-argument order of the generated kernel.
+//
+//	r3 aPtr  r4 aLen  r5 bPtr  r6 bLen
+//	r7 matPtr (20x20 int64 row-major)
+//	r8 hPtr   r9 ePtr  (int64[bLen+1] work rows)
+//	r10 parPtr (int64: open, ext, outEndA, outEndB)
+const (
+	parOpen = 0
+	parExt  = 8
+	parEndA = 16
+	parEndB = 24
+)
+
+func buildSW(cfg swConfig, shape Shape) (*ir.Func, error) {
+	b := ir.NewBuilder(cfg.name, 8)
+	e := &emitter{b: b, shape: shape}
+
+	aPtr, aLen := b.Arg(0), b.Arg(1)
+	bPtr, bLen := b.Arg(2), b.Arg(3)
+	matPtr := b.Arg(4)
+	hPtr, ePtr := b.Arg(5), b.Arg(6)
+	parPtr := b.Arg(7)
+
+	open := b.Load(ir.Mem64, parPtr, parOpen, true)
+	ext := b.Load(ir.Mem64, parPtr, parExt, true)
+	zero := b.Const(0)
+	neg := b.Const(-1 << 40)
+	three := b.Const(3)
+
+	// Initialize the work rows: h[j] = 0, e[j] = -inf.
+	b.ForRange(zero, b.AddI(bLen, 1), 1, func(j ir.Reg) {
+		off := b.Shl(j, three)
+		b.StoreX(ir.Mem64, hPtr, off, zero)
+		b.StoreX(ir.Mem64, ePtr, off, neg)
+	})
+
+	best := b.Var(zero)
+	endA := b.Var(zero)
+	endB := b.Var(zero)
+
+	b.ForRange(zero, aLen, 1, func(i ir.Reg) {
+		ai := b.LoadX(ir.MemU8, aPtr, i, true)
+		rowBase := b.Add(matPtr, b.Shl(b.MulI(ai, 20), three))
+		f := b.Var(neg)
+		diag := b.Var(b.Load(ir.Mem64, hPtr, 0, true))
+		// h[j-1] of the current row rides in a register (h[0] is never
+		// rewritten in the local-alignment form, so the row starts from
+		// the same value diag does).
+		hleft := b.Var(diag)
+
+		b.ForRange(b.Const(1), b.AddI(bLen, 1), 1, func(j ir.Reg) {
+			off := b.Shl(j, three)
+			bsym := b.LoadX(ir.MemU8, bPtr, b.SubI(j, 1), true)
+			msc := b.LoadX(ir.Mem64, rowBase, b.Shl(bsym, three), true)
+			hj := b.LoadX(ir.Mem64, hPtr, off, true)
+			ej := b.LoadX(ir.Mem64, ePtr, off, true)
+
+			// E(i,j) = max(E(i,j-1)... in rolling form:
+			// ev = max(e[j]-ext, h[j]-open)
+			ev := b.Var(b.Sub(ej, ext))
+			hOpen := b.Sub(hj, open)
+			if cfg.loadInArms {
+				e.maxIntoReload(ev, hOpen, func() ir.Reg {
+					return b.Sub(b.LoadX(ir.Mem64, hPtr, off, false), open)
+				})
+			} else {
+				e.maxIntoSite(ev, hOpen, !cfg.handMissesEF)
+			}
+			// Store E back before it is consumed, matching Clustalw's
+			// array-resident style (and making the reload below legal).
+			b.StoreX(ir.Mem64, ePtr, off, ev)
+
+			// fv = max(f-ext, h[j-1]-open); the stored h[j-1] equals
+			// hleft, so Clustalw's in-arm array re-reference reloads it.
+			fv := b.Var(b.Sub(f, ext))
+			hmOpen := b.Sub(hleft, open)
+			if cfg.loadInArms {
+				e.maxIntoReload(fv, hmOpen, func() ir.Reg {
+					offp := b.Sub(off, b.Const(8))
+					return b.Sub(b.LoadX(ir.Mem64, hPtr, offp, false), open)
+				})
+			} else {
+				e.maxIntoSite(fv, hmOpen, !cfg.handMissesEF)
+			}
+
+			// hv = max(diag + s(a_i, b_j), ev, fv, 0)
+			hv := b.Var(b.Add(diag, msc))
+			if cfg.loadInArms {
+				e.maxIntoReload(hv, ev, func() ir.Reg {
+					return b.LoadX(ir.Mem64, ePtr, off, false)
+				})
+			} else {
+				e.maxInto(hv, ev)
+			}
+			e.maxInto(hv, fv)
+			e.maxInto(hv, zero)
+
+			b.Assign(diag, hj)
+			b.StoreX(ir.Mem64, hPtr, off, hv)
+			b.Assign(f, fv)
+			b.Assign(hleft, hv)
+
+			// maxscore/se1/se2 tracking (always written as a hammock).
+			e.trackBest(best, hv, endA, b.AddI(i, 1), endB, j)
+		})
+	})
+
+	b.Store(ir.Mem64, parPtr, parEndA, endA)
+	b.Store(ir.Mem64, parPtr, parEndB, endB)
+	b.Ret(best)
+	return b.Finish()
+}
+
+// marshalSW lays out one pair's input and returns the call arguments.
+func marshalSW(m *mem.Memory, lay *mem.Layout, a, b *seq.Seq, mat *score.Matrix, gap score.Gap) []uint64 {
+	aAddr := lay.Alloc(uint64(a.Len()), 8)
+	m.StoreBytes(aAddr, a.Code)
+	bAddr := lay.Alloc(uint64(b.Len()), 8)
+	m.StoreBytes(bAddr, b.Code)
+
+	n := mat.Alpha.Size()
+	matAddr := lay.Alloc(uint64(n*n*8), 8)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.WriteInt(matAddr+uint64((i*n+j)*8), 8, int64(mat.Score(byte(i), byte(j))))
+		}
+	}
+	hAddr := lay.Alloc(uint64((b.Len()+1)*8), 8)
+	eAddr := lay.Alloc(uint64((b.Len()+1)*8), 8)
+	parAddr := lay.Alloc(32, 8)
+	m.WriteInt(parAddr+parOpen, 8, int64(gap.Open+gap.Extend))
+	m.WriteInt(parAddr+parExt, 8, int64(gap.Extend))
+
+	return []uint64{aAddr, uint64(a.Len()), bAddr, uint64(b.Len()),
+		matAddr, hAddr, eAddr, parAddr}
+}
+
+// DropgswKernel is Fasta/ssearch's Smith-Waterman kernel over one long
+// sequence pair.
+func DropgswKernel() *Kernel {
+	cfg := swConfig{
+		name: "dropgsw", app: "Fasta", loadInArms: false, handMissesEF: true,
+		gap:  score.Gap{Open: 10, Extend: 2}, // ssearch BLOSUM50 defaults
+		lenA: 110, lenB: 100,
+	}
+	return &Kernel{
+		Name: cfg.name,
+		App:  cfg.app,
+		Build: func(s Shape) (*ir.Func, error) {
+			return buildSW(cfg, s)
+		},
+		NewRun: func(seed int64, scale int) (*Run, error) {
+			if scale < 1 {
+				scale = 1
+			}
+			g := seq.NewGenerator(seq.Protein, seed)
+			a := g.Random("query", cfg.lenA*scale)
+			b := g.Mutate(a, "subject", 0.5, 0.05)
+			for b.Len() < cfg.lenB {
+				b = g.Random("subject", cfg.lenB*scale)
+			}
+			m := mem.New()
+			lay := mem.NewLayout(0x100000, 1<<24)
+			args := marshalSW(m, lay, a, b, score.BLOSUM50, cfg.gap)
+			want, err := align.LocalScore(a, b, score.BLOSUM50, cfg.gap)
+			if err != nil {
+				return nil, err
+			}
+			return &Run{Mem: m, Args: args, Want: int64(want)}, nil
+		},
+	}
+}
+
+// ForwardPassKernel is Clustalw's forward_pass over a (shorter) family
+// pair, in Clustalw's array-resident source style.
+func ForwardPassKernel() *Kernel {
+	cfg := swConfig{
+		name: "forward_pass", app: "Clustalw", loadInArms: true,
+		gap:  score.ClustalWGap,
+		lenA: 55, lenB: 50,
+	}
+	return &Kernel{
+		Name: cfg.name,
+		App:  cfg.app,
+		Build: func(s Shape) (*ir.Func, error) {
+			return buildSW(cfg, s)
+		},
+		NewRun: func(seed int64, scale int) (*Run, error) {
+			if scale < 1 {
+				scale = 1
+			}
+			g := seq.NewGenerator(seq.Protein, seed)
+			anc := g.Random("anc", cfg.lenA*scale)
+			a := g.Mutate(anc, "s1", 0.8, 0.02)
+			b := g.Mutate(anc, "s2", 0.8, 0.02)
+			m := mem.New()
+			lay := mem.NewLayout(0x100000, 1<<24)
+			args := marshalSW(m, lay, a, b, score.BLOSUM62, cfg.gap)
+			fp, err := clustal.ForwardPass(a, b, score.BLOSUM62, cfg.gap)
+			if err != nil {
+				return nil, err
+			}
+			return &Run{Mem: m, Args: args, Want: int64(fp.Score)}, nil
+		},
+	}
+}
+
+// VerifySWEndpoints cross-checks the endpoint outputs the kernel wrote
+// into its parameter block against the Go forward_pass (tests use it).
+func VerifySWEndpoints(run *Run, wantEndA, wantEndB int64) error {
+	parAddr := run.Args[7]
+	gotA := run.Mem.ReadInt(parAddr+parEndA, 8)
+	gotB := run.Mem.ReadInt(parAddr+parEndB, 8)
+	if gotA != wantEndA || gotB != wantEndB {
+		return fmt.Errorf("kernels: endpoints (%d,%d), want (%d,%d)", gotA, gotB, wantEndA, wantEndB)
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package kernels
+
+import (
+	"bioperf5/internal/bio/hmm"
+	"bioperf5/internal/bio/seq"
+	"bioperf5/internal/ir"
+	"bioperf5/internal/mem"
+)
+
+// P7Viterbi kernel.  Arguments:
+//
+//	r3 seqPtr  r4 L  r5 M  r6 blockPtr
+//
+// Table layout follows HMMER2's: the seven transition vectors are
+// interleaved in one tsc array ((k*7 + t)*8 bytes, t in MM,MI,MD,IM,
+// II,DM,DD order), and the M/I/D rows are interleaved in one row
+// buffer (k*24 + {0,8,16}), which keeps the pointer set small enough
+// for the inner loop to live in registers — the real code's layout and
+// the reason P7Viterbi is fixed-point-unit bound (Figure 5's Hmmer
+// result).
+const (
+	vbMsc  = 8 * iota // flattened (M+1) x 20 match emissions
+	vbIsc             // flattened (M+1) x 20 insert emissions
+	vbTsc             // interleaved (M+1) x 7 transitions
+	vbBsc             // (M+1) local entries
+	vbEsc             // (M+1) local exits
+	vbPrev            // previous row, (M+1) x 3 interleaved
+	vbCur             // current row
+	vbNLoop
+	vbNMove
+	vbELoopJ
+	vbJLoop
+	vbJMove
+	vbEMoveC
+	vbCLoop
+	vbCMove
+	vbSlots = iota
+)
+
+// Transition order within a tsc group.
+const (
+	tscMM = 8 * iota
+	tscMI
+	tscMD
+	tscIM
+	tscII
+	tscDM
+	tscDD
+	tscStride = 8 * iota
+)
+
+// Row-group offsets.
+const (
+	rowM      = 0
+	rowI      = 8
+	rowD      = 16
+	rowStride = 24
+)
+
+func buildViterbi(shape Shape) (*ir.Func, error) {
+	b := ir.NewBuilder("P7Viterbi", 4)
+	e := &emitter{b: b, shape: shape}
+
+	seqPtr, seqLen := b.Arg(0), b.Arg(1)
+	mStates := b.Arg(2)
+	blk := b.Arg(3)
+
+	ld := func(off int64) ir.Reg { return b.Load(ir.Mem64, blk, off, true) }
+	msc, isc := ld(vbMsc), ld(vbIsc)
+	tsc := ld(vbTsc)
+	bsc, esc := ld(vbBsc), ld(vbEsc)
+
+	prow := b.Var(ld(vbPrev))
+	crow := b.Var(ld(vbCur))
+
+	minS := b.Const(hmm.MinScore)
+	zero := b.Const(0)
+	three := b.Const(3)
+
+	// Initialize the previous row to -inf.
+	b.ForRange(zero, b.AddI(mStates, 1), 1, func(k ir.Reg) {
+		off := b.MulI(k, rowStride)
+		b.StoreX(ir.Mem64, prow, off, minS)
+		b.StoreX(ir.Mem64, b.AddI(prow, rowI), off, minS)
+		b.StoreX(ir.Mem64, b.AddI(prow, rowD), off, minS)
+	})
+
+	pxn := b.Var(zero)
+	pxb := b.Var(ld(vbNMove))
+	pxj := b.Var(minS)
+	pxc := b.Var(minS)
+
+	b.ForRange(zero, seqLen, 1, func(i ir.Reg) {
+		sym := b.LoadX(ir.MemU8, seqPtr, i, true)
+		symOff := b.Shl(sym, three)
+		b.Store(ir.Mem64, crow, rowM, minS)
+		b.Store(ir.Mem64, crow, rowI, minS)
+		b.Store(ir.Mem64, crow, rowD, minS)
+		xe := b.Var(minS)
+
+		b.ForRange(b.Const(1), b.AddI(mStates, 1), 1, func(k ir.Reg) {
+			roff := b.MulI(k, rowStride)
+			rpoff := b.SubI(roff, rowStride)
+			toff := b.MulI(k, tscStride)
+			tpoff := b.SubI(toff, tscStride)
+			emitOff := b.Add(b.MulI(k, 20*8), symOff)
+			pk := b.Add(prow, rpoff) // previous row, group k-1
+			ck := b.Add(crow, roff)  // current row, group k
+			tp := b.Add(tsc, tpoff)  // transitions out of k-1
+			tk := b.Add(tsc, toff)   // transitions out of k
+
+			// Match: max over M/I/D at k-1 on the previous row plus a
+			// fresh local entry.  Hmmer's source re-indexes the mmx/
+			// imx/dmx and tsc arrays inside each alternative — the
+			// loads-in-conditionals style that blocks if-conversion.
+			sc := b.Var(b.Add(b.Load(ir.Mem64, pk, rowM, true),
+				b.Load(ir.Mem64, tp, tscMM, true)))
+			tI := b.Add(b.Load(ir.Mem64, pk, rowI, true),
+				b.Load(ir.Mem64, tp, tscIM, true))
+			e.maxIntoReload(sc, tI, func() ir.Reg {
+				return b.Add(b.Load(ir.Mem64, pk, rowI, false),
+					b.Load(ir.Mem64, tp, tscIM, false))
+			})
+			// The delete-path alternative is computed into a local in
+			// hmmer's source, so its hammock is one of the few the
+			// compiler can legally convert.
+			tD := b.Add(b.Load(ir.Mem64, pk, rowD, true),
+				b.Load(ir.Mem64, tp, tscDM, true))
+			e.maxInto(sc, tD)
+			tB := b.Add(pxb, b.LoadX(ir.Mem64, bsc, b.Shl(k, three), true))
+			e.maxIntoReload(sc, tB, func() ir.Reg {
+				return b.Add(pxb, b.LoadX(ir.Mem64, bsc, b.Shl(k, three), false))
+			})
+			b.Assign(sc, b.Add(sc, b.LoadX(ir.Mem64, msc, emitOff, true)))
+			e.maxInto(sc, minS)
+			b.Store(ir.Mem64, ck, rowM, sc)
+
+			// Insert (the k==M slot is written but never read, as in
+			// HMMER's row layout).
+			pkk := b.Add(prow, roff) // previous row, group k
+			ic := b.Var(b.Add(b.Load(ir.Mem64, pkk, rowM, true),
+				b.Load(ir.Mem64, tk, tscMI, true)))
+			tII := b.Add(b.Load(ir.Mem64, pkk, rowI, true),
+				b.Load(ir.Mem64, tk, tscII, true))
+			e.maxIntoReload(ic, tII, func() ir.Reg {
+				return b.Add(b.Load(ir.Mem64, pkk, rowI, false),
+					b.Load(ir.Mem64, tk, tscII, false))
+			})
+			b.Assign(ic, b.Add(ic, b.LoadX(ir.Mem64, isc, emitOff, true)))
+			e.maxInto(ic, minS)
+			b.Store(ir.Mem64, ck, rowI, ic)
+
+			// Delete: same row, group k-1.
+			ckp := b.Add(crow, rpoff)
+			dc := b.Var(b.Add(b.Load(ir.Mem64, ckp, rowM, true),
+				b.Load(ir.Mem64, tp, tscMD, true)))
+			tDD := b.Add(b.Load(ir.Mem64, ckp, rowD, true),
+				b.Load(ir.Mem64, tp, tscDD, true))
+			e.maxInto(dc, tDD)
+			e.maxInto(dc, minS)
+			b.Store(ir.Mem64, ck, rowD, dc)
+
+			// E-state collection: the candidate is register-resident
+			// (hmmer keeps it in a local), so this hammock is legally
+			// convertible.
+			xeCand := b.Add(sc, b.LoadX(ir.Mem64, esc, b.Shl(k, three), true))
+			e.maxInto(xe, xeCand)
+		})
+
+		// Special states (register-resident: convertible hammocks).
+		// Their transition scores are re-read from the model block per
+		// row, as hmmer reads hmm->xsc[] — and it keeps the inner
+		// loop's register set small.
+		xn := b.Var(b.Add(pxn, ld(vbNLoop)))
+		e.maxInto(xn, minS)
+		xj := b.Var(b.Add(pxj, ld(vbJLoop)))
+		e.maxInto(xj, b.Add(xe, ld(vbELoopJ)))
+		e.maxInto(xj, minS)
+		xb := b.Var(b.Add(xn, ld(vbNMove)))
+		e.maxInto(xb, b.Add(xj, ld(vbJMove)))
+		xc := b.Var(b.Add(pxc, ld(vbCLoop)))
+		e.maxInto(xc, b.Add(xe, ld(vbEMoveC)))
+		e.maxInto(xc, minS)
+
+		// Swap row pointers.
+		tmp := b.Var(prow)
+		b.Assign(prow, crow)
+		b.Assign(crow, tmp)
+
+		b.Assign(pxn, xn)
+		b.Assign(pxb, xb)
+		b.Assign(pxj, xj)
+		b.Assign(pxc, xc)
+	})
+
+	final := b.Var(b.Add(pxc, ld(vbCMove)))
+	e.maxInto(final, minS)
+	b.Ret(final)
+	return b.Finish()
+}
+
+// marshalViterbi lays out a sequence and model in HMMER2's interleaved
+// table format.
+func marshalViterbi(m *mem.Memory, lay *mem.Layout, s *seq.Seq, p *hmm.Plan7) []uint64 {
+	seqAddr := lay.Alloc(uint64(s.Len()), 8)
+	m.StoreBytes(seqAddr, s.Code)
+
+	n := p.M + 1
+	alloc64 := func(vals []int) uint64 {
+		addr := lay.Alloc(uint64(len(vals)*8), 8)
+		for i, v := range vals {
+			m.WriteInt(addr+uint64(8*i), 8, int64(v))
+		}
+		return addr
+	}
+	flat := func(rows [][]int) uint64 {
+		addr := lay.Alloc(uint64(n*20*8), 8)
+		for k := 0; k < n; k++ {
+			for c := 0; c < 20; c++ {
+				m.WriteInt(addr+uint64((k*20+c)*8), 8, int64(rows[k][c]))
+			}
+		}
+		return addr
+	}
+	// Interleave the seven transition vectors.
+	tscAddr := lay.Alloc(uint64(n*7*8), 8)
+	for k := 0; k < n; k++ {
+		base := tscAddr + uint64(k*tscStride)
+		m.WriteInt(base+tscMM, 8, int64(p.TMM[k]))
+		m.WriteInt(base+tscMI, 8, int64(p.TMI[k]))
+		m.WriteInt(base+tscMD, 8, int64(p.TMD[k]))
+		m.WriteInt(base+tscIM, 8, int64(p.TIM[k]))
+		m.WriteInt(base+tscII, 8, int64(p.TII[k]))
+		m.WriteInt(base+tscDM, 8, int64(p.TDM[k]))
+		m.WriteInt(base+tscDD, 8, int64(p.TDD[k]))
+	}
+	rowBuf := func() uint64 { return lay.Alloc(uint64(n*rowStride), 8) }
+
+	blk := lay.Alloc(vbSlots*8, 8)
+	put := func(off int64, v uint64) { m.WriteUint(blk+uint64(off), 8, v) }
+	puti := func(off int64, v int) { m.WriteInt(blk+uint64(off), 8, int64(v)) }
+
+	put(vbMsc, flat(p.Msc))
+	put(vbIsc, flat(p.Isc))
+	put(vbTsc, tscAddr)
+	put(vbBsc, alloc64(p.Bsc))
+	put(vbEsc, alloc64(p.Esc))
+	put(vbPrev, rowBuf())
+	put(vbCur, rowBuf())
+	puti(vbNLoop, p.NLoop)
+	puti(vbNMove, p.NMove)
+	puti(vbELoopJ, p.ELoopJ)
+	puti(vbJLoop, p.JLoop)
+	puti(vbJMove, p.JMove)
+	puti(vbEMoveC, p.EMoveC)
+	puti(vbCLoop, p.CLoop)
+	puti(vbCMove, p.CMove)
+
+	return []uint64{seqAddr, uint64(s.Len()), uint64(p.M), blk}
+}
+
+// ViterbiKernel is Hmmer's P7Viterbi over a query and one profile HMM.
+func ViterbiKernel() *Kernel {
+	return &Kernel{
+		Name:  "P7Viterbi",
+		App:   "Hmmer",
+		Build: buildViterbi,
+		NewRun: func(seed int64, scale int) (*Run, error) {
+			if scale < 1 {
+				scale = 1
+			}
+			g := seq.NewGenerator(seq.Protein, seed)
+			fam := g.Family("fam", 5, 40*scale, 0.85)
+			model, err := hmm.BuildFromFamily("model", fam)
+			if err != nil {
+				return nil, err
+			}
+			query := g.Mutate(fam[0], "query", 0.8, 0.02)
+			want, err := hmm.Viterbi(query, model)
+			if err != nil {
+				return nil, err
+			}
+			m := mem.New()
+			lay := mem.NewLayout(0x100000, 1<<24)
+			args := marshalViterbi(m, lay, query, model)
+			return &Run{Mem: m, Args: args, Want: int64(want.Score)}, nil
+		},
+	}
+}

@@ -1,0 +1,385 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bioperf5/internal/isa"
+	"bioperf5/internal/mem"
+)
+
+func assemble(t *testing.T, build func(a *isa.Asm)) *Machine {
+	t.Helper()
+	a := isa.NewAsm()
+	build(a)
+	p, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(p, mem.New())
+}
+
+func call(t *testing.T, m *Machine, label string, args ...uint64) uint64 {
+	t.Helper()
+	v, err := m.Call(label, 1_000_000, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	m := assemble(t, func(a *isa.Asm) {
+		a.Label("f") // r3 = (r3+r4)*2 - 5
+		a.Emit(isa.Instruction{Op: isa.OpAdd, RT: isa.R3, RA: isa.R3, RB: isa.R4})
+		a.Emit(isa.Instruction{Op: isa.OpMulli, RT: isa.R3, RA: isa.R3, Imm: 2})
+		a.Emit(isa.Instruction{Op: isa.OpAddi, RT: isa.R3, RA: isa.R3, Imm: -5})
+		a.Ret()
+	})
+	if got := call(t, m, "f", 10, 7); got != 29 {
+		t.Errorf("got %d, want 29", got)
+	}
+}
+
+func TestSignedOps(t *testing.T) {
+	m := assemble(t, func(a *isa.Asm) {
+		a.Label("neg")
+		a.Emit(isa.Instruction{Op: isa.OpNeg, RT: isa.R3, RA: isa.R3})
+		a.Ret()
+		a.Label("subf") // r3 = r4 - r3
+		a.Emit(isa.Instruction{Op: isa.OpSubf, RT: isa.R3, RA: isa.R3, RB: isa.R4})
+		a.Ret()
+		a.Label("divd")
+		a.Emit(isa.Instruction{Op: isa.OpDivd, RT: isa.R3, RA: isa.R3, RB: isa.R4})
+		a.Ret()
+		a.Label("srad")
+		a.Emit(isa.Instruction{Op: isa.OpSrad, RT: isa.R3, RA: isa.R3, RB: isa.R4})
+		a.Ret()
+	})
+	if got := int64(call(t, m, "neg", 5)); got != -5 {
+		t.Errorf("neg 5 = %d", got)
+	}
+	if got := int64(call(t, m, "subf", 3, 10)); got != 7 {
+		t.Errorf("subf = %d, want 7", got)
+	}
+	if got := int64(call(t, m, "divd", uint64(^uint64(0)-13), 7)); got != -2 {
+		t.Errorf("-14/7 = %d, want -2", got)
+	}
+	if got := int64(call(t, m, "divd", 5, 0)); got != 0 {
+		t.Errorf("div by zero = %d, want 0", got)
+	}
+	if got := int64(call(t, m, "srad", uint64(^uint64(0)-15), 2)); got != -4 {
+		t.Errorf("-16>>2 = %d, want -4", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	m := assemble(t, func(a *isa.Asm) {
+		a.Label("sld")
+		a.Emit(isa.Instruction{Op: isa.OpSld, RT: isa.R3, RA: isa.R3, RB: isa.R4})
+		a.Ret()
+		a.Label("srd")
+		a.Emit(isa.Instruction{Op: isa.OpSrd, RT: isa.R3, RA: isa.R3, RB: isa.R4})
+		a.Ret()
+	})
+	if got := call(t, m, "sld", 1, 63); got != 1<<63 {
+		t.Errorf("1<<63 = %#x", got)
+	}
+	if got := call(t, m, "sld", 1, 64); got != 0 {
+		t.Errorf("shift-by-64 = %d, want 0", got)
+	}
+	if got := call(t, m, "srd", 1<<63, 63); got != 1 {
+		t.Errorf("srd = %d, want 1", got)
+	}
+}
+
+func TestExtends(t *testing.T) {
+	m := assemble(t, func(a *isa.Asm) {
+		a.Label("extsb")
+		a.Emit(isa.Instruction{Op: isa.OpExtsb, RT: isa.R3, RA: isa.R3})
+		a.Ret()
+		a.Label("extsh")
+		a.Emit(isa.Instruction{Op: isa.OpExtsh, RT: isa.R3, RA: isa.R3})
+		a.Ret()
+		a.Label("extsw")
+		a.Emit(isa.Instruction{Op: isa.OpExtsw, RT: isa.R3, RA: isa.R3})
+		a.Ret()
+	})
+	if got := int64(call(t, m, "extsb", 0xFF)); got != -1 {
+		t.Errorf("extsb 0xFF = %d", got)
+	}
+	if got := int64(call(t, m, "extsh", 0x8000)); got != -32768 {
+		t.Errorf("extsh 0x8000 = %d", got)
+	}
+	if got := int64(call(t, m, "extsw", 0x80000000)); got != -(1 << 31) {
+		t.Errorf("extsw = %d", got)
+	}
+}
+
+func TestMaxInstruction(t *testing.T) {
+	m := assemble(t, func(a *isa.Asm) {
+		a.Label("max")
+		a.Emit(isa.Instruction{Op: isa.OpMax, RT: isa.R3, RA: isa.R3, RB: isa.R4})
+		a.Ret()
+	})
+	cases := []struct{ a, b, want int64 }{
+		{1, 2, 2}, {2, 1, 2}, {-5, -3, -3}, {-3, -5, -3}, {7, 7, 7}, {-1, 0, 0},
+	}
+	for _, c := range cases {
+		if got := int64(call(t, m, "max", uint64(c.a), uint64(c.b))); got != c.want {
+			t.Errorf("max(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestQuickMaxMatchesGo(t *testing.T) {
+	m := assemble(t, func(a *isa.Asm) {
+		a.Label("max")
+		a.Emit(isa.Instruction{Op: isa.OpMax, RT: isa.R3, RA: isa.R3, RB: isa.R4})
+		a.Ret()
+	})
+	f := func(x, y int64) bool {
+		want := x
+		if y > x {
+			want = y
+		}
+		got, err := m.Call("max", 100, uint64(x), uint64(y))
+		return err == nil && int64(got) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIselInstruction(t *testing.T) {
+	// r3 = (r3 > r4) ? r3 : r4 — the compare+isel idiom from the paper.
+	m := assemble(t, func(a *isa.Asm) {
+		a.Label("maxsel")
+		a.Emit(isa.Instruction{Op: isa.OpCmpd, CRF: isa.CR0, RA: isa.R3, RB: isa.R4})
+		a.Emit(isa.Instruction{Op: isa.OpIsel, RT: isa.R3, RA: isa.R3, RB: isa.R4,
+			CRF: isa.CR0, Bit: isa.CRGT})
+		a.Ret()
+	})
+	f := func(x, y int64) bool {
+		want := x
+		if y > x {
+			want = y
+		}
+		got, err := m.Call("maxsel", 100, uint64(x), uint64(y))
+		return err == nil && int64(got) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConditionalBranches(t *testing.T) {
+	// abs(r3) via compare-and-branch.
+	m := assemble(t, func(a *isa.Asm) {
+		a.Label("abs")
+		a.Emit(isa.Instruction{Op: isa.OpCmpdi, CRF: isa.CR0, RA: isa.R3, Imm: 0})
+		a.Branch(isa.Instruction{Op: isa.OpBc, CRF: isa.CR0, Bit: isa.CRLT, Want: false}, "done")
+		a.Emit(isa.Instruction{Op: isa.OpNeg, RT: isa.R3, RA: isa.R3})
+		a.Label("done")
+		a.Ret()
+	})
+	for _, v := range []int64{5, -5, 0, -(1 << 40)} {
+		want := v
+		if want < 0 {
+			want = -want
+		}
+		if got := int64(call(t, m, "abs", uint64(v))); got != want {
+			t.Errorf("abs(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestBdnzLoop(t *testing.T) {
+	// sum 1..n using the count register.
+	m := assemble(t, func(a *isa.Asm) {
+		a.Label("sum")
+		a.Emit(isa.Instruction{Op: isa.OpMtctr, RA: isa.R3})
+		a.Li(isa.R4, 0) // acc
+		a.Li(isa.R5, 0) // i
+		a.Label("loop")
+		a.Emit(isa.Instruction{Op: isa.OpAddi, RT: isa.R5, RA: isa.R5, Imm: 1})
+		a.Emit(isa.Instruction{Op: isa.OpAdd, RT: isa.R4, RA: isa.R4, RB: isa.R5})
+		a.Branch(isa.Instruction{Op: isa.OpBdnz}, "loop")
+		a.Mr(isa.R3, isa.R4)
+		a.Ret()
+	})
+	if got := call(t, m, "sum", 10); got != 55 {
+		t.Errorf("sum(10) = %d, want 55", got)
+	}
+	if got := call(t, m, "sum", 1); got != 1 {
+		t.Errorf("sum(1) = %d, want 1", got)
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	// main calls double twice via bl/mtlr conventions.
+	m := assemble(t, func(a *isa.Asm) {
+		a.Label("main")
+		a.Emit(isa.Instruction{Op: isa.OpMflr, RT: isa.R30})
+		a.Branch(isa.Instruction{Op: isa.OpB, Imm: 1}, "double")
+		a.Branch(isa.Instruction{Op: isa.OpB, Imm: 1}, "double")
+		a.Emit(isa.Instruction{Op: isa.OpMtlr, RA: isa.R30})
+		a.Ret()
+		a.Label("double")
+		a.Emit(isa.Instruction{Op: isa.OpAdd, RT: isa.R3, RA: isa.R3, RB: isa.R3})
+		a.Ret()
+	})
+	if got := call(t, m, "main", 3); got != 12 {
+		t.Errorf("main(3) = %d, want 12", got)
+	}
+}
+
+func TestLoadsAndStores(t *testing.T) {
+	m := assemble(t, func(a *isa.Asm) {
+		a.Label("f")
+		// store r4 as word at 0(r3), reload sign-extended, add 8-bit load at 4(r3)
+		a.Emit(isa.Instruction{Op: isa.OpStw, RT: isa.R4, RA: isa.R3, Imm: 0})
+		a.Emit(isa.Instruction{Op: isa.OpLwa, RT: isa.R5, RA: isa.R3, Imm: 0})
+		a.Emit(isa.Instruction{Op: isa.OpStb, RT: isa.R5, RA: isa.R3, Imm: 4})
+		a.Emit(isa.Instruction{Op: isa.OpLbz, RT: isa.R6, RA: isa.R3, Imm: 4})
+		a.Emit(isa.Instruction{Op: isa.OpAdd, RT: isa.R3, RA: isa.R5, RB: isa.R6})
+		a.Ret()
+	})
+	// r4 = -2: lwa gives -2, stb stores 0xFE, lbz gives 254; sum = 252.
+	if got := int64(call(t, m, "f", 0x1000, uint64(^uint64(0)-1))); got != 252 {
+		t.Errorf("got %d, want 252", got)
+	}
+}
+
+func TestIndexedAccess(t *testing.T) {
+	m := assemble(t, func(a *isa.Asm) {
+		a.Label("f")
+		a.Emit(isa.Instruction{Op: isa.OpStdx, RT: isa.R5, RA: isa.R3, RB: isa.R4})
+		a.Emit(isa.Instruction{Op: isa.OpLdx, RT: isa.R3, RA: isa.R3, RB: isa.R4})
+		a.Ret()
+	})
+	if got := call(t, m, "f", 0x2000, 24, 0xDEADBEEF); got != 0xDEADBEEF {
+		t.Errorf("got %#x", got)
+	}
+}
+
+func TestDynInstRecords(t *testing.T) {
+	m := assemble(t, func(a *isa.Asm) {
+		a.Label("f")
+		a.Emit(isa.Instruction{Op: isa.OpCmpdi, CRF: isa.CR0, RA: isa.R3, Imm: 0})
+		a.Branch(isa.Instruction{Op: isa.OpBc, CRF: isa.CR0, Bit: isa.CRGT, Want: true}, "pos")
+		a.Li(isa.R3, 0)
+		a.Ret()
+		a.Label("pos")
+		a.Emit(isa.Instruction{Op: isa.OpStd, RT: isa.R3, RA: isa.R3, Imm: 0})
+		a.Ret()
+	})
+	m.Reset()
+	if err := m.SetPC("f"); err != nil {
+		t.Fatal(err)
+	}
+	m.SetReg(isa.R3, 0x3000)
+
+	d1, err := m.Step() // cmpdi
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Ins.Op != isa.OpCmpdi || d1.Next != 1 {
+		t.Errorf("step1 = %+v", d1)
+	}
+	d2, err := m.Step() // bc, should be taken
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Taken || d2.Next != m.Prog.Symbols["pos"] {
+		t.Errorf("branch record = %+v", d2)
+	}
+	d3, err := m.Step() // std
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.EA != 0x3000 || d3.Size != 8 {
+		t.Errorf("store record = %+v", d3)
+	}
+	d4, err := m.Step() // blr
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d4.Taken || !m.Halted() {
+		t.Errorf("final blr: %+v halted=%v", d4, m.Halted())
+	}
+	if _, err := m.Step(); err == nil {
+		t.Error("step after halt should error")
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	m := assemble(t, func(a *isa.Asm) {
+		a.Label("spin")
+		a.Branch(isa.Instruction{Op: isa.OpB}, "spin")
+	})
+	m.Reset()
+	if err := m.SetPC("spin"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Run(100)
+	if err != ErrLimit {
+		t.Errorf("err = %v, want ErrLimit", err)
+	}
+	if n != 100 {
+		t.Errorf("steps = %d, want 100", n)
+	}
+}
+
+func TestCallUnknownLabel(t *testing.T) {
+	m := assemble(t, func(a *isa.Asm) {
+		a.Label("f")
+		a.Ret()
+	})
+	if _, err := m.Call("missing", 10); err == nil {
+		t.Error("expected error for unknown entry label")
+	}
+}
+
+func TestLi64Materialization(t *testing.T) {
+	vals := []int64{0, 1, -1, 0x7FFF, -0x8000, 0x8000, 123456789,
+		-123456789, 0x7FFF8000, -0x7FFF8000, 1 << 40, -(1 << 40),
+		0x7FFFFFFFFFFFFFFF, -0x8000000000000000, 0x123456789ABCDEF0}
+	for _, v := range vals {
+		a := isa.NewAsm()
+		a.Label("f")
+		a.Li64(isa.R3, v)
+		a.Ret()
+		p, err := a.Finish()
+		if err != nil {
+			t.Fatalf("li64 %d: %v", v, err)
+		}
+		m := New(p, mem.New())
+		got, err := m.Call("f", 1000)
+		if err != nil {
+			t.Fatalf("li64 %d: %v", v, err)
+		}
+		if int64(got) != v {
+			t.Errorf("li64(%#x) materialized %#x", v, got)
+		}
+	}
+}
+
+func TestQuickLi64(t *testing.T) {
+	f := func(v int64) bool {
+		a := isa.NewAsm()
+		a.Label("f")
+		a.Li64(isa.R3, v)
+		a.Ret()
+		p, err := a.Finish()
+		if err != nil {
+			return false
+		}
+		m := New(p, mem.New())
+		got, err := m.Call("f", 1000)
+		return err == nil && int64(got) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

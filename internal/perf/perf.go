@@ -1,0 +1,115 @@
+// Package perf provides the gprof-style instrumenting profiler used to
+// reproduce Figure 1 (the function-wise breakout of Blast, Clustalw,
+// Fasta and Hmmer): workload drivers bracket their hot functions with
+// Start and the harness reports each function's share of total time.
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Profiler accumulates inclusive time per function name.  It is not
+// safe for concurrent use and does not support re-entrant timing of the
+// same name (the workloads do not need either).
+type Profiler struct {
+	entries map[string]*entry
+	clock   func() time.Time
+}
+
+type entry struct {
+	dur   time.Duration
+	calls uint64
+}
+
+// New returns an empty profiler.
+func New() *Profiler {
+	return &Profiler{entries: make(map[string]*entry), clock: time.Now}
+}
+
+// Start begins timing name and returns the function that stops it:
+//
+//	defer p.Start("forward_pass")()
+func (p *Profiler) Start(name string) func() {
+	begin := p.clock()
+	return func() {
+		e := p.entries[name]
+		if e == nil {
+			e = &entry{}
+			p.entries[name] = e
+		}
+		e.dur += p.clock().Sub(begin)
+		e.calls++
+	}
+}
+
+// Add records a pre-measured duration (used by tests and by drivers
+// that time phases manually).
+func (p *Profiler) Add(name string, d time.Duration, calls uint64) {
+	e := p.entries[name]
+	if e == nil {
+		e = &entry{}
+		p.entries[name] = e
+	}
+	e.dur += d
+	e.calls += calls
+}
+
+// Of returns the accumulated time of one function (zero if absent).
+func (p *Profiler) Of(name string) time.Duration {
+	if e := p.entries[name]; e != nil {
+		return e.dur
+	}
+	return 0
+}
+
+// Entry is one function's aggregate.
+type Entry struct {
+	Name  string
+	Time  time.Duration
+	Calls uint64
+	Share float64 // fraction of the profiler's total time
+}
+
+// Total returns the sum of all recorded time.
+func (p *Profiler) Total() time.Duration {
+	var t time.Duration
+	for _, e := range p.entries {
+		t += e.dur
+	}
+	return t
+}
+
+// Breakdown returns entries sorted by decreasing time with shares
+// computed against the total.
+func (p *Profiler) Breakdown() []Entry {
+	total := p.Total()
+	out := make([]Entry, 0, len(p.entries))
+	for name, e := range p.entries {
+		share := 0.0
+		if total > 0 {
+			share = float64(e.dur) / float64(total)
+		}
+		out = append(out, Entry{Name: name, Time: e.dur, Calls: e.calls, Share: share})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Format renders the breakdown as a gprof-like flat profile.
+func (p *Profiler) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %8s %10s %8s\n", "function", "%time", "seconds", "calls")
+	for _, e := range p.Breakdown() {
+		fmt.Fprintf(&b, "%-28s %7.1f%% %10.4f %8d\n",
+			e.Name, 100*e.Share, e.Time.Seconds(), e.Calls)
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAddAndBreakdown(t *testing.T) {
+	p := New()
+	p.Add("hot", 900*time.Millisecond, 10)
+	p.Add("warm", 90*time.Millisecond, 5)
+	p.Add("cold", 10*time.Millisecond, 1)
+
+	if p.Total() != time.Second {
+		t.Errorf("total = %v", p.Total())
+	}
+	bd := p.Breakdown()
+	if len(bd) != 3 || bd[0].Name != "hot" || bd[2].Name != "cold" {
+		t.Fatalf("breakdown = %+v", bd)
+	}
+	if bd[0].Share < 0.89 || bd[0].Share > 0.91 {
+		t.Errorf("hot share = %f", bd[0].Share)
+	}
+	if bd[0].Calls != 10 {
+		t.Errorf("hot calls = %d", bd[0].Calls)
+	}
+}
+
+func TestAccumulation(t *testing.T) {
+	p := New()
+	p.Add("f", time.Millisecond, 1)
+	p.Add("f", time.Millisecond, 2)
+	if p.Of("f") != 2*time.Millisecond {
+		t.Errorf("Of = %v", p.Of("f"))
+	}
+	if p.Of("missing") != 0 {
+		t.Error("missing function has nonzero time")
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	p := New()
+	// Inject a deterministic clock.
+	now := time.Unix(0, 0)
+	p.clock = func() time.Time { return now }
+	stop := p.Start("f")
+	now = now.Add(7 * time.Millisecond)
+	stop()
+	if p.Of("f") != 7*time.Millisecond {
+		t.Errorf("timed %v, want 7ms", p.Of("f"))
+	}
+}
+
+func TestFormat(t *testing.T) {
+	p := New()
+	p.Add("forward_pass", 800*time.Millisecond, 120)
+	p.Add("guide_tree", 200*time.Millisecond, 1)
+	text := p.Format()
+	if !strings.Contains(text, "forward_pass") || !strings.Contains(text, "%time") {
+		t.Errorf("format output:\n%s", text)
+	}
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) != 3 {
+		t.Errorf("expected header + 2 rows, got %d lines", len(lines))
+	}
+	// Largest first.
+	if !strings.Contains(lines[1], "forward_pass") {
+		t.Error("rows not sorted by time")
+	}
+}
+
+func TestEmptyProfiler(t *testing.T) {
+	p := New()
+	if p.Total() != 0 || len(p.Breakdown()) != 0 {
+		t.Error("empty profiler not empty")
+	}
+}
+
+func TestTieBreakByName(t *testing.T) {
+	p := New()
+	p.Add("b", time.Millisecond, 1)
+	p.Add("a", time.Millisecond, 1)
+	bd := p.Breakdown()
+	if bd[0].Name != "a" || bd[1].Name != "b" {
+		t.Errorf("ties not broken by name: %+v", bd)
+	}
+}
