@@ -5,22 +5,27 @@
 // Usage:
 //
 //	bioperf5 list
-//	bioperf5 run <experiment>|all [-scale N] [-seeds a,b,c]
+//	bioperf5 run <experiment>|all [-scale N] [-seeds a,b,c] [-json]
+//	bioperf5 trace <Blast|Clustalw|Fasta|Hmmer> <variant> [-scale N] [-seed N]
+//	bioperf5 stats [application] [-scale N] [-seed N] [-json]
 //	bioperf5 profile <Blast|Clustalw|Fasta|Hmmer> [-scale N]
 //	bioperf5 disasm <Blast|Clustalw|Fasta|Hmmer> <variant>
 //	bioperf5 variants
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"bioperf5/internal/cpu"
 	"bioperf5/internal/harness"
 	"bioperf5/internal/kernels"
 	"bioperf5/internal/perf"
+	"bioperf5/internal/telemetry"
 	"bioperf5/internal/workload"
 )
 
@@ -29,14 +34,26 @@ func usage() {
 
 commands:
   list                     list the experiments (one per paper table/figure)
-  run <id>|all             regenerate a table/figure (-scale N, -seeds a,b,c)
+  run <id>|all             regenerate a table/figure (-scale N, -seeds a,b,c;
+                           -json emits the machine-readable report)
+  trace <application> <variant>
+                           emit a per-instruction pipeline event trace as
+                           JSONL (-scale N, -seed N, -cap N ring capacity)
+  stats [application]      telemetry snapshot of a baseline run: counters,
+                           CPI stall stack, cache/BTAC/profile metrics
+                           (-scale N, -seed N, -json)
   profile <application>    gprof-style function breakout (-scale N)
   disasm <application> <variant>
                            show the compiled DP kernel for a predication variant
   variants                 list predication variants
+
+experiment ids accept short aliases: t1, t2, f1..f6.
 `)
 	os.Exit(2)
 }
+
+// simLimit bounds a single traced or snapshotted kernel invocation.
+const simLimit = 500_000_000
 
 func main() {
 	if len(os.Args) < 2 {
@@ -48,6 +65,10 @@ func main() {
 		err = cmdList()
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
 	case "profile":
 		err = cmdProfile(os.Args[2:])
 	case "disasm":
@@ -77,11 +98,20 @@ func parseConfig(fs *flag.FlagSet, args []string) (harness.Config, []string, err
 		return harness.Config{}, nil, err
 	}
 	cfg := harness.Config{Scale: *scale}
+	seen := make(map[int64]bool)
 	for _, s := range strings.Split(*seeds, ",") {
-		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		s = strings.TrimSpace(s)
+		v, err := strconv.ParseInt(s, 10, 64)
 		if err != nil {
-			return cfg, nil, fmt.Errorf("bad seed %q", s)
+			return cfg, nil, fmt.Errorf("bad seed %q: %w", s, err)
 		}
+		if v < 0 {
+			return cfg, nil, fmt.Errorf("bad seed %q: seeds must be non-negative", s)
+		}
+		if seen[v] {
+			return cfg, nil, fmt.Errorf("bad seed %q: duplicate seed", s)
+		}
+		seen[v] = true
 		cfg.Seeds = append(cfg.Seeds, v)
 	}
 	return cfg, fs.Args(), nil
@@ -93,6 +123,7 @@ func cmdRun(args []string) error {
 	}
 	id := args[0]
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the machine-readable report as JSON")
 	cfg, _, err := parseConfig(fs, args[1:])
 	if err != nil {
 		return err
@@ -107,12 +138,136 @@ func cmdRun(args []string) error {
 		}
 		exps = []*harness.Experiment{e}
 	}
+	if *jsonOut {
+		var reps []*harness.Report
+		for _, e := range exps {
+			rep, err := harness.RunReport(e, cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			reps = append(reps, rep)
+		}
+		if len(reps) == 1 {
+			return reps[0].WriteJSON(os.Stdout)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reps)
+	}
 	for _, e := range exps {
 		tab, err := e.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Println(tab.Render())
+	}
+	return nil
+}
+
+// cmdTrace runs one kernel invocation with the pipeline event trace
+// attached and streams the per-instruction lifecycle records as JSONL.
+func cmdTrace(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("trace: need <application> <variant>")
+	}
+	k, err := kernels.ByApp(args[0])
+	if err != nil {
+		return err
+	}
+	v, err := parseVariant(args[1])
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	scale := fs.Int("scale", 1, "workload scale factor")
+	seed := fs.Int64("seed", 1, "input seed")
+	capacity := fs.Int("cap", telemetry.DefaultTraceCapacity, "trace ring capacity (events)")
+	if err := fs.Parse(args[2:]); err != nil {
+		return err
+	}
+	run, err := k.NewRun(*seed, *scale)
+	if err != nil {
+		return err
+	}
+	buf := telemetry.NewTraceBuffer(*capacity)
+	if _, err := kernels.SimulateObserved(k, v, run, cpu.POWER5Baseline(), simLimit,
+		kernels.Observer{Trace: buf}); err != nil {
+		return err
+	}
+	if n := buf.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "bioperf5: trace ring full, dropped %d oldest events (raise -cap)\n", n)
+	}
+	return buf.WriteJSONL(os.Stdout)
+}
+
+// statsReport is the JSON shape of one application's stats snapshot.
+type statsReport struct {
+	App      string             `json:"app"`
+	Variant  string             `json:"variant"`
+	Snapshot telemetry.Snapshot `json:"snapshot"`
+}
+
+// statsFor runs app's kernel on the POWER5 baseline with a telemetry
+// registry attached, folds the application profiler into the same
+// registry, and returns the combined snapshot.
+func statsFor(app string, scale int, seed int64) (statsReport, error) {
+	k, err := kernels.ByApp(app)
+	if err != nil {
+		return statsReport{}, err
+	}
+	run, err := k.NewRun(seed, scale)
+	if err != nil {
+		return statsReport{}, err
+	}
+	reg := telemetry.NewRegistry()
+	if _, err := kernels.SimulateObserved(k, kernels.Branchy, run, cpu.POWER5Baseline(),
+		simLimit, kernels.Observer{Registry: reg}); err != nil {
+		return statsReport{}, err
+	}
+	res, err := workload.Run(app, scale, seed)
+	if err != nil {
+		return statsReport{}, err
+	}
+	p := perf.New()
+	for _, e := range res.Breakdown {
+		p.Add(e.Name, e.Time, e.Calls)
+	}
+	p.PublishTo(reg)
+	return statsReport{App: app, Variant: kernels.Branchy.String(), Snapshot: reg.Snapshot(8)}, nil
+}
+
+// cmdStats prints the telemetry snapshot of a baseline run — the CPU
+// counters and CPI stall stack, cache and BTAC metrics, and the
+// function-level profile, all drawn from one registry.
+func cmdStats(args []string) error {
+	apps := workload.Apps()
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		apps = []string{args[0]}
+		args = args[1:]
+	}
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	scale := fs.Int("scale", 1, "workload scale factor")
+	seed := fs.Int64("seed", 1, "input seed")
+	jsonOut := fs.Bool("json", false, "emit JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var reports []statsReport
+	for _, app := range apps {
+		rep, err := statsFor(app, *scale, *seed)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+	for _, rep := range reports {
+		fmt.Printf("== %s (%s, POWER5 baseline) ==\n", rep.App, rep.Variant)
+		fmt.Println(rep.Snapshot.Format())
 	}
 	return nil
 }
@@ -140,7 +295,20 @@ func cmdProfile(args []string) error {
 	return nil
 }
 
+// variantAliases maps convenient spellings to canonical variant names.
+var variantAliases = map[string]string{
+	"base":     "original",
+	"baseline": "original",
+	"branchy":  "original",
+	"isel":     "hand isel",
+	"max":      "hand max",
+	"combo":    "combination",
+}
+
 func parseVariant(name string) (kernels.Variant, error) {
+	if full, ok := variantAliases[strings.ToLower(name)]; ok {
+		name = full
+	}
 	for v := kernels.Branchy; v < kernels.NumVariants; v++ {
 		if v.String() == name {
 			return v, nil

@@ -2,6 +2,7 @@ package main
 
 import (
 	"flag"
+	"strings"
 	"testing"
 
 	"bioperf5/internal/kernels"
@@ -35,9 +36,36 @@ func TestParseConfig(t *testing.T) {
 		t.Errorf("rest = %v", rest)
 	}
 
-	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
-	if _, _, err := parseConfig(fs2, []string{"-seeds", "x"}); err == nil {
-		t.Error("bad seed accepted")
+	bad := []struct {
+		seeds, wantIn string
+	}{
+		{"x", `bad seed "x"`},
+		{"1,-2", `bad seed "-2"`},
+		{"3,4,3", `bad seed "3"`},
+	}
+	for _, tc := range bad {
+		fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+		_, _, err := parseConfig(fs2, []string{"-seeds", tc.seeds})
+		if err == nil {
+			t.Errorf("seeds %q accepted", tc.seeds)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantIn) {
+			t.Errorf("seeds %q: error %q does not name the offending value %q",
+				tc.seeds, err, tc.wantIn)
+		}
+	}
+}
+
+func TestParseVariantAliases(t *testing.T) {
+	for alias, want := range map[string]kernels.Variant{
+		"base": kernels.Branchy, "Baseline": kernels.Branchy,
+		"isel": kernels.HandISel, "combo": kernels.Combination,
+	} {
+		got, err := parseVariant(alias)
+		if err != nil || got != want {
+			t.Errorf("parseVariant(%q) = %v, %v; want %v", alias, got, err, want)
+		}
 	}
 }
 
@@ -65,5 +93,44 @@ func TestCommandsSmoke(t *testing.T) {
 	}
 	if err := cmdProfile(nil); err == nil {
 		t.Error("profile without app accepted")
+	}
+	if err := cmdTrace([]string{"Hmmer"}); err == nil {
+		t.Error("trace without variant accepted")
+	}
+	if err := cmdTrace([]string{"Nope", "base"}); err == nil {
+		t.Error("trace with unknown app accepted")
+	}
+	if err := cmdStats([]string{"Nope"}); err == nil {
+		t.Error("stats with unknown app accepted")
+	}
+}
+
+// TestStatsFor exercises the registry-backed stats path: the simulator
+// counters, stall buckets and the profiler breakdown must land in one
+// snapshot.
+func TestStatsFor(t *testing.T) {
+	rep, err := statsFor("Fasta", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rep.Snapshot
+	cycles, ok := snap.Counters["cpu.Cycles"]
+	if !ok || cycles == 0 {
+		t.Errorf("snapshot missing cpu.Cycles: %v", snap.Counters)
+	}
+	var stallSum uint64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "cpu.stall.") {
+			stallSum += v
+		}
+	}
+	if stallSum != cycles {
+		t.Errorf("stall buckets sum to %d, cycles %d", stallSum, cycles)
+	}
+	if _, ok := snap.Gauges["cpu.rate.ipc"]; !ok {
+		t.Error("snapshot missing cpu.rate.ipc")
+	}
+	if len(snap.Labeled["profile.calls"]) == 0 {
+		t.Error("snapshot missing profiler breakdown (profile.calls)")
 	}
 }

@@ -1,0 +1,52 @@
+// End-to-end regeneration test: every experiment in the registry must
+// run, render, and (CI runs this as its own step) produce a valid
+// machine-readable report whose stall stacks respect the cycle
+// invariant.
+package bioperf5
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"bioperf5/internal/harness"
+)
+
+func TestExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every table and figure")
+	}
+	cfg := harness.Quick()
+	for _, e := range harness.Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			rep, err := harness.RunReport(e, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID != e.ID || len(rep.Columns) == 0 || len(rep.Rows) == 0 {
+				t.Fatalf("incomplete report: %+v", rep)
+			}
+			tab, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.Render() == "" {
+				t.Fatal("empty render")
+			}
+			var buf bytes.Buffer
+			if err := rep.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !json.Valid(buf.Bytes()) {
+				t.Fatalf("invalid JSON report:\n%s", buf.String())
+			}
+			for _, ks := range rep.Kernels {
+				if got, want := ks.Aggregate.Stalls.Total(), ks.Aggregate.Counters.Cycles; got != want {
+					t.Errorf("%s: stall stack %d != cycles %d", ks.App, got, want)
+				}
+			}
+		})
+	}
+}

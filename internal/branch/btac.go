@@ -1,5 +1,11 @@
 package branch
 
+import (
+	"strconv"
+
+	"bioperf5/internal/telemetry"
+)
+
 // BTAC is the small Branch Target Address Cache of Section IV-D.  Each
 // entry holds a tag (the fetch address of a taken branch), the predicted
 // next instruction address (nia), and a saturating score counting past
@@ -107,4 +113,27 @@ func (b *BTAC) Reset() {
 	for i := range b.entries {
 		b.entries[i] = btacEntry{}
 	}
+}
+
+// PublishTo mirrors the BTAC's occupancy and confidence state into reg:
+// how many entries are valid, how many are confident enough to predict,
+// and the per-entry scores (labeled by the branch PC each entry tracks).
+// The hit/predict/correct event counts live in cpu.Counters, published
+// by the timing model; this is the structure's own residency view.
+func (b *BTAC) PublishTo(reg *telemetry.Registry) {
+	valid, confident := 0, 0
+	scores := reg.Labeled("branch.btac.entry_score")
+	for _, e := range b.entries {
+		if !e.valid {
+			continue
+		}
+		valid++
+		if e.score >= b.threshold {
+			confident++
+		}
+		scores.Add("pc"+strconv.Itoa(e.tag), uint64(e.score))
+	}
+	reg.Gauge("branch.btac.entries").Set(float64(len(b.entries)))
+	reg.Gauge("branch.btac.valid").Set(float64(valid))
+	reg.Gauge("branch.btac.confident").Set(float64(confident))
 }

@@ -5,7 +5,12 @@
 // cache to reproduce that line.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"bioperf5/internal/telemetry"
+)
 
 // Config describes one cache level.
 type Config struct {
@@ -171,6 +176,16 @@ func (c *Cache) Contains(addr uint64) bool {
 	return false
 }
 
+// PublishTo mirrors the cache's statistics into reg under
+// "cache.<name>.*" (the name lower-cased, e.g. "cache.l1d.misses").
+func (c *Cache) PublishTo(reg *telemetry.Registry) {
+	prefix := "cache." + strings.ToLower(c.cfg.Name) + "."
+	reg.Counter(prefix + "accesses").Set(c.stats.Accesses)
+	reg.Counter(prefix + "misses").Set(c.stats.Misses)
+	reg.Counter(prefix + "evictions").Set(c.stats.Evictions)
+	reg.Gauge(prefix + "miss_rate").Set(c.stats.MissRate())
+}
+
 // Reset invalidates the cache and clears counters.
 func (c *Cache) Reset() {
 	for _, s := range c.sets {
@@ -226,4 +241,10 @@ func (h *Hierarchy) Access(addr uint64) int {
 func (h *Hierarchy) Reset() {
 	h.L1.Reset()
 	h.L2.Reset()
+}
+
+// PublishTo mirrors both levels' statistics into reg.
+func (h *Hierarchy) PublishTo(reg *telemetry.Registry) {
+	h.L1.PublishTo(reg)
+	h.L2.PublishTo(reg)
 }

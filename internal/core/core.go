@@ -57,22 +57,48 @@ const stepLimit = 500_000_000
 // RunKernel compiles app's kernel under the setup and simulates one
 // invocation per seed, returning the summed counters.
 func RunKernel(k *kernels.Kernel, s Setup, seeds []int64, scale int) (cpu.Counters, error) {
-	if len(seeds) == 0 {
-		return cpu.Counters{}, fmt.Errorf("core: no seeds")
+	det, err := RunKernelDetailed(k, s, seeds, scale)
+	if err != nil {
+		return cpu.Counters{}, err
 	}
-	var total cpu.Counters
+	return det.Aggregate.Counters, nil
+}
+
+// SeedReport is one seed's detailed simulation outcome.
+type SeedReport struct {
+	Seed     int64          `json:"seed"`
+	Counters cpu.Counters   `json:"counters"`
+	Stalls   cpu.StallStack `json:"stall_stack"`
+}
+
+// Detail is a per-seed view of one kernel/setup simulation plus the
+// field-wise aggregate — the data behind the harness JSON reports and
+// the `bioperf5 stats` subcommand.
+type Detail struct {
+	Seeds     []SeedReport `json:"seeds"`
+	Aggregate cpu.Report   `json:"aggregate"`
+}
+
+// RunKernelDetailed simulates one invocation per seed, keeping each
+// seed's counters and CPI stall stack as well as the aggregate.
+func RunKernelDetailed(k *kernels.Kernel, s Setup, seeds []int64, scale int) (*Detail, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("core: no seeds")
+	}
+	det := &Detail{}
 	for _, seed := range seeds {
 		run, err := k.NewRun(seed, scale)
 		if err != nil {
-			return total, err
+			return nil, err
 		}
-		ctr, err := kernels.Simulate(k, s.Variant, run, s.CPU, stepLimit)
+		rep, err := kernels.SimulateObserved(k, s.Variant, run, s.CPU, stepLimit, kernels.Observer{})
 		if err != nil {
-			return total, err
+			return nil, err
 		}
-		total = total.Add(ctr)
+		det.Seeds = append(det.Seeds, SeedReport{Seed: seed, Counters: rep.Counters, Stalls: rep.Stalls})
+		det.Aggregate = det.Aggregate.Add(rep)
 	}
-	return total, nil
+	return det, nil
 }
 
 // Interval is one sampling window of a run (Figure 2's x-axis is

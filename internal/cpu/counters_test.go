@@ -1,0 +1,61 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fillCounters sets every field of a Counters to a distinct non-zero
+// value derived from its index, via reflection, so a field that a
+// hand-written method forgets cannot hide.
+func fillCounters(mul uint64) Counters {
+	var c Counters
+	v := reflect.ValueOf(&c).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetUint(uint64(i+1) * mul)
+	}
+	return c
+}
+
+// TestCountersAddSubCoverEveryField guards the hand-written field lists
+// in Add and Sub: any new counter added to the struct must be summed
+// and subtracted, or aggregation across seeds would silently drop it.
+func TestCountersAddSubCoverEveryField(t *testing.T) {
+	if k := reflect.TypeOf(Counters{}).Kind(); k != reflect.Struct {
+		t.Fatalf("Counters is %v, want struct", k)
+	}
+	a := fillCounters(10)
+	b := fillCounters(3)
+
+	sum := reflect.ValueOf(a.Add(b))
+	diff := reflect.ValueOf(a.Sub(b))
+	typ := sum.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if typ.Field(i).Type.Kind() != reflect.Uint64 {
+			t.Errorf("field %s is %v; Counters fields must be uint64 for Add/Sub/publish reflection",
+				name, typ.Field(i).Type)
+			continue
+		}
+		wantSum := uint64(i+1) * 13
+		wantDiff := uint64(i+1) * 7
+		if got := sum.Field(i).Uint(); got != wantSum {
+			t.Errorf("Add drops field %s: got %d, want %d", name, got, wantSum)
+		}
+		if got := diff.Field(i).Uint(); got != wantDiff {
+			t.Errorf("Sub drops field %s: got %d, want %d", name, got, wantDiff)
+		}
+	}
+}
+
+// TestCountersAddZeroIdentity pins the other easy regression: adding a
+// zero value must not change any field.
+func TestCountersAddZeroIdentity(t *testing.T) {
+	a := fillCounters(5)
+	if got := a.Add(Counters{}); got != a {
+		t.Errorf("Add(zero) changed counters:\n got %+v\nwant %+v", got, a)
+	}
+	if got := a.Sub(Counters{}); got != a {
+		t.Errorf("Sub(zero) changed counters:\n got %+v\nwant %+v", got, a)
+	}
+}

@@ -25,11 +25,14 @@ package cpu
 
 import (
 	"fmt"
+	"reflect"
+	"strconv"
 
 	"bioperf5/internal/branch"
 	"bioperf5/internal/cache"
 	"bioperf5/internal/isa"
 	"bioperf5/internal/machine"
+	"bioperf5/internal/telemetry"
 )
 
 // Config selects the microarchitectural parameters.  The zero value is
@@ -274,11 +277,13 @@ type Model struct {
 	btac *branch.BTAC
 	mem  *cache.Hierarchy
 
-	ctr Counters
+	ctr    Counters
+	stalls StallStack
 
 	// Pipeline timing state.  All times are absolute cycle numbers.
 	fetchCycle   uint64 // cycle the next instruction can be fetched
 	fetchedAt    uint64 // how many instructions fetched in fetchCycle
+	fetchCause   string // why fetchCycle was last pushed back ("" = streaming)
 	dispCycle    uint64
 	dispatchedAt uint64
 	complCycle   uint64 // cycle of the most recent completion
@@ -286,7 +291,15 @@ type Model struct {
 
 	regReady  [isa.NumRegs]uint64
 	regWriter [isa.NumRegs]isa.Class // unit class of each register's last producer
+	regMiss   [isa.NumRegs]int       // cache-miss level of each register's producing load
 	units     map[isa.Class][]uint64 // next-free cycle per unit
+
+	// Observability hooks (nil / zero when not attached).
+	trace        *telemetry.TraceBuffer
+	seq          uint64 // dynamic instruction number for trace events
+	histLoad     *telemetry.Histogram
+	histFlush    *telemetry.Histogram
+	mispredictPC *telemetry.LabeledCounter
 
 	// Completion-group accounting for stall attribution.
 	groupCompl uint64   // cycle the previous completion group retired
@@ -340,6 +353,53 @@ func (m *Model) Counters() Counters {
 	return c
 }
 
+// Stalls returns the CPI stall stack accumulated so far.  Its Total
+// always equals Counters().Cycles: every cycle the completion point has
+// advanced is attributed to exactly one bucket.
+func (m *Model) Stalls() StallStack { return m.stalls }
+
+// Report returns the counters and stall stack together.
+func (m *Model) Report() Report {
+	return Report{Counters: m.Counters(), Stalls: m.Stalls()}
+}
+
+// SetTrace attaches a pipeline event trace: every consumed instruction
+// appends one lifecycle record to buf.  Pass nil to stop tracing.
+func (m *Model) SetTrace(buf *telemetry.TraceBuffer) { m.trace = buf }
+
+// AttachTelemetry wires the model's streaming distributions into reg:
+// load-to-use latencies, misprediction flush lengths, and per-PC branch
+// mispredict counts are observed live as instructions are consumed.
+// Snapshot-style counters are published separately via PublishTo.
+func (m *Model) AttachTelemetry(reg *telemetry.Registry) {
+	m.histLoad = reg.Histogram("cpu.load_to_use.cycles", nil)
+	m.histFlush = reg.Histogram("cpu.flush.cycles", nil)
+	m.mispredictPC = reg.Labeled("cpu.branch.mispredict.pc")
+}
+
+// PublishTo mirrors the model's current state into reg: every Counters
+// field (reflected, so new counters are picked up automatically), the
+// stall-stack buckets, the headline derived rates, and the cache
+// hierarchy's own statistics.
+func (m *Model) PublishTo(reg *telemetry.Registry) {
+	c := m.Counters()
+	v := reflect.ValueOf(c)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		reg.Counter("cpu." + t.Field(i).Name).Set(v.Field(i).Uint())
+	}
+	reg.Gauge("cpu.rate.ipc").Set(c.IPC())
+	reg.Gauge("cpu.rate.l1d_miss").Set(c.L1DMissRate())
+	reg.Gauge("cpu.rate.branch_mispredict").Set(c.BranchMispredictRate())
+	for _, b := range m.stalls.Buckets() {
+		reg.Counter("cpu.stall." + b.Name).Set(b.Cycles)
+	}
+	m.mem.PublishTo(reg)
+	if m.btac != nil {
+		m.btac.PublishTo(reg)
+	}
+}
+
 // Consume advances the pipeline model by one dynamic instruction.
 func (m *Model) Consume(d machine.DynInst) error {
 	ins := d.Ins
@@ -355,7 +415,11 @@ func (m *Model) Consume(d machine.DynInst) error {
 	if fetchC > m.fetchCycle {
 		m.fetchCycle = fetchC
 		m.fetchedAt = 0
+		// Advancing by fetch width means the front end is streaming
+		// again; the last redirect no longer explains this cycle.
+		m.fetchCause = ""
 	}
+	fcause := m.fetchCause // why this instruction's fetch cycle is late
 	m.fetchedAt++
 
 	// ---- Dispatch: width-limited, in order, after the front-end depth,
@@ -367,10 +431,12 @@ func (m *Model) Consume(d machine.DynInst) error {
 	if dispC == m.dispCycle && m.dispatchedAt >= uint64(m.cfg.DispatchWidth) {
 		dispC++
 	}
+	windowLimited := false
 	if m.wcount >= len(m.window) {
 		// Window full: wait for the oldest instruction to complete.
 		if oldest := m.window[m.wpos]; dispC <= oldest {
 			dispC = oldest + 1
+			windowLimited = true
 		}
 	}
 	if dispC > m.dispCycle {
@@ -382,10 +448,12 @@ func (m *Model) Consume(d machine.DynInst) error {
 	// ---- Issue: after dispatch, operands ready, and a unit free.
 	readyC := dispC + 1
 	blockerClass := isa.ClassFXU
+	blockerMiss := 0 // cache-miss level of the blocking producer load
 	for _, r := range ins.Uses(nil) {
 		if m.regReady[r] > readyC {
 			readyC = m.regReady[r]
 			blockerClass = m.regWriter[r]
+			blockerMiss = m.regMiss[r]
 		}
 	}
 	class := ins.Class()
@@ -412,6 +480,8 @@ func (m *Model) Consume(d machine.DynInst) error {
 
 	// ---- Execute.
 	lat := uint64(ins.Op.Info().Latency)
+	missLevel := 0 // 0 = hit/not a load, 1 = L1D miss, 2 = missed L2 too
+	var memLat uint64
 	if ins.IsLoad() || ins.IsStore() {
 		m.ctr.L1DAccesses++
 		l1Before := m.mem.L1.Stats()
@@ -420,12 +490,20 @@ func (m *Model) Consume(d machine.DynInst) error {
 		if m.mem.L1.Stats().Misses > l1Before.Misses {
 			m.ctr.L1DMisses++
 			m.ctr.L2Accesses++
+			missLevel = 1
 			if m.mem.L2.Stats().Misses > l2Before.Misses {
 				m.ctr.L2Misses++
+				missLevel = 2
 			}
 		}
 		if ins.IsLoad() {
 			lat = uint64(accLat)
+			memLat = lat
+			if m.histLoad != nil {
+				m.histLoad.Observe(lat)
+			}
+		} else {
+			missLevel = 0 // stores drain off the critical path
 		}
 		// Stores retire from the LSU in one cycle; the line fill still
 		// happened above, charging the cache state, matching a
@@ -435,6 +513,7 @@ func (m *Model) Consume(d machine.DynInst) error {
 	for _, r := range ins.Defs(nil) {
 		m.regReady[r] = doneC
 		m.regWriter[r] = class
+		m.regMiss[r] = missLevel
 	}
 
 	switch class {
@@ -455,8 +534,9 @@ func (m *Model) Consume(d machine.DynInst) error {
 	}
 
 	// ---- Branch resolution: redirect the front end.
+	var flush string
 	if ins.IsBranch() {
-		m.branchTiming(d, fetchC, doneC)
+		flush = m.branchTiming(d, fetchC, doneC)
 	}
 
 	// ---- In-order completion, width-limited.
@@ -466,6 +546,16 @@ func (m *Model) Consume(d machine.DynInst) error {
 	}
 	if complC == m.complCycle && m.completedAt >= uint64(m.cfg.CompleteWidth) {
 		complC++
+	}
+	// CPI stall stack: when this instruction moves the completion point
+	// forward, charge those cycles to its dominant constraint.  Every
+	// advance of complCycle flows through here, so the buckets sum to
+	// the final cycle count by construction.
+	var stallBucket string
+	if complC > m.complCycle {
+		stallBucket = m.chargeStalls(complC-m.complCycle, m.complCycle,
+			doneC, issueC, readyC, dispC, class, blockerClass, blockerMiss,
+			missLevel, windowLimited, fcause)
 	}
 	// Attribute the cycles in which completion was blocked.
 	// Completion-stall attribution at POWER5 group granularity: every
@@ -509,7 +599,81 @@ func (m *Model) Consume(d machine.DynInst) error {
 	}
 	idx := (m.wpos + m.wcount - 1) % len(m.window)
 	m.window[idx] = complC
+
+	if m.trace != nil {
+		ev := telemetry.TraceEvent{
+			Seq:      m.seq,
+			PC:       d.Index,
+			Op:       ins.Op.String(),
+			Fetch:    fetchC,
+			Dispatch: dispC,
+			Issue:    issueC,
+			Complete: complC,
+			Flush:    flush,
+			Stall:    stallBucket,
+		}
+		if ins.IsLoad() || ins.IsStore() {
+			ev.EA = d.EA
+			ev.MemLat = memLat
+		}
+		m.trace.Append(ev)
+	}
+	m.seq++
 	return nil
+}
+
+// chargeStalls attributes delta newly elapsed cycles (the completion
+// point moving from oldCompl to oldCompl+delta) to one stall-stack
+// bucket and returns the bucket's name.  Priority order: an on-time
+// completion means the machine retired at full width; otherwise the
+// late instruction's own memory miss, then a busy unit, then a slow
+// operand producer (with producer loads traced back to the cache level
+// that missed), then a full reorder window, then the front-end redirect
+// that delayed its fetch; anything left is base pipeline flow.
+func (m *Model) chargeStalls(delta, oldCompl, doneC, issueC, readyC, dispC uint64,
+	class, blocker isa.Class, blockerMiss, missLevel int,
+	windowLimited bool, fcause string) string {
+	bucket, name := &m.stalls.Base, BucketBase
+	switch {
+	case doneC <= oldCompl:
+		bucket, name = &m.stalls.Completion, BucketCompletion
+	case missLevel == 2:
+		bucket, name = &m.stalls.L2Miss, BucketL2Miss
+	case missLevel == 1:
+		bucket, name = &m.stalls.L1DMiss, BucketL1DMiss
+	case issueC > readyC:
+		bucket, name = m.unitBucket(class)
+	case readyC > dispC+1:
+		switch {
+		case blockerMiss == 2:
+			bucket, name = &m.stalls.L2Miss, BucketL2Miss
+		case blockerMiss == 1:
+			bucket, name = &m.stalls.L1DMiss, BucketL1DMiss
+		default:
+			bucket, name = m.unitBucket(blocker)
+		}
+	case windowLimited:
+		bucket, name = &m.stalls.WindowFull, BucketWindowFull
+	case fcause == BucketMispredictFlush:
+		bucket, name = &m.stalls.MispredictFlush, BucketMispredictFlush
+	case fcause == BucketTakenBubble:
+		bucket, name = &m.stalls.TakenBubble, BucketTakenBubble
+	}
+	*bucket += delta
+	return name
+}
+
+// unitBucket maps a functional-unit class to its stall-stack bucket
+// (CRU work is counted with the FXUs, as the POWER5 counters do).
+func (m *Model) unitBucket(class isa.Class) (*uint64, string) {
+	switch class {
+	case isa.ClassLSU:
+		return &m.stalls.LSU, BucketLSU
+	case isa.ClassBRU:
+		return &m.stalls.BRU, BucketBRU
+	default:
+		return &m.stalls.FXU, BucketFXU
+	}
 }
 
 func (m *Model) attributeStall(class isa.Class, n uint64) {
@@ -524,8 +688,9 @@ func (m *Model) attributeStall(class isa.Class, n uint64) {
 }
 
 // branchTiming charges front-end redirection costs for a resolved
-// branch and trains the predictors.
-func (m *Model) branchTiming(d machine.DynInst, fetchC, doneC uint64) {
+// branch, trains the predictors, and returns the flush cause the branch
+// raised ("" when fetch was not disturbed).
+func (m *Model) branchTiming(d machine.DynInst, fetchC, doneC uint64) string {
 	ins := d.Ins
 	m.ctr.Branches++
 
@@ -547,10 +712,12 @@ func (m *Model) branchTiming(d machine.DynInst, fetchC, doneC uint64) {
 	switch {
 	case mispredicted:
 		// Direction mispredict: flush; fetch restarts after resolve.
-		m.redirect(doneC + uint64(m.cfg.MispredictPenalty))
+		m.noteMispredict(d.Index)
+		m.redirect(doneC+uint64(m.cfg.MispredictPenalty), BucketMispredictFlush)
 		if m.btac != nil && d.Taken {
 			m.btac.Update(d.Index, d.Next)
 		}
+		return BucketMispredictFlush
 	case d.Taken:
 		// Correctly predicted (or unconditional) taken branch: the
 		// POWER5 pays the 2-cycle next-fetch-address bubble unless the
@@ -568,25 +735,41 @@ func (m *Model) branchTiming(d machine.DynInst, fetchC, doneC uint64) {
 					// Wrong target: the fetch went down a wrong path
 					// and is caught at branch execution.
 					m.ctr.TgtMispredicts++
+					m.noteMispredict(d.Index)
 					m.btac.Update(d.Index, d.Next)
-					m.redirect(doneC + uint64(m.cfg.MispredictPenalty))
-					return
+					m.redirect(doneC+uint64(m.cfg.MispredictPenalty), BucketMispredictFlush)
+					return BucketMispredictFlush
 				}
 			}
 			m.btac.Update(d.Index, d.Next)
 		}
 		if bubble > 0 {
 			m.ctr.TakenBubbles++
-			m.redirect(fetchC + 1 + bubble)
+			m.redirect(fetchC+1+bubble, BucketTakenBubble)
+			return BucketTakenBubble
 		}
+	}
+	return ""
+}
+
+// noteMispredict feeds the per-PC mispredict counter when telemetry is
+// attached.
+func (m *Model) noteMispredict(pc int) {
+	if m.mispredictPC != nil {
+		m.mispredictPC.Add(strconv.Itoa(pc), 1)
 	}
 }
 
-// redirect stalls instruction fetch until cycle c.
-func (m *Model) redirect(c uint64) {
+// redirect stalls instruction fetch until cycle c, remembering why so
+// the stall stack can attribute the cycles the delay later costs.
+func (m *Model) redirect(c uint64, cause string) {
 	if c > m.fetchCycle {
+		if m.histFlush != nil && cause == BucketMispredictFlush {
+			m.histFlush.Observe(c - m.fetchCycle)
+		}
 		m.fetchCycle = c
 		m.fetchedAt = 0
+		m.fetchCause = cause
 	}
 }
 

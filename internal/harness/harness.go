@@ -14,8 +14,8 @@ import (
 // Config scales the experiments.  Scale stretches kernel inputs; Seeds
 // lists the input seeds whose counters are aggregated per data point.
 type Config struct {
-	Scale int
-	Seeds []int64
+	Scale int     `json:"scale"`
+	Seeds []int64 `json:"seeds"`
 }
 
 // DefaultConfig is the configuration the CLI uses.
@@ -88,18 +88,21 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// Experiment regenerates one table or figure.
+// Experiment regenerates one table or figure.  Run produces the
+// rendered table; Detail, when set, produces the machine-readable
+// per-seed statistics behind it for the JSON report.
 type Experiment struct {
-	ID    string
-	Title string
-	Run   func(Config) (*Table, error)
+	ID     string
+	Title  string
+	Run    func(Config) (*Table, error)
+	Detail func(Config) ([]KernelStats, error)
 }
 
 // Registry returns all experiments in paper order.
 func Registry() []*Experiment {
 	return []*Experiment{
 		{ID: "fig1", Title: "Function-wise breakout of Blast, Clustalw, Fasta, and Hmmer", Run: Fig1},
-		{ID: "table1", Title: "Hardware counter data for Blast, Clustalw, Fasta, and Hmmer", Run: Table1},
+		{ID: "table1", Title: "Hardware counter data for Blast, Clustalw, Fasta, and Hmmer", Run: Table1, Detail: BaselineStats},
 		{ID: "fig2", Title: "Clustalw IPC and branch misprediction rate over time", Run: Fig2},
 		{ID: "fig3", Title: "IPC with max and isel instructions", Run: Fig3},
 		{ID: "table2", Title: "Branch performance of applications with predicated instructions added", Run: Table2},
@@ -109,8 +112,19 @@ func Registry() []*Experiment {
 	}
 }
 
-// ByID finds an experiment.
+// aliases are short experiment names accepted by ByID ("t1" for
+// "table1", "f3" for "fig3", ...).
+var aliases = map[string]string{
+	"t1": "table1", "t2": "table2",
+	"f1": "fig1", "f2": "fig2", "f3": "fig3",
+	"f4": "fig4", "f5": "fig5", "f6": "fig6",
+}
+
+// ByID finds an experiment by canonical id or short alias.
 func ByID(id string) (*Experiment, error) {
+	if full, ok := aliases[id]; ok {
+		id = full
+	}
 	for _, e := range Registry() {
 		if e.ID == id {
 			return e, nil

@@ -32,6 +32,7 @@ import (
 	"bioperf5/internal/isa"
 	"bioperf5/internal/machine"
 	"bioperf5/internal/mem"
+	"bioperf5/internal/telemetry"
 )
 
 // Entry conventions shared by Execute and Simulate.
@@ -173,42 +174,70 @@ func Execute(k *Kernel, v Variant, run *Run, limit uint64) (uint64, error) {
 	return mach.Steps(), nil
 }
 
+// Observer bundles the optional observability hooks a simulation can
+// carry: a pipeline event trace and a telemetry registry the model (and
+// its cache hierarchy, BTAC, memory image) publish into after the run.
+type Observer struct {
+	Trace    *telemetry.TraceBuffer
+	Registry *telemetry.Registry
+}
+
 // Simulate runs a compiled kernel through the timing model and returns
 // the counters; the functional result is verified against run.Want.
 func Simulate(k *Kernel, v Variant, run *Run, cfg cpu.Config, limit uint64) (cpu.Counters, error) {
+	rep, err := SimulateObserved(k, v, run, cfg, limit, Observer{})
+	return rep.Counters, err
+}
+
+// SimulateObserved is Simulate with full observability: it returns the
+// counters together with the CPI stall stack, appends per-instruction
+// lifecycle records to obs.Trace when set, and publishes the final
+// model state into obs.Registry when set.
+func SimulateObserved(k *Kernel, v Variant, run *Run, cfg cpu.Config, limit uint64, obs Observer) (cpu.Report, error) {
 	shape, tgt, opts := v.Plan()
 	f, err := k.Build(shape)
 	if err != nil {
-		return cpu.Counters{}, err
+		return cpu.Report{}, err
 	}
 	prog, _, err := compiler.Compile(f, tgt, opts)
 	if err != nil {
-		return cpu.Counters{}, err
+		return cpu.Report{}, err
 	}
 	if v.NeedsExtensions() {
 		cfg.Extensions = true
 	}
 	model, err := cpu.New(cfg)
 	if err != nil {
-		return cpu.Counters{}, err
+		return cpu.Report{}, err
+	}
+	if obs.Trace != nil {
+		model.SetTrace(obs.Trace)
+	}
+	if obs.Registry != nil {
+		model.AttachTelemetry(obs.Registry)
 	}
 	mach := machine.New(prog, run.Mem)
 	mach.Reset()
 	if err := mach.SetPC(k.Name); err != nil {
-		return cpu.Counters{}, err
+		return cpu.Report{}, err
 	}
 	mach.SetReg(spReg, spInit)
 	for i, a := range run.Args {
 		mach.SetReg(argReg(i), a)
 	}
 	ctr, err := model.Run(mach, limit)
+	rep := cpu.Report{Counters: ctr, Stalls: model.Stalls()}
+	if obs.Registry != nil {
+		model.PublishTo(obs.Registry)
+		run.Mem.PublishTo(obs.Registry)
+	}
 	if err != nil {
-		return ctr, fmt.Errorf("kernels: %s/%s: %w", k.Name, v, err)
+		return rep, fmt.Errorf("kernels: %s/%s: %w", k.Name, v, err)
 	}
 	if got := int64(mach.Reg(argReg(0))); got != run.Want {
-		return ctr, fmt.Errorf("kernels: %s/%s: computed %d, want %d", k.Name, v, got, run.Want)
+		return rep, fmt.Errorf("kernels: %s/%s: computed %d, want %d", k.Name, v, got, run.Want)
 	}
-	return ctr, nil
+	return rep, nil
 }
 
 // All returns the four kernels in the order the paper lists the

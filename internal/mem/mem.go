@@ -4,7 +4,11 @@
 // match what a real POWER5 would see.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"bioperf5/internal/telemetry"
+)
 
 const (
 	pageShift = 12
@@ -95,6 +99,12 @@ func (m *Memory) WriteInt(addr uint64, size int, v int64) {
 
 // Footprint returns the number of bytes in allocated pages.
 func (m *Memory) Footprint() int { return len(m.pages) * pageSize }
+
+// PublishTo mirrors the memory image's footprint into reg.
+func (m *Memory) PublishTo(reg *telemetry.Registry) {
+	reg.Gauge("mem.pages").Set(float64(len(m.pages)))
+	reg.Gauge("mem.footprint_bytes").Set(float64(m.Footprint()))
+}
 
 // Layout hands out non-overlapping regions of the address space; it is
 // how kernel marshaling carves out argument buffers, matrices and the

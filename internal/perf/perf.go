@@ -8,13 +8,18 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
+
+	"bioperf5/internal/telemetry"
 )
 
-// Profiler accumulates inclusive time per function name.  It is not
-// safe for concurrent use and does not support re-entrant timing of the
-// same name (the workloads do not need either).
+// Profiler accumulates inclusive time per function name.  It is safe
+// for concurrent use (drivers may time parallel phases), but does not
+// support re-entrant timing of the same name (the workloads do not need
+// it).
 type Profiler struct {
+	mu      sync.Mutex
 	entries map[string]*entry
 	clock   func() time.Time
 }
@@ -35,19 +40,15 @@ func New() *Profiler {
 func (p *Profiler) Start(name string) func() {
 	begin := p.clock()
 	return func() {
-		e := p.entries[name]
-		if e == nil {
-			e = &entry{}
-			p.entries[name] = e
-		}
-		e.dur += p.clock().Sub(begin)
-		e.calls++
+		p.Add(name, p.clock().Sub(begin), 1)
 	}
 }
 
 // Add records a pre-measured duration (used by tests and by drivers
 // that time phases manually).
 func (p *Profiler) Add(name string, d time.Duration, calls uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	e := p.entries[name]
 	if e == nil {
 		e = &entry{}
@@ -59,6 +60,8 @@ func (p *Profiler) Add(name string, d time.Duration, calls uint64) {
 
 // Of returns the accumulated time of one function (zero if absent).
 func (p *Profiler) Of(name string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if e := p.entries[name]; e != nil {
 		return e.dur
 	}
@@ -75,6 +78,12 @@ type Entry struct {
 
 // Total returns the sum of all recorded time.
 func (p *Profiler) Total() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.totalLocked()
+}
+
+func (p *Profiler) totalLocked() time.Duration {
 	var t time.Duration
 	for _, e := range p.entries {
 		t += e.dur
@@ -85,7 +94,8 @@ func (p *Profiler) Total() time.Duration {
 // Breakdown returns entries sorted by decreasing time with shares
 // computed against the total.
 func (p *Profiler) Breakdown() []Entry {
-	total := p.Total()
+	p.mu.Lock()
+	total := p.totalLocked()
 	out := make([]Entry, 0, len(p.entries))
 	for name, e := range p.entries {
 		share := 0.0
@@ -94,6 +104,7 @@ func (p *Profiler) Breakdown() []Entry {
 		}
 		out = append(out, Entry{Name: name, Time: e.dur, Calls: e.calls, Share: share})
 	}
+	p.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Time != out[j].Time {
 			return out[i].Time > out[j].Time
@@ -112,4 +123,16 @@ func (p *Profiler) Format() string {
 			e.Name, 100*e.Share, e.Time.Seconds(), e.Calls)
 	}
 	return b.String()
+}
+
+// PublishTo mirrors the breakdown into reg so the profile and the
+// `stats` subcommand report from the same source of truth: per-function
+// call counts ("profile.calls"), seconds and time shares as gauges.
+func (p *Profiler) PublishTo(reg *telemetry.Registry) {
+	calls := reg.Labeled("profile.calls")
+	for _, e := range p.Breakdown() {
+		calls.Add(e.Name, e.Calls)
+		reg.Gauge("profile.seconds." + e.Name).Set(e.Time.Seconds())
+		reg.Gauge("profile.share." + e.Name).Set(e.Share)
+	}
 }

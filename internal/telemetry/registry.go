@@ -1,0 +1,375 @@
+// Package telemetry is the observability layer of the simulator: a
+// lightweight metrics registry that the model packages (cpu, branch,
+// cache, mem, perf) publish into, and a bounded pipeline event trace
+// (trace.go).  The registry is the single source of truth behind the
+// CLI's `stats` output and the `-json` experiment encodings — a module
+// never formats its own numbers twice.
+//
+// All types are safe for concurrent use.  Metric names are flat
+// dot-separated strings ("cpu.branch.mispredict.direction"); labeled
+// counters add one free-form label dimension (for example a per-PC
+// branch mispredict count keyed by the static instruction index).
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry holds named metrics.  The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	labeled  map[string]*LabeledCounter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		labeled:  make(map[string]*LabeledCounter),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use.  Bounds must be
+// ascending; values above the last bound land in an implicit overflow
+// bucket.  Later calls with different bounds return the existing
+// histogram unchanged.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Labeled returns the labeled counter registered under name, creating
+// it on first use.
+func (r *Registry) Labeled(name string) *LabeledCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := r.labeled[name]
+	if l == nil {
+		l = &LabeledCounter{m: make(map[string]uint64)}
+		r.labeled[name] = l
+	}
+	return l
+}
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) {
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Set overwrites the counter (used when mirroring an externally
+// accumulated count, e.g. a cpu.Counters field, into the registry).
+func (c *Counter) Set(v uint64) {
+	c.mu.Lock()
+	c.v = v
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a last-write-wins float64 metric.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set records v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram counts observations into fixed buckets (upper bounds,
+// inclusive) plus an overflow bucket, tracking count, sum, min and max.
+type Histogram struct {
+	mu       sync.Mutex
+	bounds   []uint64
+	counts   []uint64 // len(bounds)+1; last is overflow
+	count    uint64
+	sum      uint64
+	min, max uint64
+}
+
+// DefaultLatencyBounds is a bucket layout suited to pipeline latencies
+// in cycles: it resolves the L1/L2/memory plateaus of the POWER5
+// hierarchy and the flush penalties.
+func DefaultLatencyBounds() []uint64 {
+	return []uint64{1, 2, 4, 8, 13, 16, 24, 32, 64, 128, 230, 512}
+}
+
+// NewHistogram returns a histogram with the given ascending bucket
+// upper bounds (nil gets DefaultLatencyBounds).
+func NewHistogram(bounds []uint64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBounds()
+	}
+	b := make([]uint64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average observation (zero when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// LabeledCounter is a counter with one free-form label dimension.
+type LabeledCounter struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+// Add increments the count for label by delta.
+func (l *LabeledCounter) Add(label string, delta uint64) {
+	l.mu.Lock()
+	l.m[label] += delta
+	l.mu.Unlock()
+}
+
+// Value returns the count for label.
+func (l *LabeledCounter) Value(label string) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m[label]
+}
+
+// Top returns the n largest labels in decreasing order of count (ties
+// by label for determinism).
+func (l *LabeledCounter) Top(n int) []LabelCount {
+	l.mu.Lock()
+	out := make([]LabelCount, 0, len(l.m))
+	for k, v := range l.m {
+		out = append(out, LabelCount{Label: k, Count: v})
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Label < out[j].Label
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// LabelCount is one labeled counter cell.
+type LabelCount struct {
+	Label string `json:"label"`
+	Count uint64 `json:"count"`
+}
+
+// Bucket is one histogram bucket in a snapshot; Le is the inclusive
+// upper bound.
+type Bucket struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is the serializable state of a histogram.  Overflow
+// counts observations above the last bucket bound.
+type HistogramSnapshot struct {
+	Count    uint64   `json:"count"`
+	Sum      uint64   `json:"sum"`
+	Min      uint64   `json:"min"`
+	Max      uint64   `json:"max"`
+	Mean     float64  `json:"mean"`
+	Buckets  []Bucket `json:"buckets,omitempty"`
+	Overflow uint64   `json:"overflow,omitempty"`
+}
+
+// Snapshot is a point-in-time, JSON-serializable copy of a registry.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Labeled    map[string][]LabelCount      `json:"labeled,omitempty"`
+}
+
+// Snapshot copies the registry's current state.  Labeled counters are
+// truncated to their topK largest cells (topK <= 0 keeps everything).
+func (r *Registry) Snapshot(topK int) Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for k, c := range r.counters {
+			s.Counters[k] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for k, g := range r.gauges {
+			s.Gauges[k] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for k, h := range r.hists {
+			s.Histograms[k] = h.snapshot()
+		}
+	}
+	if len(r.labeled) > 0 {
+		s.Labeled = make(map[string][]LabelCount, len(r.labeled))
+		for k, l := range r.labeled {
+			s.Labeled[k] = l.Top(topK)
+		}
+	}
+	return s
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Count:    h.count,
+		Sum:      h.sum,
+		Min:      h.min,
+		Max:      h.max,
+		Overflow: h.counts[len(h.counts)-1],
+	}
+	if h.count > 0 {
+		s.Mean = float64(h.sum) / float64(h.count)
+	}
+	for i, b := range h.bounds {
+		if h.counts[i] > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: b, Count: h.counts[i]})
+		}
+	}
+	return s
+}
+
+// Format renders the snapshot as sorted human-readable lines, the text
+// form behind `bioperf5 stats`.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-44s %d\n", k, s.Counters[k])
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-44s %.4f\n", k, s.Gauges[k])
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		fmt.Fprintf(&b, "%-44s count=%d mean=%.2f min=%d max=%d\n",
+			k, h.Count, h.Mean, h.Min, h.Max)
+	}
+	names = names[:0]
+	for k := range s.Labeled {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		for _, lc := range s.Labeled[k] {
+			fmt.Fprintf(&b, "%-44s %d\n", k+"{"+lc.Label+"}", lc.Count)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cpu.cycles")
+	c.Add(3)
+	c.Add(4)
+	if got := r.Counter("cpu.cycles").Value(); got != 7 {
+		t.Errorf("counter = %d, want 7", got)
+	}
+	c.Set(100)
+	if got := c.Value(); got != 100 {
+		t.Errorf("after Set, counter = %d, want 100", got)
+	}
+	g := r.Gauge("cpu.ipc")
+	g.Set(1.25)
+	if got := r.Gauge("cpu.ipc").Value(); got != 1.25 {
+		t.Errorf("gauge = %v, want 1.25", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]uint64{2, 13, 230})
+	for _, v := range []uint64{1, 2, 3, 13, 230, 231, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	s := h.snapshot()
+	want := map[uint64]uint64{2: 2, 13: 2, 230: 1}
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.Count {
+			t.Errorf("bucket le=%d count=%d, want %d", b.Le, b.Count, want[b.Le])
+		}
+	}
+	if s.Overflow != 2 {
+		t.Errorf("overflow = %d, want 2", s.Overflow)
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Errorf("min/max = %d/%d, want 1/1000", s.Min, s.Max)
+	}
+	if s.Sum != 1+2+3+13+230+231+1000 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+}
+
+func TestLabeledCounterTop(t *testing.T) {
+	r := NewRegistry()
+	l := r.Labeled("branch.mispredict.pc")
+	l.Add("12", 5)
+	l.Add("7", 9)
+	l.Add("3", 9)
+	l.Add("12", 1)
+	top := l.Top(2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	// Ties break by label; counts descend.
+	if top[0].Label != "3" || top[0].Count != 9 || top[1].Label != "7" {
+		t.Errorf("top = %v", top)
+	}
+	if l.Value("12") != 6 {
+		t.Errorf("value(12) = %d, want 6", l.Value("12"))
+	}
+}
+
+func TestSnapshotJSONAndFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(2)
+	r.Gauge("b.rate").Set(0.5)
+	r.Histogram("c.lat", nil).Observe(13)
+	r.Labeled("d.pc").Add("4", 1)
+	s := r.Snapshot(10)
+
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a.count"] != 2 || back.Gauges["b.rate"] != 0.5 {
+		t.Errorf("round-trip lost data: %+v", back)
+	}
+	if back.Histograms["c.lat"].Count != 1 {
+		t.Errorf("round-trip histogram: %+v", back.Histograms["c.lat"])
+	}
+
+	text := s.Format()
+	for _, want := range []string{"a.count", "b.rate", "c.lat", "d.pc{4}"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Add(1)
+				r.Histogram("h", nil).Observe(uint64(j))
+				r.Labeled("l").Add("x", 1)
+				r.Gauge("g").Set(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Labeled("l").Value("x"); got != 8000 {
+		t.Errorf("labeled = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// TraceEvent is one instruction's pipeline lifecycle as seen by the
+// timing model: the cycle it occupied each stage, and — for the
+// instructions that disturb the pipeline — why the front end was
+// redirected and which stall-stack bucket its completion gap was
+// charged to.  Events serialize as one JSON object per line (JSONL).
+type TraceEvent struct {
+	Seq      uint64 `json:"seq"`             // dynamic instruction number (0-based)
+	PC       int    `json:"pc"`              // static instruction index
+	Op       string `json:"op"`              // mnemonic
+	Fetch    uint64 `json:"fetch"`           // fetch cycle
+	Dispatch uint64 `json:"dispatch"`        // dispatch cycle
+	Issue    uint64 `json:"issue"`           // issue cycle
+	Complete uint64 `json:"complete"`        // completion cycle
+	EA       uint64 `json:"ea,omitempty"`    // loads/stores: effective address
+	MemLat   uint64 `json:"mlat,omitempty"`  // loads: load-to-use latency charged
+	Flush    string `json:"flush,omitempty"` // redirect cause this instruction raised
+	Stall    string `json:"stall,omitempty"` // stall-stack bucket charged at completion
+}
+
+// TraceBuffer is a bounded ring of TraceEvents: when full, the oldest
+// event is overwritten and counted as dropped, so tracing an
+// arbitrarily long run is memory-safe.  It is safe for concurrent use.
+type TraceBuffer struct {
+	mu      sync.Mutex
+	ring    []TraceEvent
+	start   int // index of the oldest event
+	count   int
+	dropped uint64
+}
+
+// DefaultTraceCapacity bounds a trace at one million events (~100MB of
+// JSONL), enough for every tier-1 kernel invocation at scale 1.
+const DefaultTraceCapacity = 1 << 20
+
+// NewTraceBuffer returns a ring holding at most capacity events
+// (capacity <= 0 gets DefaultTraceCapacity).
+func NewTraceBuffer(capacity int) *TraceBuffer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &TraceBuffer{ring: make([]TraceEvent, 0, capacity)}
+}
+
+// Append records one event, evicting the oldest when full.
+func (b *TraceBuffer) Append(e TraceEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.count < cap(b.ring) {
+		b.ring = append(b.ring, e)
+		b.count++
+		return
+	}
+	b.ring[b.start] = e
+	b.start = (b.start + 1) % cap(b.ring)
+	b.dropped++
+}
+
+// Len returns the number of retained events.
+func (b *TraceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}
+
+// Dropped returns how many events were evicted by the ring bound.
+func (b *TraceBuffer) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Events returns the retained events oldest-first.
+func (b *TraceBuffer) Events() []TraceEvent {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]TraceEvent, 0, b.count)
+	for i := 0; i < b.count; i++ {
+		out = append(out, b.ring[(b.start+i)%cap(b.ring)])
+	}
+	return out
+}
+
+// Reset empties the buffer, keeping its capacity.
+func (b *TraceBuffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ring = b.ring[:0]
+	b.start, b.count, b.dropped = 0, 0, 0
+}
+
+// WriteJSONL writes the retained events to w, one JSON object per
+// line, oldest first.
+func (b *TraceBuffer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for _, e := range b.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTraceBufferRing(t *testing.T) {
+	b := NewTraceBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Append(TraceEvent{Seq: uint64(i), Op: "addi"})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len = %d, want 3", b.Len())
+	}
+	if b.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", b.Dropped())
+	}
+	ev := b.Events()
+	for i, e := range ev {
+		if want := uint64(i + 2); e.Seq != want {
+			t.Errorf("events[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Dropped() != 0 {
+		t.Errorf("after Reset: len=%d dropped=%d", b.Len(), b.Dropped())
+	}
+}
+
+func TestTraceWriteJSONL(t *testing.T) {
+	b := NewTraceBuffer(8)
+	b.Append(TraceEvent{Seq: 0, PC: 1, Op: "lwz", Fetch: 1, Dispatch: 7, Issue: 8, Complete: 10, EA: 0x100, MemLat: 2})
+	b.Append(TraceEvent{Seq: 1, PC: 2, Op: "bc", Fetch: 1, Dispatch: 7, Issue: 8, Complete: 11, Flush: "mispredict"})
+	var buf bytes.Buffer
+	if err := b.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var n int
+	for sc.Scan() {
+		var e TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if e.Seq != uint64(n) {
+			t.Errorf("line %d: seq = %d", n, e.Seq)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("lines = %d, want 2", n)
+	}
+}
