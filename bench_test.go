@@ -16,6 +16,7 @@ import (
 	"bioperf5/internal/cpu"
 	"bioperf5/internal/harness"
 	"bioperf5/internal/kernels"
+	"bioperf5/internal/sched"
 	"bioperf5/internal/workload"
 )
 
@@ -53,6 +54,32 @@ func BenchmarkFig1FunctionBreakout(b *testing.B) {
 		}
 	}
 }
+
+// benchFig4 runs the Fig 4 experiment through a scheduler engine of the
+// given pool size with caching off, so the benchmark measures raw
+// simulation throughput rather than cache hits.
+func benchFig4(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		eng := sched.New(sched.Options{Workers: workers, DisableCache: true})
+		cfg := benchCfg()
+		cfg.Engine = eng
+		tab, err := harness.Fig4(cfg)
+		eng.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig4Serial vs BenchmarkFig4Parallel quantify the speedup the
+// worker pool buys on one experiment: serial pins one worker, parallel
+// uses GOMAXPROCS.
+func BenchmarkFig4Serial(b *testing.B)   { benchFig4(b, 1) }
+func BenchmarkFig4Parallel(b *testing.B) { benchFig4(b, 0) }
 
 func BenchmarkTable1HardwareCounters(b *testing.B) { runExperiment(b, "table1") }
 func BenchmarkFig2ClustalwPhases(b *testing.B)     { runExperiment(b, "fig2") }

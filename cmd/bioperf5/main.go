@@ -6,6 +6,8 @@
 //
 //	bioperf5 list
 //	bioperf5 run <experiment>|all [-scale N] [-seeds a,b,c] [-json]
+//	bioperf5 sweep [-fxus 2,3,4] [-btac off,8] [-variants v,...] [-apps a,...]
+//	               [-workers N] [-cache-dir DIR] [-grid] [-json]
 //	bioperf5 trace <Blast|Clustalw|Fasta|Hmmer> <variant> [-scale N] [-seed N]
 //	bioperf5 stats [application] [-scale N] [-seed N] [-json]
 //	bioperf5 profile <Blast|Clustalw|Fasta|Hmmer> [-scale N]
@@ -25,6 +27,7 @@ import (
 	"bioperf5/internal/harness"
 	"bioperf5/internal/kernels"
 	"bioperf5/internal/perf"
+	"bioperf5/internal/sched"
 	"bioperf5/internal/telemetry"
 	"bioperf5/internal/workload"
 )
@@ -36,6 +39,13 @@ commands:
   list                     list the experiments (one per paper table/figure)
   run <id>|all             regenerate a table/figure (-scale N, -seeds a,b,c;
                            -json emits the machine-readable report)
+  sweep                    full-factorial design-space sweep over FXU count x
+                           BTAC sizing x predication variant x application,
+                           run on the parallel cache-aware scheduler
+                           (-fxus 2,3,4; -btac off,8; -variants original,combination;
+                           -apps all; -scale N; -seeds a,b,c; -workers N;
+                           -cache-dir DIR persists results across runs;
+                           -grid prints every point; -json emits the manifest)
   trace <application> <variant>
                            emit a per-instruction pipeline event trace as
                            JSONL (-scale N, -seed N, -cap N ring capacity)
@@ -65,6 +75,8 @@ func main() {
 		err = cmdList()
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
 	case "stats":
@@ -161,6 +173,99 @@ func cmdRun(args []string) error {
 		}
 		fmt.Println(tab.Render())
 	}
+	return nil
+}
+
+// parseIntList parses a comma-separated list of ints, mapping the
+// word "off" to zero (used by -btac).
+func parseIntList(flagName, s string, allowOff bool) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if allowOff && strings.EqualFold(part, "off") {
+			out = append(out, 0)
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: bad value %q", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// cmdSweep runs a full-factorial design-space sweep on the parallel
+// scheduler and prints the best configuration per application plus the
+// scheduler's cache statistics.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fxusFlag := fs.String("fxus", "2,3,4", "comma-separated fixed-point unit counts")
+	btacFlag := fs.String("btac", "off,8", "comma-separated BTAC entry counts ('off' = none)")
+	variantsFlag := fs.String("variants", "original,combination", "comma-separated predication variants")
+	appsFlag := fs.String("apps", "all", "comma-separated applications, or 'all'")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cacheDir := fs.String("cache-dir", "", "content-addressed on-disk result cache directory")
+	grid := fs.Bool("grid", false, "print every grid point, not just the best per application")
+	jsonOut := fs.Bool("json", false, "emit the JSON manifest instead of the summary table")
+	cfg, _, err := parseConfig(fs, args)
+	if err != nil {
+		return err
+	}
+	fxus, err := parseIntList("fxus", *fxusFlag, false)
+	if err != nil {
+		return err
+	}
+	btac, err := parseIntList("btac", *btacFlag, true)
+	if err != nil {
+		return err
+	}
+	var variants []kernels.Variant
+	for _, name := range strings.Split(*variantsFlag, ",") {
+		v, err := parseVariant(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		variants = append(variants, v)
+	}
+	apps := workload.Apps()
+	if *appsFlag != "all" {
+		apps = nil
+		for _, a := range strings.Split(*appsFlag, ",") {
+			apps = append(apps, strings.TrimSpace(a))
+		}
+	}
+	eng := sched.New(sched.Options{Workers: *workers, CacheDir: *cacheDir})
+	defer eng.Close()
+	cfg.Engine = eng
+	m, err := harness.RunSweep(harness.SweepSpec{
+		FXUs:        fxus,
+		BTACEntries: btac,
+		Variants:    variants,
+		Apps:        apps,
+		Config:      cfg,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return m.WriteJSON(os.Stdout)
+	}
+	if *grid {
+		fmt.Println(m.Grid().Render())
+	}
+	fmt.Println(m.Summary().Render())
+	st := m.Scheduler
+	pool := fmt.Sprintf("%d workers", st.Workers)
+	if st.Workers == 1 {
+		pool = "1 worker"
+	}
+	fmt.Printf("scheduler: %d jobs on %s, %d simulated, cache hit rate %.0f%% (%d in-memory, %d disk)\n",
+		st.Submitted, pool, st.Computed, 100*st.HitRate(), st.MemoryHits, st.DiskHits)
+	if st.DiskCorrupt > 0 {
+		fmt.Printf("scheduler: %d corrupted disk cache entries detected and recomputed\n", st.DiskCorrupt)
+	}
+	fmt.Printf("elapsed: %dms\n", m.ElapsedMS)
 	return nil
 }
 

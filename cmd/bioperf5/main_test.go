@@ -105,6 +105,41 @@ func TestCommandsSmoke(t *testing.T) {
 	}
 }
 
+func TestParseIntList(t *testing.T) {
+	got, err := parseIntList("fxus", "2, 3,4", false)
+	if err != nil || len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Errorf("parseIntList = %v, %v", got, err)
+	}
+	got, err = parseIntList("btac", "off,8", true)
+	if err != nil || len(got) != 2 || got[0] != 0 || got[1] != 8 {
+		t.Errorf("parseIntList with off = %v, %v", got, err)
+	}
+	if _, err := parseIntList("fxus", "off,2", false); err == nil {
+		t.Error("'off' accepted where not allowed")
+	}
+	if _, err := parseIntList("fxus", "2,x", false); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+}
+
+// TestCmdSweepSmoke runs a tiny sweep through the CLI path end to end.
+func TestCmdSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	args := []string{"-fxus", "2", "-btac", "off", "-variants", "original",
+		"-apps", "Fasta", "-cache-dir", t.TempDir()}
+	if err := cmdSweep(args); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if err := cmdSweep([]string{"-fxus", "nope"}); err == nil {
+		t.Error("bad -fxus accepted")
+	}
+	if err := cmdSweep([]string{"-apps", "NoSuchApp"}); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
 // TestStatsFor exercises the registry-backed stats path: the simulator
 // counters, stall buckets and the profiler breakdown must land in one
 // snapshot.

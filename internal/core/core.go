@@ -79,6 +79,19 @@ type Detail struct {
 	Aggregate cpu.Report   `json:"aggregate"`
 }
 
+// RunCell simulates exactly one (kernel, setup, seed) cell — the unit
+// of work the internal/sched engine schedules and caches.  It touches
+// no state outside its own run (NewRun marshals a fresh memory image,
+// Compile builds fresh IR, cpu.New builds a fresh model), so cells are
+// safe to execute from concurrent workers.
+func RunCell(k *kernels.Kernel, s Setup, seed int64, scale int) (cpu.Report, error) {
+	run, err := k.NewRun(seed, scale)
+	if err != nil {
+		return cpu.Report{}, err
+	}
+	return kernels.SimulateObserved(k, s.Variant, run, s.CPU, stepLimit, kernels.Observer{})
+}
+
 // RunKernelDetailed simulates one invocation per seed, keeping each
 // seed's counters and CPI stall stack as well as the aggregate.
 func RunKernelDetailed(k *kernels.Kernel, s Setup, seeds []int64, scale int) (*Detail, error) {
@@ -87,11 +100,7 @@ func RunKernelDetailed(k *kernels.Kernel, s Setup, seeds []int64, scale int) (*D
 	}
 	det := &Detail{}
 	for _, seed := range seeds {
-		run, err := k.NewRun(seed, scale)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := kernels.SimulateObserved(k, s.Variant, run, s.CPU, stepLimit, kernels.Observer{})
+		rep, err := RunCell(k, s, seed, scale)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"context"
+	"sync"
+
+	"bioperf5/internal/core"
+	"bioperf5/internal/cpu"
+	"bioperf5/internal/kernels"
+	"bioperf5/internal/sched"
+)
+
+// sharedEngine is the process-wide default scheduler used when a
+// Config carries no engine of its own: GOMAXPROCS workers and an
+// in-memory cache, so `run all` computes the baseline column once
+// across Table I and Figures 4-6.
+var (
+	sharedOnce sync.Once
+	shared     *sched.Engine
+)
+
+func sharedEngine() *sched.Engine {
+	sharedOnce.Do(func() { shared = sched.New(sched.Options{}) })
+	return shared
+}
+
+// engine resolves the scheduler this configuration submits cells to.
+func (c Config) engine() *sched.Engine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	return sharedEngine()
+}
+
+// cell is one outstanding (kernel, setup) experiment cell: a future
+// per seed.  Experiments submit every cell up front and collect in
+// table order, so the rendered rows are identical to the old serial
+// loops regardless of worker count.
+type pending struct {
+	seeds []int64
+	futs  []*sched.Future
+}
+
+// submitCell fans the cell's seeds out to the scheduler.
+func (c Config) submitCell(k *kernels.Kernel, s core.Setup) *pending {
+	eng := c.engine()
+	cl := &pending{seeds: c.Seeds}
+	for _, seed := range c.Seeds {
+		cl.futs = append(cl.futs, eng.Submit(context.Background(), sched.Job{
+			App:     k.App,
+			Variant: s.Variant,
+			CPU:     s.CPU,
+			Seed:    seed,
+			Scale:   c.Scale,
+		}))
+	}
+	return cl
+}
+
+// detail collects the cell into the per-seed + aggregate shape the
+// serial core.RunKernelDetailed produced, summing in seed order.
+func (cl *pending) detail() (*core.Detail, error) {
+	det := &core.Detail{}
+	for i, f := range cl.futs {
+		rep, err := f.Wait()
+		if err != nil {
+			return nil, err
+		}
+		det.Seeds = append(det.Seeds, core.SeedReport{
+			Seed: cl.seeds[i], Counters: rep.Counters, Stalls: rep.Stalls,
+		})
+		det.Aggregate = det.Aggregate.Add(rep)
+	}
+	return det, nil
+}
+
+// counters collects the cell's summed counters.
+func (cl *pending) counters() (cpu.Counters, error) {
+	det, err := cl.detail()
+	if err != nil {
+		return cpu.Counters{}, err
+	}
+	return det.Aggregate.Counters, nil
+}

@@ -9,6 +9,13 @@ import (
 	"bioperf5/internal/workload"
 )
 
+// The counter-driven experiments (Table I/II, Figures 3-6) all follow
+// the same two-phase shape: submit every (kernel, setup) cell to the
+// scheduler first, then collect the futures in table order.  All cells
+// of an experiment simulate concurrently (bounded by the engine's
+// worker pool), and cells shared between experiments — the baseline
+// column of Table I and Figures 4-6 — are computed once per engine.
+
 // Fig1 reproduces Figure 1: the gprof-style function-wise breakout of
 // the four applications running end-to-end in pure Go.
 func Fig1(cfg Config) (*Table, error) {
@@ -50,8 +57,13 @@ func Table1(cfg Config) (*Table, error) {
 		Columns: []string{"application", "IPC", "L1D miss rate",
 			"% mispred. due to direction", "stalls due FXU"},
 	}
-	for _, k := range kernels.All() {
-		ctr, err := core.RunKernel(k, core.Baseline(), cfg.Seeds, cfg.Scale)
+	ks := kernels.All()
+	cells := make([]*pending, len(ks))
+	for i, k := range ks {
+		cells[i] = cfg.submitCell(k, core.Baseline())
+	}
+	for i, k := range ks {
+		ctr, err := cells[i].counters()
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +75,8 @@ func Table1(cfg Config) (*Table, error) {
 }
 
 // Fig2 reproduces Figure 2: Clustalw's interval IPC against interval
-// branch misprediction rate over the course of a run.
+// branch misprediction rate over the course of a run.  Interval traces
+// are one continuous simulation, so this experiment stays serial.
 func Fig2(cfg Config) (*Table, error) {
 	cfg = cfg.normalize()
 	k, err := kernels.ByApp("Clustalw")
@@ -88,10 +101,10 @@ func Fig2(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-// appVariantCounters runs one application kernel under one variant on
-// the baseline core.
-func appVariantCounters(k *kernels.Kernel, v kernels.Variant, cfg Config) (cpu.Counters, error) {
-	return core.RunKernel(k, core.Baseline().WithVariant(v), cfg.Seeds, cfg.Scale)
+// submitVariant schedules one application kernel under one predication
+// variant on the baseline core.
+func submitVariant(k *kernels.Kernel, v kernels.Variant, cfg Config) *pending {
+	return cfg.submitCell(k, core.Baseline().WithVariant(v))
 }
 
 // normIPC is the performance metric of Figures 3-6: instructions of the
@@ -117,14 +130,25 @@ func Fig3(cfg Config) (*Table, error) {
 		Note:    "IPC normalized to the original binary's instruction count (a speedup measure)",
 		Columns: []string{"application", "variant", "IPC", "improvement"},
 	}
-	for _, k := range kernels.All() {
-		base, err := appVariantCounters(k, kernels.Branchy, cfg)
+	ks := kernels.All()
+	vs := figure3Variants()
+	baseCells := make([]*pending, len(ks))
+	varCells := make([][]*pending, len(ks))
+	for i, k := range ks {
+		baseCells[i] = submitVariant(k, kernels.Branchy, cfg)
+		varCells[i] = make([]*pending, len(vs))
+		for j, v := range vs {
+			varCells[i][j] = submitVariant(k, v, cfg)
+		}
+	}
+	for i, k := range ks {
+		base, err := baseCells[i].counters()
 		if err != nil {
 			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{k.App, kernels.Branchy.String(), f2(base.IPC()), "-"})
-		for _, v := range figure3Variants() {
-			ctr, err := appVariantCounters(k, v, cfg)
+		for j, v := range vs {
+			ctr, err := varCells[i][j].counters()
 			if err != nil {
 				return nil, err
 			}
@@ -151,14 +175,22 @@ func Table2(cfg Config) (*Table, error) {
 		kernels.HandMax, kernels.CompMax,
 		kernels.Branchy,
 	}
-	for _, k := range kernels.All() {
-		for i, v := range order {
-			ctr, err := appVariantCounters(k, v, cfg)
+	ks := kernels.All()
+	cells := make([][]*pending, len(ks))
+	for i, k := range ks {
+		cells[i] = make([]*pending, len(order))
+		for j, v := range order {
+			cells[i][j] = submitVariant(k, v, cfg)
+		}
+	}
+	for i, k := range ks {
+		for j, v := range order {
+			ctr, err := cells[i][j].counters()
 			if err != nil {
 				return nil, err
 			}
 			app := k.App
-			if i > 0 {
+			if j > 0 {
 				app = ""
 			}
 			t.Rows = append(t.Rows, []string{app, v.String(),
@@ -187,22 +219,35 @@ func Fig4(cfg Config) (*Table, error) {
 		{"original POWER5", core.Baseline()},
 		{"with predication", core.Baseline().WithVariant(kernels.Combination)},
 	}
-	for _, k := range kernels.All() {
-		baseWork, err := core.RunKernel(k, core.Baseline(), cfg.Seeds, cfg.Scale)
+	ks := kernels.All()
+	type fig4Cells struct {
+		baseWork    *pending
+		plain, btac [2]*pending
+	}
+	cells := make([]fig4Cells, len(ks))
+	for i, k := range ks {
+		cells[i].baseWork = cfg.submitCell(k, core.Baseline())
+		for j, s := range setups {
+			cells[i].plain[j] = cfg.submitCell(k, s.base)
+			cells[i].btac[j] = cfg.submitCell(k, s.base.WithBTAC())
+		}
+	}
+	for i, k := range ks {
+		baseWork, err := cells[i].baseWork.counters()
 		if err != nil {
 			return nil, err
 		}
-		for i, s := range setups {
-			plain, err := core.RunKernel(k, s.base, cfg.Seeds, cfg.Scale)
+		for j, s := range setups {
+			plain, err := cells[i].plain[j].counters()
 			if err != nil {
 				return nil, err
 			}
-			btac, err := core.RunKernel(k, s.base.WithBTAC(), cfg.Seeds, cfg.Scale)
+			btac, err := cells[i].btac[j].counters()
 			if err != nil {
 				return nil, err
 			}
 			app := k.App
-			if i > 0 {
+			if j > 0 {
 				app = ""
 			}
 			p, q := normIPC(baseWork, plain), normIPC(baseWork, btac)
@@ -230,22 +275,37 @@ func Fig5(cfg Config) (*Table, error) {
 		{"original", core.Baseline()},
 		{"combination", core.Baseline().WithVariant(kernels.Combination)},
 	}
-	for _, k := range kernels.All() {
-		baseWork, err := core.RunKernel(k, core.Baseline(), cfg.Seeds, cfg.Scale)
+	fxus := []int{2, 3, 4}
+	ks := kernels.All()
+	type fig5Cells struct {
+		baseWork *pending
+		byFXU    [2][]*pending
+	}
+	cells := make([]fig5Cells, len(ks))
+	for i, k := range ks {
+		cells[i].baseWork = cfg.submitCell(k, core.Baseline())
+		for j, b := range bases {
+			for _, n := range fxus {
+				cells[i].byFXU[j] = append(cells[i].byFXU[j], cfg.submitCell(k, b.s.WithFXUs(n)))
+			}
+		}
+	}
+	for i, k := range ks {
+		baseWork, err := cells[i].baseWork.counters()
 		if err != nil {
 			return nil, err
 		}
-		for i, b := range bases {
+		for j, b := range bases {
 			var ipcs []string
-			for _, n := range []int{2, 3, 4} {
-				ctr, err := core.RunKernel(k, b.s.WithFXUs(n), cfg.Seeds, cfg.Scale)
+			for fi := range fxus {
+				ctr, err := cells[i].byFXU[j][fi].counters()
 				if err != nil {
 					return nil, err
 				}
 				ipcs = append(ipcs, f2(normIPC(baseWork, ctr)))
 			}
 			app := k.App
-			if i > 0 {
+			if j > 0 {
 				app = ""
 			}
 			t.Rows = append(t.Rows, append([]string{app, b.name}, ipcs...))
@@ -266,26 +326,39 @@ func Fig6(cfg Config) (*Table, error) {
 		Columns: []string{"application", "base IPC", "+pred", "+BTAC", "+4 FXU",
 			"all", "residual", "total gain"},
 	}
-	for _, k := range kernels.All() {
-		base, err := core.RunKernel(k, core.Baseline(), cfg.Seeds, cfg.Scale)
+	ks := kernels.All()
+	type fig6Cells struct {
+		base, pred, btac, fxu, all *pending
+	}
+	cells := make([]fig6Cells, len(ks))
+	for i, k := range ks {
+		cells[i] = fig6Cells{
+			base: cfg.submitCell(k, core.Baseline()),
+			pred: cfg.submitCell(k, core.Baseline().WithVariant(kernels.Combination)),
+			btac: cfg.submitCell(k, core.Baseline().WithBTAC()),
+			fxu:  cfg.submitCell(k, core.Baseline().WithFXUs(4)),
+			all: cfg.submitCell(k,
+				core.Baseline().WithVariant(kernels.Combination).WithBTAC().WithFXUs(4)),
+		}
+	}
+	for i, k := range ks {
+		base, err := cells[i].base.counters()
 		if err != nil {
 			return nil, err
 		}
-		pred, err := core.RunKernel(k, core.Baseline().WithVariant(kernels.Combination), cfg.Seeds, cfg.Scale)
+		pred, err := cells[i].pred.counters()
 		if err != nil {
 			return nil, err
 		}
-		btac, err := core.RunKernel(k, core.Baseline().WithBTAC(), cfg.Seeds, cfg.Scale)
+		btac, err := cells[i].btac.counters()
 		if err != nil {
 			return nil, err
 		}
-		fxu, err := core.RunKernel(k, core.Baseline().WithFXUs(4), cfg.Seeds, cfg.Scale)
+		fxu, err := cells[i].fxu.counters()
 		if err != nil {
 			return nil, err
 		}
-		all, err := core.RunKernel(k,
-			core.Baseline().WithVariant(kernels.Combination).WithBTAC().WithFXUs(4),
-			cfg.Seeds, cfg.Scale)
+		all, err := cells[i].all.counters()
 		if err != nil {
 			return nil, err
 		}

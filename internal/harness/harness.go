@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"bioperf5/internal/kernels"
+	"bioperf5/internal/sched"
 )
 
 // Config scales the experiments.  Scale stretches kernel inputs; Seeds
@@ -16,6 +17,12 @@ import (
 type Config struct {
 	Scale int     `json:"scale"`
 	Seeds []int64 `json:"seeds"`
+
+	// Engine, when set, is the scheduler experiment cells are submitted
+	// to; nil uses a shared process-wide engine (GOMAXPROCS workers,
+	// in-memory result cache).  Cells are pure, so the choice only
+	// affects wall-clock time, never the numbers.
+	Engine *sched.Engine `json:"-"`
 }
 
 // DefaultConfig is the configuration the CLI uses.

@@ -61,14 +61,20 @@ type KernelStats struct {
 	Aggregate SeedStats   `json:"aggregate"`
 }
 
-// KernelStatsFor runs one kernel under one setup and packages the
-// detailed result.
+// KernelStatsFor runs one kernel under one setup through the scheduler
+// and packages the detailed result.
 func KernelStatsFor(k *kernels.Kernel, s core.Setup, cfg Config) (KernelStats, error) {
 	cfg = cfg.normalize()
-	det, err := core.RunKernelDetailed(k, s, cfg.Seeds, cfg.Scale)
+	det, err := cfg.submitCell(k, s).detail()
 	if err != nil {
 		return KernelStats{}, err
 	}
+	return packKernelStats(k, s, det), nil
+}
+
+// packKernelStats shapes a collected cell detail into the JSON-report
+// form.
+func packKernelStats(k *kernels.Kernel, s core.Setup, det *core.Detail) KernelStats {
 	ks := KernelStats{
 		App:     k.App,
 		Kernel:  k.Name,
@@ -89,20 +95,26 @@ func KernelStatsFor(k *kernels.Kernel, s core.Setup, cfg Config) (KernelStats, e
 			Stalls:   sr.Stalls,
 		})
 	}
-	return ks, nil
+	return ks
 }
 
 // BaselineStats runs every application kernel on the POWER5 baseline
 // and returns the detailed stats — the data behind Table I's rows and
 // the `bioperf5 stats` subcommand.
 func BaselineStats(cfg Config) ([]KernelStats, error) {
+	cfg = cfg.normalize()
+	ks := kernels.All()
+	cells := make([]*pending, len(ks))
+	for i, k := range ks {
+		cells[i] = cfg.submitCell(k, core.Baseline())
+	}
 	var out []KernelStats
-	for _, k := range kernels.All() {
-		ks, err := KernelStatsFor(k, core.Baseline(), cfg)
+	for i, k := range ks {
+		det, err := cells[i].detail()
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, ks)
+		out = append(out, packKernelStats(k, core.Baseline(), det))
 	}
 	return out, nil
 }

@@ -1,0 +1,295 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"bioperf5/internal/branch"
+	"bioperf5/internal/core"
+	"bioperf5/internal/cpu"
+	"bioperf5/internal/kernels"
+	"bioperf5/internal/sched"
+	"bioperf5/internal/workload"
+)
+
+// SweepSpec is a full-factorial design-space sweep: every combination
+// of FXU count x BTAC sizing x predication variant is simulated for
+// every application, through the scheduler in Config.Engine (or the
+// shared default engine).
+type SweepSpec struct {
+	FXUs        []int             // fixed-point unit counts (paper: 2..4)
+	BTACEntries []int             // BTAC entry counts; 0 disables the BTAC
+	Variants    []kernels.Variant // predication variants
+	Apps        []string          // application names
+	Config      Config            // scale, seeds and the engine to run on
+}
+
+// DefaultSweepSpec is the paper's design space: FXUs 2-4, BTAC off and
+// 8-entry, original vs combination predication, all four applications.
+func DefaultSweepSpec() SweepSpec {
+	return SweepSpec{
+		FXUs:        []int{2, 3, 4},
+		BTACEntries: []int{0, 8},
+		Variants:    []kernels.Variant{kernels.Branchy, kernels.Combination},
+		Apps:        workload.Apps(),
+		Config:      DefaultConfig(),
+	}
+}
+
+func (sp SweepSpec) normalize() (SweepSpec, error) {
+	if len(sp.FXUs) == 0 {
+		sp.FXUs = []int{2, 3, 4}
+	}
+	if len(sp.BTACEntries) == 0 {
+		sp.BTACEntries = []int{0, 8}
+	}
+	if len(sp.Variants) == 0 {
+		sp.Variants = []kernels.Variant{kernels.Branchy, kernels.Combination}
+	}
+	if len(sp.Apps) == 0 {
+		sp.Apps = workload.Apps()
+	}
+	for _, n := range sp.FXUs {
+		if n < 1 {
+			return sp, fmt.Errorf("sweep: FXU count %d out of range", n)
+		}
+	}
+	for _, n := range sp.BTACEntries {
+		if n < 0 {
+			return sp, fmt.Errorf("sweep: BTAC entry count %d out of range", n)
+		}
+	}
+	for _, app := range sp.Apps {
+		if _, err := kernels.ByApp(app); err != nil {
+			return sp, err
+		}
+	}
+	sp.Config = sp.Config.normalize()
+	return sp, nil
+}
+
+// setupFor builds the core setup of one grid point.
+func setupFor(v kernels.Variant, fxus, btacEntries int) core.Setup {
+	s := core.Baseline()
+	s.Variant = v
+	s.CPU.NumFXU = fxus
+	if btacEntries > 0 {
+		s.CPU.UseBTAC = true
+		s.CPU.BTAC = branch.BTACConfig{Entries: btacEntries, Threshold: 1, MaxScore: 3}
+	}
+	s.Name = fmt.Sprintf("%s + %d FXUs + BTAC %s", v, fxus, btacLabel(btacEntries))
+	return s
+}
+
+func btacLabel(entries int) string {
+	if entries <= 0 {
+		return "off"
+	}
+	return strconv.Itoa(entries)
+}
+
+// SweepPoint is one evaluated grid cell of the manifest.
+type SweepPoint struct {
+	App         string      `json:"app"`
+	Variant     string      `json:"variant"`
+	FXUs        int         `json:"fxus"`
+	BTACEntries int         `json:"btac_entries"` // 0 = no BTAC
+	Key         string      `json:"key"`          // content hash of the cell (over its per-seed job hashes)
+	Stats       KernelStats `json:"stats"`        // the PR-1 report schema, per seed + aggregate
+	NormIPC     float64     `json:"norm_ipc"`     // baseline work / cycles (a speedup measure)
+	Improvement float64     `json:"improvement"`  // NormIPC vs the app's POWER5 baseline IPC, fractional
+}
+
+// SweepBest names the best configuration found for one application.
+type SweepBest struct {
+	App         string  `json:"app"`
+	Variant     string  `json:"variant"`
+	FXUs        int     `json:"fxus"`
+	BTACEntries int     `json:"btac_entries"`
+	NormIPC     float64 `json:"norm_ipc"`
+	Improvement float64 `json:"improvement"`
+}
+
+// SweepManifest is the machine-readable outcome of a sweep.
+type SweepManifest struct {
+	Spec struct {
+		FXUs        []int    `json:"fxus"`
+		BTACEntries []int    `json:"btac_entries"`
+		Variants    []string `json:"variants"`
+		Apps        []string `json:"apps"`
+	} `json:"spec"`
+	Config    Config       `json:"config"`
+	Points    []SweepPoint `json:"points"`
+	Best      []SweepBest  `json:"best"` // per app, paper order
+	Scheduler sched.Stats  `json:"scheduler"`
+	ElapsedMS int64        `json:"elapsed_ms"` // timing; excluded from determinism comparisons
+}
+
+// WriteJSON writes the manifest to w as indented JSON.
+func (m *SweepManifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// cellKey derives the content hash of a whole cell from its per-seed
+// job hashes.
+func cellKey(jobs []sched.Job) string {
+	h := sha256.New()
+	for _, j := range jobs {
+		io.WriteString(h, j.Hash())
+		io.WriteString(h, "\n")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RunSweep evaluates the full grid.  Every cell — plus each
+// application's POWER5 baseline, used to normalize IPC — is submitted
+// to the scheduler up front, so the whole sweep is bounded by the
+// worker pool, and grid points that coincide with the baseline (or
+// with each other across re-runs) are served from the cache.
+func RunSweep(sp SweepSpec) (*SweepManifest, error) {
+	sp, err := sp.normalize()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	cfg := sp.Config
+
+	m := &SweepManifest{Config: cfg}
+	m.Spec.FXUs = sp.FXUs
+	m.Spec.BTACEntries = sp.BTACEntries
+	for _, v := range sp.Variants {
+		m.Spec.Variants = append(m.Spec.Variants, v.String())
+	}
+	m.Spec.Apps = sp.Apps
+
+	// Submit phase: baselines first (they normalize every point), then
+	// the grid in manifest order.
+	type pendingPoint struct {
+		point SweepPoint
+		setup core.Setup
+		cell  *pending
+	}
+	baselines := make(map[string]*pending, len(sp.Apps))
+	for _, app := range sp.Apps {
+		k, _ := kernels.ByApp(app)
+		baselines[app] = cfg.submitCell(k, core.Baseline())
+	}
+	var pendings []pendingPoint
+	for _, app := range sp.Apps {
+		k, _ := kernels.ByApp(app)
+		for _, v := range sp.Variants {
+			for _, fxus := range sp.FXUs {
+				for _, entries := range sp.BTACEntries {
+					s := setupFor(v, fxus, entries)
+					var jobs []sched.Job
+					for _, seed := range cfg.Seeds {
+						jobs = append(jobs, sched.Job{
+							App: app, Variant: v, CPU: s.CPU,
+							Seed: seed, Scale: cfg.Scale,
+						})
+					}
+					pendings = append(pendings, pendingPoint{
+						point: SweepPoint{
+							App:         app,
+							Variant:     v.String(),
+							FXUs:        fxus,
+							BTACEntries: entries,
+							Key:         cellKey(jobs),
+						},
+						setup: s,
+						cell:  cfg.submitCell(k, s),
+					})
+				}
+			}
+		}
+	}
+
+	// Collect phase, in submission order.
+	baseWork := make(map[string]cpu.Counters, len(sp.Apps))
+	for _, app := range sp.Apps {
+		ctr, err := baselines[app].counters()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s baseline: %w", app, err)
+		}
+		baseWork[app] = ctr
+	}
+	best := make(map[string]*SweepBest, len(sp.Apps))
+	for _, pp := range pendings {
+		det, err := pp.cell.detail()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s %s: %w", pp.point.App, pp.setup.Name, err)
+		}
+		k, _ := kernels.ByApp(pp.point.App)
+		p := pp.point
+		p.Stats = packKernelStats(k, pp.setup, det)
+		base := baseWork[p.App]
+		p.NormIPC = normIPC(base, det.Aggregate.Counters)
+		if ipc := base.IPC(); ipc > 0 {
+			p.Improvement = (p.NormIPC - ipc) / ipc
+		}
+		m.Points = append(m.Points, p)
+		if b := best[p.App]; b == nil || p.NormIPC > b.NormIPC {
+			best[p.App] = &SweepBest{
+				App: p.App, Variant: p.Variant, FXUs: p.FXUs,
+				BTACEntries: p.BTACEntries, NormIPC: p.NormIPC,
+				Improvement: p.Improvement,
+			}
+		}
+	}
+	for _, app := range sp.Apps {
+		if b := best[app]; b != nil {
+			m.Best = append(m.Best, *b)
+		}
+	}
+	m.Scheduler = cfg.engine().Stats()
+	m.ElapsedMS = time.Since(start).Milliseconds()
+	return m, nil
+}
+
+// Summary renders the best-configuration-per-application table plus
+// one row per grid point.
+func (m *SweepManifest) Summary() *Table {
+	t := &Table{
+		ID:    "sweep",
+		Title: "Design-space sweep: best configuration per application",
+		Note: fmt.Sprintf("%d points; norm. IPC is baseline work / cycles (a speedup measure)",
+			len(m.Points)),
+		Columns: []string{"application", "variant", "FXUs", "BTAC", "norm. IPC", "improvement"},
+	}
+	for _, b := range m.Best {
+		t.Rows = append(t.Rows, []string{b.App, b.Variant,
+			strconv.Itoa(b.FXUs), btacLabel(b.BTACEntries),
+			f2(b.NormIPC), pctDelta(1+b.Improvement, 1)})
+	}
+	return t
+}
+
+// Grid renders every point of the manifest as a table, grouped by
+// application in manifest order.
+func (m *SweepManifest) Grid() *Table {
+	t := &Table{
+		ID:      "sweep-grid",
+		Title:   "Design-space sweep: all points",
+		Columns: []string{"application", "variant", "FXUs", "BTAC", "norm. IPC", "improvement"},
+	}
+	prev := ""
+	for _, p := range m.Points {
+		app := p.App
+		if app == prev {
+			app = ""
+		} else {
+			prev = p.App
+		}
+		t.Rows = append(t.Rows, []string{app, p.Variant,
+			strconv.Itoa(p.FXUs), btacLabel(p.BTACEntries),
+			f2(p.NormIPC), pctDelta(1+p.Improvement, 1)})
+	}
+	return t
+}

@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"bioperf5/internal/kernels"
+	"bioperf5/internal/sched"
+	"bioperf5/internal/workload"
+)
+
+// smallSweep is a quick two-app slice of the design space used by the
+// tier-1 determinism and cache tests.
+func smallSweep(eng *sched.Engine) SweepSpec {
+	return SweepSpec{
+		FXUs:        []int{2, 4},
+		BTACEntries: []int{0, 8},
+		Variants:    []kernels.Variant{kernels.Branchy},
+		Apps:        []string{"Clustalw", "Fasta"},
+		Config:      Config{Scale: 1, Seeds: []int64{1}, Engine: eng},
+	}
+}
+
+// manifestJSON serializes a manifest with its environment fields
+// (elapsed time, worker count) zeroed — the canonical form determinism
+// is asserted on.
+func manifestJSON(t *testing.T, m *SweepManifest) []byte {
+	t.Helper()
+	clone := *m
+	clone.ElapsedMS = 0
+	clone.Scheduler.Workers = 0
+	b, err := json.MarshalIndent(&clone, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the tier-1 determinism
+// gate: the same sweep on 1 worker and on 8 workers must produce
+// byte-identical JSON manifests (modulo the timing field).
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var manifests [][]byte
+	for _, workers := range []int{1, 8} {
+		eng := sched.New(sched.Options{Workers: workers})
+		m, err := RunSweep(smallSweep(eng))
+		eng.Close()
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		manifests = append(manifests, manifestJSON(t, m))
+	}
+	if !bytes.Equal(manifests[0], manifests[1]) {
+		t.Errorf("manifests diverge between 1 and 8 workers:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s",
+			manifests[0], manifests[1])
+	}
+}
+
+// TestSweepSecondRunHitsCacheOnly asserts a repeated identical sweep
+// performs zero simulation work: every cell is served from the
+// content-addressed cache, visible in the telemetry counters.
+func TestSweepSecondRunHitsCacheOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	eng := sched.New(sched.Options{Workers: 4})
+	defer eng.Close()
+	spec := smallSweep(eng)
+
+	m1, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	computed := eng.Registry().Counter("sched.jobs.computed").Value()
+	if computed == 0 {
+		t.Fatal("first sweep computed nothing")
+	}
+
+	m2, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := eng.Registry().Counter("sched.jobs.computed").Value(); after != computed {
+		t.Errorf("second sweep simulated %d cells, want 0", after-computed)
+	}
+	hits := eng.Registry().Counter("sched.cache.memory.hits").Value()
+	if hits == 0 {
+		t.Error("cache-hit counter did not move")
+	}
+	// Identical numbers, served from cache.
+	p1, p2 := m1.Points, m2.Points
+	if len(p1) != len(p2) {
+		t.Fatalf("point counts differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		a, _ := json.Marshal(p1[i])
+		b, _ := json.Marshal(p2[i])
+		if !bytes.Equal(a, b) {
+			t.Errorf("point %d differs between runs:\n%s\n%s", i, a, b)
+		}
+	}
+}
+
+func TestSweepManifestShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	eng := sched.New(sched.Options{Workers: 4})
+	defer eng.Close()
+	spec := smallSweep(eng)
+	m, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPoints := len(spec.FXUs) * len(spec.BTACEntries) * len(spec.Variants) * len(spec.Apps)
+	if len(m.Points) != wantPoints {
+		t.Fatalf("%d points, want %d", len(m.Points), wantPoints)
+	}
+	if len(m.Best) != len(spec.Apps) {
+		t.Fatalf("%d best entries, want %d", len(m.Best), len(spec.Apps))
+	}
+	seen := map[string]bool{}
+	for _, p := range m.Points {
+		if p.Key == "" || seen[p.Key] {
+			t.Errorf("point %s/%s/%d/%d: missing or duplicate key", p.App, p.Variant, p.FXUs, p.BTACEntries)
+		}
+		seen[p.Key] = true
+		if p.Stats.Aggregate.Counters.Instructions == 0 {
+			t.Errorf("point %s/%s: empty stats", p.App, p.Variant)
+		}
+		if p.NormIPC <= 0 {
+			t.Errorf("point %s/%s: norm IPC %f", p.App, p.Variant, p.NormIPC)
+		}
+	}
+	// More hardware never hurts in this model: each app's best point
+	// must improve on its baseline.
+	for _, b := range m.Best {
+		if b.Improvement < 0 {
+			t.Errorf("%s: best improvement %.3f negative", b.App, b.Improvement)
+		}
+	}
+	// The manifest round-trips as JSON and renders as tables.
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid manifest JSON")
+	}
+	if m.Summary().Render() == "" || m.Grid().Render() == "" {
+		t.Fatal("empty summary/grid render")
+	}
+	// The baseline grid point is shared with the normalization cell, so
+	// the scheduler must have deduplicated it.
+	if m.Scheduler.MemoryHits == 0 {
+		t.Error("baseline cell not deduplicated with normalization cell")
+	}
+}
+
+func TestSweepRejectsBadSpec(t *testing.T) {
+	if _, err := RunSweep(SweepSpec{Apps: []string{"NoSuchApp"}}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := RunSweep(SweepSpec{FXUs: []int{0}, Apps: []string{"Fasta"}}); err == nil {
+		t.Error("zero FXUs accepted")
+	}
+	if _, err := RunSweep(SweepSpec{BTACEntries: []int{-1}, Apps: []string{"Fasta"}}); err == nil {
+		t.Error("negative BTAC entries accepted")
+	}
+}
+
+func TestDefaultSweepSpecCoversPaperGrid(t *testing.T) {
+	sp := DefaultSweepSpec()
+	if len(sp.FXUs) != 3 || len(sp.BTACEntries) != 2 || len(sp.Apps) != len(workload.Apps()) {
+		t.Errorf("default spec = %+v", sp)
+	}
+}
+
+// TestExperimentsParallelMatchesSerial is the acceptance gate for the
+// harness retrofit: Figures 4-6 rendered through a 1-worker engine and
+// through a many-worker engine must be byte-identical.
+func TestExperimentsParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	experiments := []func(Config) (*Table, error){Fig4, Fig5, Fig6}
+	names := []string{"fig4", "fig5", "fig6"}
+	for i, run := range experiments {
+		run := run
+		t.Run(names[i], func(t *testing.T) {
+			t.Parallel()
+			var outs []string
+			for _, workers := range []int{1, 8} {
+				eng := sched.New(sched.Options{Workers: workers})
+				tab, err := run(Config{Scale: 1, Seeds: []int64{1}, Engine: eng})
+				eng.Close()
+				if err != nil {
+					t.Fatalf("%d workers: %v", workers, err)
+				}
+				outs = append(outs, tab.Render())
+			}
+			if outs[0] != outs[1] {
+				t.Errorf("parallel output diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					outs[0], outs[1])
+			}
+		})
+	}
+}

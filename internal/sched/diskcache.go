@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"bioperf5/internal/cpu"
+)
+
+// diskStore is the content-addressed on-disk result cache: one JSON
+// file per job, named by the job's content hash.  Every entry embeds
+// the full canonical key plus a checksum of the result payload, so a
+// load verifies three things before trusting a file: it parses, its
+// key hashes back to the filename, and its result matches the stored
+// checksum.  Anything else is treated as corruption and recomputed.
+type diskStore struct {
+	dir string
+}
+
+// diskEntry is the file format.
+type diskEntry struct {
+	Key    Key        `json:"key"`
+	SHA256 string     `json:"sha256"` // hex SHA-256 of the canonical result JSON
+	Result cpu.Report `json:"result"`
+}
+
+func (d *diskStore) path(hash string) string {
+	return filepath.Join(d.dir, hash+".json")
+}
+
+func resultSum(rep cpu.Report) (string, error) {
+	b, err := json.Marshal(rep)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// load returns the cached result for hash.  ok reports a verified hit;
+// corrupt reports that a file existed but failed verification (the
+// caller recomputes and overwrites it).  A missing file is neither.
+func (d *diskStore) load(hash string, want Key) (rep cpu.Report, ok, corrupt bool) {
+	b, err := os.ReadFile(d.path(hash))
+	if err != nil {
+		return cpu.Report{}, false, false
+	}
+	var e diskEntry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return cpu.Report{}, false, true
+	}
+	// The stored key must hash back to the address it was filed under
+	// and match the key we are looking up.
+	kb, err := json.Marshal(e.Key)
+	if err != nil {
+		return cpu.Report{}, false, true
+	}
+	sum := sha256.Sum256(kb)
+	if hex.EncodeToString(sum[:]) != hash || e.Key != want {
+		return cpu.Report{}, false, true
+	}
+	got, err := resultSum(e.Result)
+	if err != nil || got != e.SHA256 {
+		return cpu.Report{}, false, true
+	}
+	return e.Result, true, false
+}
+
+// store persists one result.  The write goes through a temp file and a
+// rename so a crash never leaves a half-written entry at the final
+// address (it would be detected as corrupt anyway, but this keeps
+// concurrent readers from ever seeing it).
+func (d *diskStore) store(hash string, key Key, rep cpu.Report) error {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return err
+	}
+	sum, err := resultSum(rep)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(diskEntry{Key: key, SHA256: sum, Result: rep}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, hash+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), d.path(hash))
+}

@@ -1,0 +1,290 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bioperf5/internal/cpu"
+	"bioperf5/internal/telemetry"
+)
+
+// Options configures an Engine.  The zero value is usable: GOMAXPROCS
+// workers, a queue of 4x that depth, in-memory caching on, no disk
+// store.
+type Options struct {
+	// Workers is the pool size; values < 1 mean GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the job queue; Submit blocks (backpressure)
+	// once the queue is full.  Values < 1 mean 4x Workers.
+	QueueDepth int
+	// DisableCache turns off both memoization and in-flight
+	// deduplication: every Submit simulates.  Benchmarks use it to
+	// measure raw scheduling throughput.
+	DisableCache bool
+	// CacheDir, when non-empty, adds a content-addressed on-disk store
+	// under that directory so results survive across processes.
+	// Entries are checksummed; corrupted files are recomputed, never
+	// trusted.
+	CacheDir string
+	// Registry receives the engine's telemetry (sched.* metrics).  Nil
+	// gets a private registry, readable via Engine.Registry.
+	Registry *telemetry.Registry
+}
+
+// Engine is a parallel, cache-aware job executor.  All methods are
+// safe for concurrent use.
+type Engine struct {
+	opts Options
+	reg  *telemetry.Registry
+	disk *diskStore
+
+	// compute executes one job; tests substitute a stub.
+	compute func(Job) (cpu.Report, error)
+
+	queue chan *task
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight map[string]*Future // content hash -> single flight (nil when DisableCache)
+	closed   bool
+
+	// telemetry handles, resolved once
+	mSubmitted, mComputed, mFailed, mPanics    *telemetry.Counter
+	mMemHits, mDiskHits, mDiskWrites, mCorrupt *telemetry.Counter
+	gWorkers, gQueuePeak                       *telemetry.Gauge
+	hQueueWait                                 *telemetry.Histogram
+}
+
+// task is one queued unit: the job, its future, and the submission
+// context (cancellation and deadline are honoured up to the moment the
+// simulation starts).
+type task struct {
+	job      Job
+	hash     string
+	fut      *Future
+	ctx      context.Context
+	enqueued time.Time
+}
+
+// Future is the pending result of a submitted job.
+type Future struct {
+	done chan struct{}
+	rep  cpu.Report
+	err  error
+}
+
+// Wait blocks until the job completes and returns its result.  Waiting
+// more than once is allowed and returns the same values.
+func (f *Future) Wait() (cpu.Report, error) {
+	<-f.done
+	return f.rep, f.err
+}
+
+func (f *Future) complete(rep cpu.Report, err error) {
+	f.rep, f.err = rep, err
+	close(f.done)
+}
+
+func resolved(rep cpu.Report, err error) *Future {
+	f := &Future{done: make(chan struct{})}
+	f.complete(rep, err)
+	return f
+}
+
+// New starts an engine.  Close releases its workers.
+func New(o Options) *Engine {
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	reg := o.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	e := &Engine{
+		opts:  o,
+		reg:   reg,
+		queue: make(chan *task, o.QueueDepth),
+
+		mSubmitted:  reg.Counter("sched.jobs.submitted"),
+		mComputed:   reg.Counter("sched.jobs.computed"),
+		mFailed:     reg.Counter("sched.jobs.failed"),
+		mPanics:     reg.Counter("sched.jobs.panics"),
+		mMemHits:    reg.Counter("sched.cache.memory.hits"),
+		mDiskHits:   reg.Counter("sched.cache.disk.hits"),
+		mDiskWrites: reg.Counter("sched.cache.disk.writes"),
+		mCorrupt:    reg.Counter("sched.cache.disk.corrupt"),
+		gWorkers:    reg.Gauge("sched.workers"),
+		gQueuePeak:  reg.Gauge("sched.queue.peak"),
+		hQueueWait:  reg.Histogram("sched.queue.wait_us", nil),
+	}
+	e.compute = func(j Job) (cpu.Report, error) { return j.run() }
+	if !o.DisableCache {
+		e.inflight = make(map[string]*Future)
+	}
+	if o.CacheDir != "" {
+		e.disk = &diskStore{dir: o.CacheDir}
+	}
+	e.gWorkers.Set(float64(o.Workers))
+	for i := 0; i < o.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Registry returns the registry the engine publishes into.
+func (e *Engine) Registry() *telemetry.Registry { return e.reg }
+
+// Close stops accepting jobs and waits for queued work to drain.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.queue)
+	e.wg.Wait()
+}
+
+// Submit schedules a job and returns its future.  Identical jobs
+// (equal content hashes) share one computation and one cache entry;
+// only the first submission enqueues work.  Submit blocks when the
+// bounded queue is full.  The context covers queue wait: a job whose
+// context is cancelled or past its deadline before a worker picks it
+// up fails with the context's error instead of simulating.
+func (e *Engine) Submit(ctx context.Context, j Job) *Future {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mSubmitted.Add(1)
+	hash := j.Hash()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return resolved(cpu.Report{}, fmt.Errorf("sched: engine closed"))
+	}
+	if e.inflight != nil {
+		if f, ok := e.inflight[hash]; ok {
+			e.mu.Unlock()
+			e.mMemHits.Add(1)
+			return f
+		}
+	}
+	f := &Future{done: make(chan struct{})}
+	if e.inflight != nil {
+		e.inflight[hash] = f
+	}
+	e.mu.Unlock()
+
+	t := &task{job: j, hash: hash, fut: f, ctx: ctx, enqueued: time.Now()}
+	e.queue <- t
+	if depth := float64(len(e.queue)); depth > e.gQueuePeak.Value() {
+		e.gQueuePeak.Set(depth)
+	}
+	return f
+}
+
+// Run is Submit + Wait.
+func (e *Engine) Run(ctx context.Context, j Job) (cpu.Report, error) {
+	return e.Submit(ctx, j).Wait()
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for t := range e.queue {
+		e.hQueueWait.Observe(uint64(time.Since(t.enqueued) / time.Microsecond))
+		rep, err := e.execute(t)
+		if err != nil {
+			e.mFailed.Add(1)
+			// Don't memoize failures (a cancelled context would
+			// otherwise poison the cell for later submissions).
+			e.mu.Lock()
+			if e.inflight != nil && e.inflight[t.hash] == t.fut {
+				delete(e.inflight, t.hash)
+			}
+			e.mu.Unlock()
+		}
+		t.fut.complete(rep, err)
+	}
+}
+
+// execute resolves one task: context check, disk cache probe, then the
+// simulation itself under panic recovery, then disk write-back.
+func (e *Engine) execute(t *task) (rep cpu.Report, err error) {
+	if cerr := t.ctx.Err(); cerr != nil {
+		return cpu.Report{}, fmt.Errorf("sched: job %s/%s seed %d: %w",
+			t.job.App, t.job.Variant, t.job.Seed, cerr)
+	}
+	if e.disk != nil {
+		if cached, ok, corrupt := e.disk.load(t.hash, t.job.Key()); ok {
+			e.mDiskHits.Add(1)
+			return cached, nil
+		} else if corrupt {
+			e.mCorrupt.Add(1)
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			e.mPanics.Add(1)
+			err = fmt.Errorf("sched: job %s/%s seed %d panicked: %v",
+				t.job.App, t.job.Variant, t.job.Seed, r)
+		}
+	}()
+	e.mComputed.Add(1)
+	rep, err = e.compute(t.job)
+	if err == nil && e.disk != nil {
+		if werr := e.disk.store(t.hash, t.job.Key(), rep); werr == nil {
+			e.mDiskWrites.Add(1)
+		}
+		// A failed write is not a job failure: the result is sound,
+		// only the cross-process cache misses next time.
+	}
+	return rep, err
+}
+
+// Stats is a point-in-time view of the engine's counters.
+type Stats struct {
+	Submitted   uint64 `json:"submitted"`    // jobs submitted
+	Computed    uint64 `json:"computed"`     // jobs actually simulated
+	MemoryHits  uint64 `json:"memory_hits"`  // submits resolved by the in-memory cache
+	DiskHits    uint64 `json:"disk_hits"`    // jobs resolved by the on-disk store
+	DiskWrites  uint64 `json:"disk_writes"`  // results persisted to disk
+	DiskCorrupt uint64 `json:"disk_corrupt"` // corrupted disk entries detected and recomputed
+	Failed      uint64 `json:"failed"`       // jobs that returned an error
+	Panics      uint64 `json:"panics"`       // jobs recovered from a panic
+	Workers     int    `json:"workers"`      // pool size
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Submitted:   e.mSubmitted.Value(),
+		Computed:    e.mComputed.Value(),
+		MemoryHits:  e.mMemHits.Value(),
+		DiskHits:    e.mDiskHits.Value(),
+		DiskWrites:  e.mDiskWrites.Value(),
+		DiskCorrupt: e.mCorrupt.Value(),
+		Failed:      e.mFailed.Value(),
+		Panics:      e.mPanics.Value(),
+		Workers:     e.opts.Workers,
+	}
+}
+
+// HitRate is the fraction of submitted jobs that needed no simulation
+// (served from the in-memory or on-disk cache).  A repeated sweep
+// reports 1.0.
+func (s Stats) HitRate() float64 {
+	if s.Submitted == 0 {
+		return 0
+	}
+	return 1 - float64(s.Computed)/float64(s.Submitted)
+}

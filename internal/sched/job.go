@@ -1,0 +1,93 @@
+// Package sched turns the harness into a parallel, cache-aware
+// execution engine for design-space exploration.  The unit of work is
+// a Job — one (kernel, variant, core config, seed) simulation cell —
+// identified by a canonical content hash.  An Engine executes jobs on
+// a bounded worker pool and memoizes results in a content-addressed
+// in-memory cache (optionally backed by an on-disk store), so repeated
+// cells — the shared baseline column across Figures 4-6, or re-runs
+// with overlapping configurations — are computed exactly once.
+//
+// Jobs are pure: core.RunCell touches no state outside its own run,
+// which is what makes results bit-identical regardless of worker
+// count (enforced by the harness sweep determinism test).
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"bioperf5/internal/core"
+	"bioperf5/internal/cpu"
+	"bioperf5/internal/kernels"
+)
+
+// Job is one self-describing simulation cell: which application kernel
+// to run, how to compile it, the core to run it on, and the input.
+type Job struct {
+	App     string          // application name (Blast, Clustalw, Fasta, Hmmer)
+	Variant kernels.Variant // predication variant the kernel is compiled under
+	CPU     cpu.Config      // microarchitecture configuration
+	Seed    int64           // input seed
+	Scale   int             // workload scale factor (values < 1 mean 1)
+}
+
+// keySchema versions the canonical key encoding; bump it whenever the
+// meaning of an existing cpu.Config field changes so stale on-disk
+// cache entries stop matching instead of being silently reused.
+const keySchema = 1
+
+// Key is the canonical, JSON-serializable identity of a Job.  Two jobs
+// with equal keys compute the same result.
+type Key struct {
+	Schema  int        `json:"schema"`
+	App     string     `json:"app"`
+	Variant string     `json:"variant"`
+	Seed    int64      `json:"seed"`
+	Scale   int        `json:"scale"`
+	CPU     cpu.Config `json:"cpu"`
+}
+
+// Key returns the job's canonical identity.  Scale is normalized the
+// way kernel NewRun hooks normalize it, so scale 0 and scale 1 address
+// the same cache entry.
+func (j Job) Key() Key {
+	scale := j.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	return Key{
+		Schema:  keySchema,
+		App:     j.App,
+		Variant: j.Variant.String(),
+		Seed:    j.Seed,
+		Scale:   scale,
+		CPU:     j.CPU,
+	}
+}
+
+// Hash returns the job's content hash: the hex SHA-256 of the
+// canonical JSON encoding of its Key.  It addresses both the in-memory
+// and the on-disk cache.
+func (j Job) Hash() string {
+	b, err := json.Marshal(j.Key())
+	if err != nil {
+		// Key is a fixed struct of marshalable fields; this cannot
+		// happen short of memory corruption.
+		panic(fmt.Sprintf("sched: marshal key: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// run executes the job.  It is the default compute function of an
+// Engine (tests substitute a stub).
+func (j Job) run() (cpu.Report, error) {
+	k, err := kernels.ByApp(j.App)
+	if err != nil {
+		return cpu.Report{}, err
+	}
+	s := core.Setup{Name: j.App, Variant: j.Variant, CPU: j.CPU}
+	return core.RunCell(k, s, j.Seed, j.Scale)
+}

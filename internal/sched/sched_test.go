@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bioperf5/internal/cpu"
+	"bioperf5/internal/kernels"
+)
+
+func baseJob() Job {
+	return Job{App: "Clustalw", Variant: kernels.Branchy, CPU: cpu.POWER5Baseline(), Seed: 1, Scale: 1}
+}
+
+func TestJobHashCanonical(t *testing.T) {
+	j := baseJob()
+	if j.Hash() != baseJob().Hash() {
+		t.Fatal("equal jobs hash differently")
+	}
+	// Scale is normalized: 0 and 1 are the same cell.
+	j0 := baseJob()
+	j0.Scale = 0
+	if j0.Hash() != baseJob().Hash() {
+		t.Error("scale 0 and scale 1 should share a cache entry")
+	}
+	// Every dimension of the design space must move the hash.
+	mutations := map[string]func(*Job){
+		"app":     func(j *Job) { j.App = "Fasta" },
+		"variant": func(j *Job) { j.Variant = kernels.Combination },
+		"seed":    func(j *Job) { j.Seed = 2 },
+		"scale":   func(j *Job) { j.Scale = 2 },
+		"fxus":    func(j *Job) { j.CPU.NumFXU = 4 },
+		"btac":    func(j *Job) { j.CPU.UseBTAC = true },
+		"btac-geometry": func(j *Job) {
+			j.CPU.UseBTAC = true
+			j.CPU.BTAC.Entries = 16
+		},
+		"predictor": func(j *Job) { j.CPU.Predictor = "gshare" },
+	}
+	seen := map[string]string{baseJob().Hash(): "base"}
+	for name, mutate := range mutations {
+		j := baseJob()
+		mutate(&j)
+		h := j.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutation %q collides with %q", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+// stubEngine builds an engine whose compute function is replaced, so
+// scheduler mechanics can be tested without real simulations.
+func stubEngine(t *testing.T, o Options, compute func(Job) (cpu.Report, error)) *Engine {
+	t.Helper()
+	e := New(o)
+	e.compute = compute
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestEngineDedupComputesOnce(t *testing.T) {
+	var computes atomic.Int64
+	e := stubEngine(t, Options{Workers: 4}, func(j Job) (cpu.Report, error) {
+		computes.Add(1)
+		return cpu.Report{Counters: cpu.Counters{Cycles: 7, Instructions: 3}}, nil
+	})
+	const n = 16
+	var wg sync.WaitGroup
+	reps := make([]cpu.Report, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reps[i], errs[i] = e.Run(context.Background(), baseJob())
+		}()
+	}
+	wg.Wait()
+	for i := range reps {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if reps[i].Counters.Cycles != 7 {
+			t.Fatalf("job %d: wrong result %+v", i, reps[i])
+		}
+	}
+	if got := computes.Load(); got != 1 {
+		t.Errorf("computed %d times, want 1", got)
+	}
+	st := e.Stats()
+	if st.Submitted != n || st.Computed != 1 || st.MemoryHits != n-1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if hr := st.HitRate(); hr < 0.9 {
+		t.Errorf("hit rate %.2f, want ~%.2f", hr, float64(n-1)/n)
+	}
+}
+
+func TestEngineDisableCacheComputesEveryTime(t *testing.T) {
+	var computes atomic.Int64
+	e := stubEngine(t, Options{Workers: 2, DisableCache: true}, func(j Job) (cpu.Report, error) {
+		computes.Add(1)
+		return cpu.Report{}, nil
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := e.Run(context.Background(), baseJob()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := computes.Load(); got != 3 {
+		t.Errorf("computed %d times, want 3", got)
+	}
+}
+
+func TestEnginePanicRecovery(t *testing.T) {
+	e := stubEngine(t, Options{Workers: 2}, func(j Job) (cpu.Report, error) {
+		if j.Seed == 13 {
+			panic("unlucky seed")
+		}
+		return cpu.Report{Counters: cpu.Counters{Cycles: 1}}, nil
+	})
+	bad := baseJob()
+	bad.Seed = 13
+	if _, err := e.Run(context.Background(), bad); err == nil ||
+		!strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic not surfaced as error: %v", err)
+	}
+	// The pool survives and still runs other jobs.
+	if _, err := e.Run(context.Background(), baseJob()); err != nil {
+		t.Fatalf("engine dead after panic: %v", err)
+	}
+	if st := e.Stats(); st.Panics != 1 || st.Failed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEngineCancelledContext(t *testing.T) {
+	var computes atomic.Int64
+	e := stubEngine(t, Options{Workers: 1}, func(j Job) (cpu.Report, error) {
+		computes.Add(1)
+		return cpu.Report{}, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(ctx, baseJob()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if computes.Load() != 0 {
+		t.Error("cancelled job was simulated")
+	}
+	// A live context retries the same cell: the failure was not cached.
+	if _, err := e.Run(context.Background(), baseJob()); err != nil {
+		t.Fatalf("cancellation was memoized: %v", err)
+	}
+	if computes.Load() != 1 {
+		t.Errorf("computed %d times, want 1", computes.Load())
+	}
+}
+
+func TestEngineFailureNotMemoized(t *testing.T) {
+	var calls atomic.Int64
+	e := stubEngine(t, Options{Workers: 1}, func(j Job) (cpu.Report, error) {
+		if calls.Add(1) == 1 {
+			return cpu.Report{}, errors.New("transient")
+		}
+		return cpu.Report{Counters: cpu.Counters{Cycles: 2}}, nil
+	})
+	if _, err := e.Run(context.Background(), baseJob()); err == nil {
+		t.Fatal("first run should fail")
+	}
+	rep, err := e.Run(context.Background(), baseJob())
+	if err != nil || rep.Counters.Cycles != 2 {
+		t.Fatalf("retry = %+v, %v", rep, err)
+	}
+}
+
+func TestEngineSubmitAfterClose(t *testing.T) {
+	e := New(Options{Workers: 1})
+	e.Close()
+	if _, err := e.Run(context.Background(), baseJob()); err == nil {
+		t.Fatal("submit after close succeeded")
+	}
+	e.Close() // double close is a no-op
+}
+
+func TestEngineUnknownAppFails(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	j := baseJob()
+	j.App = "NoSuchApp"
+	if _, err := e.Run(context.Background(), j); err == nil {
+		t.Fatal("unknown application accepted")
+	}
+}
+
+// TestEngineRealCell runs one real simulation through the engine and
+// cross-checks the result against the serial core path.
+func TestEngineRealCell(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	j := baseJob()
+	got, err := e.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := j.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("scheduled cell = %+v, serial cell = %+v", got, want)
+	}
+	if got.Counters.Instructions == 0 || got.Stalls.Total() != got.Counters.Cycles {
+		t.Errorf("implausible report: %+v", got)
+	}
+}

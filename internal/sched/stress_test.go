@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"bioperf5/internal/cpu"
+	"bioperf5/internal/kernels"
+)
+
+// TestSchedStressRace hammers one engine with a small real sweep —
+// every application under two variants, with duplicate submissions
+// from several goroutines — so `go test -race` (CI's race job) can
+// catch shared mutable state anywhere under kernels, core or cpu.
+// Determinism is asserted too: every duplicate must observe the exact
+// counter set of its first computation.
+func TestSchedStressRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e := New(Options{Workers: 4})
+	defer e.Close()
+
+	var jobs []Job
+	for _, k := range kernels.All() {
+		for _, v := range []kernels.Variant{kernels.Branchy, kernels.Combination} {
+			jobs = append(jobs, Job{App: k.App, Variant: v, CPU: cpu.POWER5Baseline(), Seed: 1, Scale: 1})
+		}
+	}
+
+	const dup = 3
+	results := make([][]cpu.Report, len(jobs))
+	for i := range results {
+		results[i] = make([]cpu.Report, dup)
+	}
+	var wg sync.WaitGroup
+	for d := 0; d < dup; d++ {
+		for i, j := range jobs {
+			d, i, j := d, i, j
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rep, err := e.Run(context.Background(), j)
+				if err != nil {
+					t.Errorf("%s/%s: %v", j.App, j.Variant, err)
+					return
+				}
+				results[i][d] = rep
+			}()
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i, j := range jobs {
+		for d := 1; d < dup; d++ {
+			if results[i][d] != results[i][0] {
+				t.Errorf("%s/%s: duplicate %d diverged", j.App, j.Variant, d)
+			}
+		}
+	}
+	if st := e.Stats(); st.Computed != uint64(len(jobs)) {
+		t.Errorf("computed %d cells, want %d (stats %+v)", st.Computed, len(jobs), st)
+	}
+}
