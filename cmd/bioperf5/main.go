@@ -16,14 +16,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"bioperf5/internal/cpu"
+	"bioperf5/internal/fault"
 	"bioperf5/internal/harness"
 	"bioperf5/internal/kernels"
 	"bioperf5/internal/perf"
@@ -41,11 +46,16 @@ commands:
                            -json emits the machine-readable report)
   sweep                    full-factorial design-space sweep over FXU count x
                            BTAC sizing x predication variant x application,
-                           run on the parallel cache-aware scheduler
+                           run on the parallel cache-aware fault-tolerant
+                           scheduler
                            (-fxus 2,3,4; -btac off,8; -variants original,combination;
                            -apps all; -scale N; -seeds a,b,c; -workers N;
                            -cache-dir DIR persists results across runs;
-                           -grid prints every point; -json emits the manifest)
+                           -retries N per-cell retry budget; -cell-timeout DUR
+                           per-cell deadline; -resume DIR keeps cache + journal +
+                           manifest under DIR and resumes a killed sweep;
+                           -grid prints every point; -json emits the manifest;
+                           BIOPERF5_FAULTS=spec injects deterministic faults)
   trace <application> <variant>
                            emit a per-instruction pipeline event trace as
                            JSONL (-scale N, -seed N, -cap N ring capacity)
@@ -206,11 +216,41 @@ func cmdSweep(args []string) error {
 	appsFlag := fs.String("apps", "all", "comma-separated applications, or 'all'")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cacheDir := fs.String("cache-dir", "", "content-addressed on-disk result cache directory")
+	retries := fs.Int("retries", 2, "per-cell retry budget for transient failures")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell simulation deadline, e.g. 30s (0 = none)")
+	resume := fs.String("resume", "", "sweep state directory (disk cache + completion journal + manifest); re-running against it resumes only unfinished cells")
 	grid := fs.Bool("grid", false, "print every grid point, not just the best per application")
 	jsonOut := fs.Bool("json", false, "emit the JSON manifest instead of the summary table")
 	cfg, _, err := parseConfig(fs, args)
 	if err != nil {
 		return err
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries: must be >= 0, got %d", *retries)
+	}
+	if *cellTimeout < 0 {
+		return fmt.Errorf("-cell-timeout: must be >= 0, got %v", *cellTimeout)
+	}
+	dir := *cacheDir
+	var journal *sched.Journal
+	if *resume != "" {
+		if *cacheDir != "" {
+			return fmt.Errorf("-resume and -cache-dir are mutually exclusive: -resume DIR already keeps the result cache (plus journal.jsonl and manifest.json) under DIR")
+		}
+		dir = *resume
+		journal, err = sched.OpenJournal(filepath.Join(*resume, "journal.jsonl"))
+		if err != nil {
+			return fmt.Errorf("-resume: %w", err)
+		}
+		defer journal.Close()
+	}
+	injector, err := fault.FromEnv()
+	if err != nil {
+		return err
+	}
+	if injector != nil {
+		fmt.Fprintf(os.Stderr, "bioperf5: fault injection enabled (%s=%s)\n",
+			fault.EnvVar, os.Getenv(fault.EnvVar))
 	}
 	fxus, err := parseIntList("fxus", *fxusFlag, false)
 	if err != nil {
@@ -235,9 +275,22 @@ func cmdSweep(args []string) error {
 			apps = append(apps, strings.TrimSpace(a))
 		}
 	}
-	eng := sched.New(sched.Options{Workers: *workers, CacheDir: *cacheDir})
+	eng := sched.New(sched.Options{
+		Workers:     *workers,
+		CacheDir:    dir,
+		Retries:     *retries,
+		CellTimeout: *cellTimeout,
+		Injector:    injector,
+		Journal:     journal,
+	})
 	defer eng.Close()
+	// SIGINT/SIGTERM cancel pending cells instead of killing the
+	// process: the sweep degrades, the journal and cache keep what
+	// finished, and -resume picks up the rest.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cfg.Engine = eng
+	cfg.Context = ctx
 	m, err := harness.RunSweep(harness.SweepSpec{
 		FXUs:        fxus,
 		BTACEntries: btac,
@@ -248,8 +301,16 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *resume != "" {
+		if err := m.WriteJSONFile(filepath.Join(*resume, "manifest.json")); err != nil {
+			return fmt.Errorf("write manifest: %w", err)
+		}
+	}
 	if *jsonOut {
-		return m.WriteJSON(os.Stdout)
+		if err := m.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		return sweepDegradedSummary(m)
 	}
 	if *grid {
 		fmt.Println(m.Grid().Render())
@@ -265,8 +326,35 @@ func cmdSweep(args []string) error {
 	if st.DiskCorrupt > 0 {
 		fmt.Printf("scheduler: %d corrupted disk cache entries detected and recomputed\n", st.DiskCorrupt)
 	}
+	if st.Retries > 0 || st.Timeouts > 0 || st.Injected > 0 {
+		fmt.Printf("scheduler: %d retries, %d cell timeouts, %d injected faults\n",
+			st.Retries, st.Timeouts, st.Injected)
+	}
+	if st.Resumed > 0 {
+		fmt.Printf("scheduler: resumed — %d completed cells skipped via the journal and cache\n", st.Resumed)
+	}
 	fmt.Printf("elapsed: %dms\n", m.ElapsedMS)
-	return nil
+	return sweepDegradedSummary(m)
+}
+
+// sweepDegradedSummary reports degraded cells on stderr and returns a
+// nonzero-exit error when the manifest is partial, so scripted sweeps
+// cannot mistake a degraded run for a complete one.
+func sweepDegradedSummary(m *harness.SweepManifest) error {
+	if m.Degraded == 0 {
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "bioperf5: %d of %d cells degraded:\n", m.Degraded, len(m.Points))
+	for _, p := range m.DegradedPoints() {
+		btac := strconv.Itoa(p.BTACEntries)
+		if p.BTACEntries == 0 {
+			btac = "off"
+		}
+		fmt.Fprintf(os.Stderr, "  %s/%s FXUs=%d BTAC=%s: %s (%s)\n",
+			p.App, p.Variant, p.FXUs, btac, p.Status, p.Error)
+	}
+	return fmt.Errorf("sweep: %d of %d cells degraded (re-run with -resume to retry them)",
+		m.Degraded, len(m.Points))
 }
 
 // cmdTrace runs one kernel invocation with the pipeline event trace
@@ -314,7 +402,10 @@ type statsReport struct {
 
 // statsFor runs app's kernel on the POWER5 baseline with a telemetry
 // registry attached, folds the application profiler into the same
-// registry, and returns the combined snapshot.
+// registry, and returns the combined snapshot.  The same cell is also
+// run once through a single-worker scheduler publishing into the same
+// registry, so the sched.* counters — including the fault and retry
+// counters, live when BIOPERF5_FAULTS is set — appear in the snapshot.
 func statsFor(app string, scale int, seed int64) (statsReport, error) {
 	k, err := kernels.ByApp(app)
 	if err != nil {
@@ -328,6 +419,19 @@ func statsFor(app string, scale int, seed int64) (statsReport, error) {
 	if _, err := kernels.SimulateObserved(k, kernels.Branchy, run, cpu.POWER5Baseline(),
 		simLimit, kernels.Observer{Registry: reg}); err != nil {
 		return statsReport{}, err
+	}
+	injector, err := fault.FromEnv()
+	if err != nil {
+		return statsReport{}, err
+	}
+	eng := sched.New(sched.Options{Workers: 1, Registry: reg, Retries: 2, Injector: injector})
+	_, schedErr := eng.Run(context.Background(), sched.Job{
+		App: app, Variant: kernels.Branchy, CPU: cpu.POWER5Baseline(),
+		Seed: seed, Scale: scale,
+	})
+	eng.Close()
+	if schedErr != nil {
+		return statsReport{}, schedErr
 	}
 	res, err := workload.Run(app, scale, seed)
 	if err != nil {

@@ -1,11 +1,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"bioperf5/internal/fault"
+	"bioperf5/internal/harness"
 	"bioperf5/internal/kernels"
+	"bioperf5/internal/sched"
 )
 
 func TestParseVariant(t *testing.T) {
@@ -167,5 +173,88 @@ func TestStatsFor(t *testing.T) {
 	}
 	if len(snap.Labeled["profile.calls"]) == 0 {
 		t.Error("snapshot missing profiler breakdown (profile.calls)")
+	}
+	// The scheduler publishes into the same registry, so the fault and
+	// retry counter family is part of the stats surface.
+	if got := snap.Counters["sched.jobs.submitted"]; got != 1 {
+		t.Errorf("sched.jobs.submitted = %d, want 1", got)
+	}
+	for _, name := range []string{"sched.jobs.retries", "sched.faults.injected"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("snapshot missing %s", name)
+		}
+	}
+}
+
+func TestCmdSweepFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"negative retries", []string{"-retries", "-1"}},
+		{"negative cell timeout", []string{"-cell-timeout", "-1s"}},
+		{"resume and cache-dir conflict", []string{"-resume", "a", "-cache-dir", "b"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := cmdSweep(tc.args); err == nil {
+				t.Errorf("%v accepted", tc.args)
+			}
+		})
+	}
+}
+
+func TestCmdSweepRejectsBadFaultSpec(t *testing.T) {
+	t.Setenv(fault.EnvVar, "panic=2")
+	if err := cmdSweep([]string{"-apps", "Fasta"}); err == nil {
+		t.Error("out-of-range fault rate accepted")
+	}
+	t.Setenv(fault.EnvVar, "bogus=1")
+	if err := cmdSweep([]string{"-apps", "Fasta"}); err == nil {
+		t.Error("unknown fault key accepted")
+	}
+}
+
+// TestCmdSweepResumeRoundTrip runs the same sweep twice against one
+// -resume directory: the second run must leave the journal and
+// manifest in place and do no simulation work.
+func TestCmdSweepResumeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	args := []string{"-fxus", "2", "-btac", "off", "-variants", "original",
+		"-apps", "Fasta", "-resume", dir}
+	for run := 0; run < 2; run++ {
+		if err := cmdSweep(args); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+	}
+	for _, name := range []string{"journal.jsonl", "manifest.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s missing after resume: %v", name, err)
+		}
+	}
+	j, err := sched.OpenJournal(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() == 0 {
+		t.Error("journal recorded no completed cells")
+	}
+	var m harness.SweepManifest
+	b, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	// The second run's manifest is the one on disk: all cells resumed.
+	if m.Scheduler.Computed != 0 || m.Scheduler.Resumed == 0 {
+		t.Errorf("resumed run scheduler stats = %+v", m.Scheduler)
+	}
+	if m.Degraded != 0 {
+		t.Errorf("degraded = %d", m.Degraded)
 	}
 }

@@ -1,0 +1,197 @@
+// Package fault is the deterministic fault-injection layer behind the
+// scheduler's chaos testing.  An Injector is consulted by the engine at
+// two sites — job execution and the disk-cache write — and answers with
+// a Decision: inject nothing, or one of the failure modes the
+// fault-tolerant sweep must survive (a panic, a transient error, an
+// artificial hang, a spurious cancellation, a corrupted cache entry).
+//
+// The stock Plan injector is seedable and fully deterministic: the
+// decision for a given (seed, site, cell hash, attempt) never changes,
+// so a chaotic run is exactly reproducible, and a bounded Times budget
+// guarantees that retries eventually see a fault-free attempt.  Plans
+// parse from a compact spec string (the BIOPERF5_FAULTS environment
+// variable in the CLI); see Parse.
+package fault
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Site names a point in the engine where faults can be injected.
+type Site int
+
+const (
+	// SiteExecute is one simulation attempt of a job.
+	SiteExecute Site = iota
+	// SiteStore is the disk-cache write of a computed result.
+	SiteStore
+)
+
+// Kind is a failure mode.
+type Kind int
+
+const (
+	// None injects nothing.
+	None Kind = iota
+	// Panic makes the attempt panic mid-simulation.
+	Panic
+	// Error fails the attempt with a transient (retryable) error.
+	Error
+	// Hang delays the attempt by Decision.Delay, modelling a stuck
+	// simulation; with a cell deadline set, the watchdog fires first.
+	Hang
+	// Cancel fails the attempt with a spurious cancellation error.
+	Cancel
+	// Corrupt truncates the freshly written disk-cache entry,
+	// modelling a torn write or bit rot (SiteStore only).
+	Corrupt
+)
+
+// String names the kind for error messages and specs.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Error:
+		return "error"
+	case Hang:
+		return "hang"
+	case Cancel:
+		return "cancel"
+	case Corrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Decision is an injector's answer for one site visit.
+type Decision struct {
+	Kind  Kind
+	Delay time.Duration // hang duration; meaningful only for Hang
+}
+
+// Injector decides which fault, if any, to inject at a site.  hash is
+// the content hash of the cell being processed and attempt its 0-based
+// retry index.  Implementations must be safe for concurrent use and
+// deterministic in their arguments, or chaos runs stop reproducing.
+type Injector interface {
+	Decide(site Site, hash string, attempt int) Decision
+}
+
+// DefaultHangDelay is the hang duration used when a Plan does not set
+// one.  It is deliberately long: a hang is meant to out-sleep the
+// engine's cell deadline so the watchdog path is exercised.
+const DefaultHangDelay = 30 * time.Second
+
+// Plan is the stock deterministic injector: per-kind probabilities
+// evaluated against a hash of (Seed, site, cell hash, attempt).  The
+// zero value injects nothing.
+type Plan struct {
+	Seed int64 // stream selector; same seed, same faults
+
+	// Execute-site rates, each in [0,1] with a sum <= 1.
+	PanicRate  float64
+	ErrorRate  float64
+	HangRate   float64
+	CancelRate float64
+
+	// Store-site rate in [0,1].
+	CorruptRate float64
+
+	// HangDelay is how long a Hang decision sleeps (<= 0 means
+	// DefaultHangDelay).
+	HangDelay time.Duration
+
+	// Times caps injections per (site, cell): attempts >= Times are
+	// left alone (<= 0 means 1).  Keeping Times at or below the
+	// engine's retry budget guarantees every cell eventually gets a
+	// clean attempt, so a chaotic sweep still converges.
+	Times int
+}
+
+// Validate checks the plan's rates and budgets.
+func (p *Plan) Validate() error {
+	execSum := 0.0
+	for _, r := range []struct {
+		name string
+		rate float64
+	}{
+		{"panic", p.PanicRate}, {"error", p.ErrorRate},
+		{"hang", p.HangRate}, {"cancel", p.CancelRate},
+		{"corrupt", p.CorruptRate},
+	} {
+		if r.rate < 0 || r.rate > 1 {
+			return fmt.Errorf("fault: %s rate %g out of range [0,1]", r.name, r.rate)
+		}
+		if r.name != "corrupt" {
+			execSum += r.rate
+		}
+	}
+	if execSum > 1 {
+		return fmt.Errorf("fault: execute-site rates sum to %g, must be <= 1", execSum)
+	}
+	return nil
+}
+
+func (p *Plan) times() int {
+	if p.Times <= 0 {
+		return 1
+	}
+	return p.Times
+}
+
+func (p *Plan) hangDelay() time.Duration {
+	if p.HangDelay <= 0 {
+		return DefaultHangDelay
+	}
+	return p.HangDelay
+}
+
+// draw maps (Seed, site, hash, attempt) to a uniform value in [0,1),
+// deterministically.
+func (p *Plan) draw(site Site, hash string, attempt int) float64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("bioperf5.fault|%d|%d|%s|%d",
+		p.Seed, site, hash, attempt)))
+	// 53 uniform bits, exactly representable as a float64 in [0,1).
+	return float64(binary.BigEndian.Uint64(sum[:8])>>11) / float64(1<<53)
+}
+
+// Decide implements Injector.
+func (p *Plan) Decide(site Site, hash string, attempt int) Decision {
+	if p == nil || attempt >= p.times() {
+		return Decision{}
+	}
+	u := p.draw(site, hash, attempt)
+	switch site {
+	case SiteStore:
+		if u < p.CorruptRate {
+			return Decision{Kind: Corrupt}
+		}
+	case SiteExecute:
+		cum := 0.0
+		for _, c := range []struct {
+			rate float64
+			kind Kind
+		}{
+			{p.PanicRate, Panic},
+			{p.ErrorRate, Error},
+			{p.HangRate, Hang},
+			{p.CancelRate, Cancel},
+		} {
+			cum += c.rate
+			if c.rate > 0 && u < cum {
+				d := Decision{Kind: c.kind}
+				if c.kind == Hang {
+					d.Delay = p.hangDelay()
+				}
+				return d
+			}
+		}
+	}
+	return Decision{}
+}

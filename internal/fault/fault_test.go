@@ -1,0 +1,134 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	p := &Plan{Seed: 7, PanicRate: 0.3, ErrorRate: 0.3, HangRate: 0.2, CancelRate: 0.2, Times: 4}
+	for attempt := 0; attempt < 4; attempt++ {
+		first := p.Decide(SiteExecute, "cell-a", attempt)
+		for i := 0; i < 10; i++ {
+			if got := p.Decide(SiteExecute, "cell-a", attempt); got != first {
+				t.Fatalf("attempt %d: decision changed: %v then %v", attempt, first, got)
+			}
+		}
+	}
+	// A different seed must produce a different fault stream somewhere.
+	q := &Plan{Seed: 8, PanicRate: 0.3, ErrorRate: 0.3, HangRate: 0.2, CancelRate: 0.2, Times: 4}
+	same := true
+	for attempt := 0; attempt < 4 && same; attempt++ {
+		for _, cell := range []string{"cell-a", "cell-b", "cell-c", "cell-d"} {
+			if p.Decide(SiteExecute, cell, attempt) != q.Decide(SiteExecute, cell, attempt) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical decisions on every probe")
+	}
+}
+
+func TestPlanRateOneAlwaysInjects(t *testing.T) {
+	p := &Plan{ErrorRate: 1}
+	if d := p.Decide(SiteExecute, "x", 0); d.Kind != Error {
+		t.Errorf("rate-1 error plan decided %v", d.Kind)
+	}
+	s := &Plan{CorruptRate: 1}
+	if d := s.Decide(SiteStore, "x", 0); d.Kind != Corrupt {
+		t.Errorf("rate-1 corrupt plan decided %v", d.Kind)
+	}
+	// Execute-site rates never leak into the store site and vice versa.
+	if d := p.Decide(SiteStore, "x", 0); d.Kind != None {
+		t.Errorf("error plan injected %v at the store site", d.Kind)
+	}
+	if d := s.Decide(SiteExecute, "x", 0); d.Kind != None {
+		t.Errorf("corrupt plan injected %v at the execute site", d.Kind)
+	}
+}
+
+func TestPlanTimesBudget(t *testing.T) {
+	p := &Plan{ErrorRate: 1} // Times defaults to 1
+	if d := p.Decide(SiteExecute, "x", 0); d.Kind != Error {
+		t.Error("attempt 0 not injected")
+	}
+	if d := p.Decide(SiteExecute, "x", 1); d.Kind != None {
+		t.Errorf("attempt 1 injected %v past the Times budget", d.Kind)
+	}
+	p.Times = 3
+	if d := p.Decide(SiteExecute, "x", 2); d.Kind != Error {
+		t.Error("attempt 2 not injected with times=3")
+	}
+	if d := p.Decide(SiteExecute, "x", 3); d.Kind != None {
+		t.Error("attempt 3 injected with times=3")
+	}
+}
+
+func TestPlanZeroValueInjectsNothing(t *testing.T) {
+	var p Plan
+	for attempt := 0; attempt < 3; attempt++ {
+		if d := p.Decide(SiteExecute, "x", attempt); d.Kind != None {
+			t.Errorf("zero plan injected %v", d.Kind)
+		}
+		if d := p.Decide(SiteStore, "x", attempt); d.Kind != None {
+			t.Errorf("zero plan injected %v at store", d.Kind)
+		}
+	}
+}
+
+func TestPlanHangCarriesDelay(t *testing.T) {
+	p := &Plan{HangRate: 1, HangDelay: 123 * time.Millisecond}
+	d := p.Decide(SiteExecute, "x", 0)
+	if d.Kind != Hang || d.Delay != 123*time.Millisecond {
+		t.Errorf("hang decision = %+v", d)
+	}
+	p.HangDelay = 0
+	if d := p.Decide(SiteExecute, "x", 0); d.Delay != DefaultHangDelay {
+		t.Errorf("default hang delay = %v", d.Delay)
+	}
+}
+
+func TestParse(t *testing.T) {
+	p, err := Parse("seed=42, panic=0.1,error=0.2,hang=0.05,cancel=0.05,corrupt=0.3,delay=250ms,times=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.PanicRate != 0.1 || p.ErrorRate != 0.2 ||
+		p.HangRate != 0.05 || p.CancelRate != 0.05 || p.CorruptRate != 0.3 ||
+		p.HangDelay != 250*time.Millisecond || p.Times != 2 {
+		t.Errorf("parsed plan = %+v", p)
+	}
+	if p, err := Parse("  "); p != nil || err != nil {
+		t.Errorf("empty spec = %+v, %v; want nil, nil", p, err)
+	}
+	bad := []string{
+		"panic",            // no value
+		"panic=x",          // bad rate
+		"panic=1.5",        // out of range
+		"warp=0.1",         // unknown key
+		"delay=-3s",        // negative duration
+		"delay=fast",       // unparsable duration
+		"times=0",          // below 1
+		"seed=abc",         // bad seed
+		"panic=0.6,error=0.6", // execute rates sum > 1
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseErrorsNameTheOffender(t *testing.T) {
+	_, err := Parse("panic=nope")
+	if err == nil || !strings.Contains(err.Error(), "panic") || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error %q does not name the offending key/value", err)
+	}
+	_, err = Parse("warp=1")
+	if err == nil || !strings.Contains(err.Error(), "valid:") {
+		t.Errorf("unknown-key error %q does not list valid keys", err)
+	}
+}

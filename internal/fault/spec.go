@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EnvVar is the environment variable the CLI reads a fault spec from.
+const EnvVar = "BIOPERF5_FAULTS"
+
+// Parse decodes a compact fault specification into a Plan.  The spec
+// is a comma-separated list of key=value pairs:
+//
+//	seed=N        deterministic stream selector (default 1)
+//	panic=R       per-attempt panic probability, R in [0,1]
+//	error=R       transient-error probability
+//	hang=R        artificial-hang probability
+//	cancel=R      spurious-cancellation probability
+//	corrupt=R     corrupted-cache-write probability
+//	delay=DUR     hang duration (default 30s; set the engine's cell
+//	              timeout below it to exercise the watchdog)
+//	times=N       max injections per (site, cell) (default 1; keep it
+//	              at or below the retry budget so sweeps converge)
+//
+// Example: "seed=42,panic=0.2,error=0.2,corrupt=0.3,times=1".
+// An empty spec returns (nil, nil): no injection.
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{Seed: 1}
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: bad spec element %q: want key=value", pair)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %w", val, err)
+			}
+			p.Seed = n
+		case "panic", "error", "hang", "cancel", "corrupt":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad %s rate %q: %w", key, val, err)
+			}
+			switch key {
+			case "panic":
+				p.PanicRate = r
+			case "error":
+				p.ErrorRate = r
+			case "hang":
+				p.HangRate = r
+			case "cancel":
+				p.CancelRate = r
+			case "corrupt":
+				p.CorruptRate = r
+			}
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("fault: bad delay %q: want a positive duration like 250ms", val)
+			}
+			p.HangDelay = d
+		case "times":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("fault: bad times %q: want an integer >= 1", val)
+			}
+			p.Times = n
+		default:
+			return nil, fmt.Errorf("fault: unknown spec key %q (valid: seed, panic, error, hang, cancel, corrupt, delay, times)", key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// FromEnv parses the BIOPERF5_FAULTS environment variable.  An unset
+// or empty variable returns (nil, nil).
+func FromEnv() (Injector, error) {
+	p, err := Parse(os.Getenv(EnvVar))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", EnvVar, err)
+	}
+	if p == nil {
+		return nil, nil
+	}
+	return p, nil
+}

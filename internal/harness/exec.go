@@ -41,12 +41,18 @@ type pending struct {
 	futs  []*sched.Future
 }
 
-// submitCell fans the cell's seeds out to the scheduler.
+// submitCell fans the cell's seeds out to the scheduler under the
+// configuration's context (Background when unset), so a cancelled
+// sweep unblocks promptly even while Submit is parked on a full queue.
 func (c Config) submitCell(k *kernels.Kernel, s core.Setup) *pending {
 	eng := c.engine()
+	ctx := c.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cl := &pending{seeds: c.Seeds}
 	for _, seed := range c.Seeds {
-		cl.futs = append(cl.futs, eng.Submit(context.Background(), sched.Job{
+		cl.futs = append(cl.futs, eng.Submit(ctx, sched.Job{
 			App:     k.App,
 			Variant: s.Variant,
 			CPU:     s.CPU,

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,6 +24,12 @@ type Config struct {
 	// in-memory result cache).  Cells are pure, so the choice only
 	// affects wall-clock time, never the numbers.
 	Engine *sched.Engine `json:"-"`
+
+	// Context, when set, covers every cell submitted under this
+	// configuration: cancelling it fails pending cells instead of
+	// simulating them (the CLI wires SIGINT/SIGTERM here, so an
+	// interrupted sweep degrades gracefully and remains resumable).
+	Context context.Context `json:"-"`
 }
 
 // DefaultConfig is the configuration the CLI uses.

@@ -4,8 +4,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strconv"
 	"time"
 
@@ -93,13 +96,25 @@ func btacLabel(entries int) string {
 	return strconv.Itoa(entries)
 }
 
-// SweepPoint is one evaluated grid cell of the manifest.
+// Per-cell completion statuses of a SweepPoint.
+const (
+	StatusOK      = "ok"      // cell simulated (or cache-served) successfully
+	StatusFailed  = "failed"  // cell failed after exhausting its retry budget
+	StatusTimeout = "timeout" // cell exceeded the per-cell deadline on every attempt
+	StatusSkipped = "skipped" // cell not evaluated (its app's baseline failed)
+)
+
+// SweepPoint is one evaluated grid cell of the manifest.  A degraded
+// cell (Status != ok) keeps its identity fields and carries the error;
+// its Stats/NormIPC stay zero.
 type SweepPoint struct {
 	App         string      `json:"app"`
 	Variant     string      `json:"variant"`
 	FXUs        int         `json:"fxus"`
 	BTACEntries int         `json:"btac_entries"` // 0 = no BTAC
 	Key         string      `json:"key"`          // content hash of the cell (over its per-seed job hashes)
+	Status      string      `json:"status"`       // ok|failed|timeout|skipped
+	Error       string      `json:"error,omitempty"`
 	Stats       KernelStats `json:"stats"`        // the PR-1 report schema, per seed + aggregate
 	NormIPC     float64     `json:"norm_ipc"`     // baseline work / cycles (a speedup measure)
 	Improvement float64     `json:"improvement"`  // NormIPC vs the app's POWER5 baseline IPC, fractional
@@ -125,9 +140,22 @@ type SweepManifest struct {
 	} `json:"spec"`
 	Config    Config       `json:"config"`
 	Points    []SweepPoint `json:"points"`
-	Best      []SweepBest  `json:"best"` // per app, paper order
+	Best      []SweepBest  `json:"best"`     // per app, paper order; degraded cells never win
+	Degraded  int          `json:"degraded"` // cells with Status != ok
 	Scheduler sched.Stats  `json:"scheduler"`
 	ElapsedMS int64        `json:"elapsed_ms"` // timing; excluded from determinism comparisons
+}
+
+// DegradedPoints returns the cells that did not complete, in manifest
+// order.
+func (m *SweepManifest) DegradedPoints() []SweepPoint {
+	var out []SweepPoint
+	for _, p := range m.Points {
+		if p.Status != StatusOK {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // WriteJSON writes the manifest to w as indented JSON.
@@ -135,6 +163,45 @@ func (m *SweepManifest) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(m)
+}
+
+// WriteJSONFile persists the manifest at path crash-safely: the JSON
+// is written to a temp file in the same directory, fsync'd, and
+// renamed into place, so a reader (or a resumed sweep) never observes
+// a truncated manifest.
+func (m *SweepManifest) WriteJSONFile(path string) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".manifest-*.json")
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := m.WriteJSON(tmp); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // best-effort directory fsync, like the disk cache
+		d.Close()
+	}
+	return nil
 }
 
 // cellKey derives the content hash of a whole cell from its per-seed
@@ -211,23 +278,44 @@ func RunSweep(sp SweepSpec) (*SweepManifest, error) {
 		}
 	}
 
-	// Collect phase, in submission order.
+	// Collect phase, in submission order.  A failed cell degrades that
+	// cell (or, for a baseline, skips its application's cells) instead
+	// of aborting the sweep: the manifest reports exactly which cells
+	// are missing, and a re-run against the same cache retries only
+	// those.
 	baseWork := make(map[string]cpu.Counters, len(sp.Apps))
+	baseErr := make(map[string]string, len(sp.Apps))
 	for _, app := range sp.Apps {
 		ctr, err := baselines[app].counters()
 		if err != nil {
-			return nil, fmt.Errorf("sweep: %s baseline: %w", app, err)
+			baseErr[app] = fmt.Sprintf("baseline failed: %v", err)
+			continue
 		}
 		baseWork[app] = ctr
 	}
 	best := make(map[string]*SweepBest, len(sp.Apps))
 	for _, pp := range pendings {
+		p := pp.point
+		if msg, degraded := baseErr[p.App]; degraded {
+			p.Status = StatusSkipped
+			p.Error = msg
+			m.Points = append(m.Points, p)
+			m.Degraded++
+			continue
+		}
 		det, err := pp.cell.detail()
 		if err != nil {
-			return nil, fmt.Errorf("sweep: %s %s: %w", pp.point.App, pp.setup.Name, err)
+			p.Status = StatusFailed
+			if errors.Is(err, sched.ErrCellTimeout) {
+				p.Status = StatusTimeout
+			}
+			p.Error = err.Error()
+			m.Points = append(m.Points, p)
+			m.Degraded++
+			continue
 		}
 		k, _ := kernels.ByApp(pp.point.App)
-		p := pp.point
+		p.Status = StatusOK
 		p.Stats = packKernelStats(k, pp.setup, det)
 		base := baseWork[p.App]
 		p.NormIPC = normIPC(base, det.Aggregate.Counters)
@@ -287,9 +375,12 @@ func (m *SweepManifest) Grid() *Table {
 		} else {
 			prev = p.App
 		}
+		ipc, delta := f2(p.NormIPC), pctDelta(1+p.Improvement, 1)
+		if p.Status != StatusOK {
+			ipc, delta = p.Status, "-"
+		}
 		t.Rows = append(t.Rows, []string{app, p.Variant,
-			strconv.Itoa(p.FXUs), btacLabel(p.BTACEntries),
-			f2(p.NormIPC), pctDelta(1+p.Improvement, 1)})
+			strconv.Itoa(p.FXUs), btacLabel(p.BTACEntries), ipc, delta})
 	}
 	return t
 }

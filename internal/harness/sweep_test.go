@@ -3,8 +3,12 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
+	"time"
 
+	"bioperf5/internal/core"
+	"bioperf5/internal/fault"
 	"bioperf5/internal/kernels"
 	"bioperf5/internal/sched"
 	"bioperf5/internal/workload"
@@ -208,5 +212,148 @@ func TestExperimentsParallelMatchesSerial(t *testing.T) {
 					outs[0], outs[1])
 			}
 		})
+	}
+}
+
+// hashInjector fails a fixed fault kind at the execute site for every
+// cell hash outside its allow set, on every attempt — a targeted,
+// unrecoverable fault used to drive the degradation paths.
+type hashInjector struct {
+	kind  fault.Kind
+	delay time.Duration
+	allow map[string]bool
+}
+
+func (h *hashInjector) Decide(site fault.Site, hash string, attempt int) fault.Decision {
+	if site != fault.SiteExecute || h.allow[hash] {
+		return fault.Decision{}
+	}
+	return fault.Decision{Kind: h.kind, Delay: h.delay}
+}
+
+// baselineHashes returns the job hashes of every app's normalization
+// baseline in the small sweep (seed 1, scale 1).
+func baselineHashes() map[string]bool {
+	allow := map[string]bool{}
+	for _, app := range []string{"Clustalw", "Fasta"} {
+		j := sched.Job{
+			App: app, Variant: kernels.Branchy,
+			CPU: core.Baseline().CPU, Seed: 1, Scale: 1,
+		}
+		allow[j.Hash()] = true
+	}
+	return allow
+}
+
+// TestSweepDegradesFailedCells: when grid cells fail permanently the
+// sweep still returns a manifest naming exactly which cells are
+// missing, and Best is computed from the surviving points only.
+func TestSweepDegradesFailedCells(t *testing.T) {
+	eng := sched.New(sched.Options{
+		Workers: 2, Retries: 1, RetryBackoff: time.Millisecond,
+		Injector: &hashInjector{kind: fault.Error, allow: baselineHashes()},
+	})
+	defer eng.Close()
+	m, err := RunSweep(smallSweep(eng))
+	if err != nil {
+		t.Fatalf("RunSweep must degrade, not abort: %v", err)
+	}
+	var ok, failed int
+	for _, p := range m.Points {
+		switch p.Status {
+		case StatusOK:
+			ok++
+			// Only the cell that coincides with the baseline survives.
+			if p.FXUs != 2 || p.BTACEntries != 0 {
+				t.Errorf("unexpected surviving cell %s/%d/%d", p.App, p.FXUs, p.BTACEntries)
+			}
+		case StatusFailed:
+			failed++
+			if p.Error == "" {
+				t.Errorf("failed cell %s/%d/%d carries no error", p.App, p.FXUs, p.BTACEntries)
+			}
+			if p.NormIPC != 0 || p.Stats.Aggregate.Counters.Cycles != 0 {
+				t.Errorf("failed cell %s/%d/%d carries stats", p.App, p.FXUs, p.BTACEntries)
+			}
+		default:
+			t.Errorf("cell %s/%d/%d status %q", p.App, p.FXUs, p.BTACEntries, p.Status)
+		}
+	}
+	if ok != 2 || failed != 6 || m.Degraded != 6 {
+		t.Errorf("ok=%d failed=%d degraded=%d, want 2/6/6", ok, failed, m.Degraded)
+	}
+	if len(m.DegradedPoints()) != 6 {
+		t.Errorf("DegradedPoints = %d entries", len(m.DegradedPoints()))
+	}
+	// Best still exists per app, drawn from the ok points.
+	if len(m.Best) != 2 {
+		t.Fatalf("best = %+v", m.Best)
+	}
+	for _, b := range m.Best {
+		if b.FXUs != 2 || b.BTACEntries != 0 {
+			t.Errorf("best drawn from a degraded cell: %+v", b)
+		}
+	}
+	// The grid renders degraded rows with their status, not numbers.
+	if grid := m.Grid().Render(); !strings.Contains(grid, StatusFailed) {
+		t.Errorf("grid does not mark failed cells:\n%s", grid)
+	}
+}
+
+// TestSweepSkipsCellsWhenBaselineFails: a dead baseline cannot
+// normalize anything, so its application's cells are skipped — but the
+// sweep still reports them all.
+func TestSweepSkipsCellsWhenBaselineFails(t *testing.T) {
+	eng := sched.New(sched.Options{
+		Workers: 2, RetryBackoff: time.Millisecond,
+		Injector: &hashInjector{kind: fault.Error}, // fail everything
+	})
+	defer eng.Close()
+	m, err := RunSweep(smallSweep(eng))
+	if err != nil {
+		t.Fatalf("RunSweep must degrade, not abort: %v", err)
+	}
+	if len(m.Points) != 8 || m.Degraded != 8 {
+		t.Fatalf("points=%d degraded=%d, want 8/8", len(m.Points), m.Degraded)
+	}
+	for _, p := range m.Points {
+		if p.Status != StatusSkipped || !strings.Contains(p.Error, "baseline failed") {
+			t.Errorf("cell %s/%d/%d: status=%q error=%q", p.App, p.FXUs, p.BTACEntries, p.Status, p.Error)
+		}
+	}
+	if len(m.Best) != 0 {
+		t.Errorf("best from a fully degraded sweep: %+v", m.Best)
+	}
+}
+
+// TestSweepMarksTimeouts: a cell that exceeds its deadline on every
+// attempt is reported as "timeout", distinct from other failures.
+func TestSweepMarksTimeouts(t *testing.T) {
+	// A deadline generous enough for real cells even under the race
+	// detector, and a single non-baseline grid point per app so the two
+	// injected hangs trip their watchdogs concurrently.
+	eng := sched.New(sched.Options{
+		Workers: 2, RetryBackoff: time.Millisecond,
+		CellTimeout: 3 * time.Second,
+		Injector: &hashInjector{
+			kind: fault.Hang, delay: time.Minute, allow: baselineHashes(),
+		},
+	})
+	defer eng.Close()
+	sp := smallSweep(eng)
+	sp.FXUs = []int{4}
+	sp.BTACEntries = []int{8}
+	m, err := RunSweep(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var timeouts int
+	for _, p := range m.Points {
+		if p.Status == StatusTimeout {
+			timeouts++
+		}
+	}
+	if timeouts != 2 || m.Degraded != 2 {
+		t.Errorf("timeouts=%d degraded=%d, want 2/2:\n%+v", timeouts, m.Degraded, m.Points)
 	}
 }

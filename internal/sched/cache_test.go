@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"bioperf5/internal/cpu"
+	"bioperf5/internal/fault"
 )
 
 func wantReport() cpu.Report {
@@ -167,5 +168,61 @@ func TestDiskCacheKeyMismatchRejected(t *testing.T) {
 	}
 	if computes.Load() != 1 || rep.Counters.Cycles != 9 {
 		t.Errorf("mismatched key served from disk: %+v (computes=%d)", rep, computes.Load())
+	}
+}
+
+// TestDiskCacheInjectedTornWriteHealed drives the store-site fault
+// injector: the first engine's persist is deliberately torn mid-file,
+// and a later engine must detect the damage, recompute, and heal the
+// entry rather than trust it.
+func TestDiskCacheInjectedTornWriteHealed(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(Options{Workers: 1, CacheDir: dir, Injector: &fault.Plan{CorruptRate: 1}})
+	e1.compute = func(Job) (cpu.Report, error) { return wantReport(), nil }
+	t.Cleanup(e1.Close)
+	if _, err := e1.Run(context.Background(), baseJob()); err != nil {
+		t.Fatal(err)
+	}
+	if st := e1.Stats(); st.Injected != 1 || st.DiskWrites != 1 {
+		t.Fatalf("stats after injected torn write = %+v", st)
+	}
+
+	// The torn entry is on disk and shorter than a valid one.
+	b, err := os.ReadFile(cacheFile(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int64
+	e2 := diskEngine(t, dir, func(Job) (cpu.Report, error) {
+		computes.Add(1)
+		return wantReport(), nil
+	})
+	rep, err := e2.Run(context.Background(), baseJob())
+	if err != nil || rep != wantReport() {
+		t.Fatalf("run over torn entry = %+v, %v", rep, err)
+	}
+	if computes.Load() != 1 {
+		t.Errorf("torn entry served without recompute (computes=%d)", computes.Load())
+	}
+	if st := e2.Stats(); st.DiskCorrupt != 1 || st.DiskHits != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	healed, err := os.ReadFile(cacheFile(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(healed) <= len(b) {
+		t.Errorf("entry not healed: %d bytes before, %d after", len(b), len(healed))
+	}
+
+	// Atomic writes never leave temp files behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if filepath.Ext(ent.Name()) != ".json" {
+			t.Errorf("stray file in cache dir: %s", ent.Name())
+		}
 	}
 }

@@ -1,0 +1,130 @@
+// Chaos suite: a real sweep under randomized (but seeded) injected
+// faults must converge to the exact manifest a fault-free run
+// produces, and a follow-up run over the same cache + journal must
+// resume rather than recompute.  It lives in package sched_test so it
+// can drive the harness on top of the engine.
+package sched_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bioperf5/internal/fault"
+	"bioperf5/internal/harness"
+	"bioperf5/internal/kernels"
+	"bioperf5/internal/sched"
+)
+
+// chaosSpec is the two-app slice of the design space the suite sweeps.
+func chaosSpec(eng *sched.Engine) harness.SweepSpec {
+	return harness.SweepSpec{
+		FXUs:        []int{2, 4},
+		BTACEntries: []int{0, 8},
+		Variants:    []kernels.Variant{kernels.Branchy},
+		Apps:        []string{"Clustalw", "Fasta"},
+		Config:      harness.Config{Scale: 1, Seeds: []int64{1}, Engine: eng},
+	}
+}
+
+// canonical serializes a manifest with its environment fields zeroed:
+// elapsed time and the whole scheduler stats block (retry and fault
+// counters necessarily differ between a chaotic and a clean run; the
+// science — points, stats, best — must not).
+func canonical(t *testing.T, m *harness.SweepManifest) []byte {
+	t.Helper()
+	clone := *m
+	clone.ElapsedMS = 0
+	clone.Scheduler = sched.Stats{}
+	b, err := json.MarshalIndent(&clone, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestChaosSweepMatchesFaultFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+
+	// Fault-free reference.
+	clean := sched.New(sched.Options{Workers: 2})
+	want, err := harness.RunSweep(chaosSpec(clean))
+	clean.Close()
+	if err != nil {
+		t.Fatalf("fault-free sweep: %v", err)
+	}
+
+	// Chaotic run: every fault kind armed, one injection per (site,
+	// cell) budgeted, so a retry budget of 3 always reaches a clean
+	// attempt.  The injected hang outlasts the cell deadline, so it is
+	// the watchdog that recovers it.
+	dir := t.TempDir()
+	journal, err := sched.OpenJournal(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &fault.Plan{
+		Seed:      42,
+		PanicRate: 0.25, ErrorRate: 0.25, HangRate: 0.15, CancelRate: 0.25,
+		CorruptRate: 0.5,
+		HangDelay:   30 * time.Second,
+		Times:       1,
+	}
+	// The deadline is generous so real cells never trip it, even under
+	// the race detector; only the injected hangs (which sleep, not
+	// spin) do.
+	chaotic := sched.New(sched.Options{
+		Workers: 2, CacheDir: dir, Journal: journal,
+		Retries: 3, RetryBackoff: time.Millisecond,
+		CellTimeout: 5 * time.Second,
+		Injector:    plan,
+	})
+	got, err := harness.RunSweep(chaosSpec(chaotic))
+	st := chaotic.Stats()
+	chaotic.Close()
+	if err != nil {
+		t.Fatalf("chaotic sweep: %v", err)
+	}
+	if st.Injected == 0 {
+		t.Fatal("fault plan injected nothing; the chaos run proved nothing")
+	}
+	if st.Retries == 0 {
+		t.Error("injected faults caused no retries")
+	}
+	if got.Degraded != 0 {
+		t.Errorf("degraded cells under chaos: %d\n%+v", got.Degraded, got.DegradedPoints())
+	}
+	if w, g := canonical(t, want), canonical(t, got); !bytes.Equal(w, g) {
+		t.Errorf("chaotic manifest diverges from fault-free run:\n--- clean ---\n%s\n--- chaos ---\n%s", w, g)
+	}
+	journal.Close()
+
+	// Resume: a fresh engine over the same cache + journal re-simulates
+	// only what the chaos run corrupted on disk; everything else is a
+	// resumed journal hit.
+	journal2, err := sched.OpenJournal(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer journal2.Close()
+	resumed := sched.New(sched.Options{Workers: 2, CacheDir: dir, Journal: journal2})
+	again, err := harness.RunSweep(chaosSpec(resumed))
+	rst := resumed.Stats()
+	resumed.Close()
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	if w, g := canonical(t, want), canonical(t, again); !bytes.Equal(w, g) {
+		t.Error("resumed manifest diverges from fault-free run")
+	}
+	if rst.Computed != rst.DiskCorrupt {
+		t.Errorf("resume recomputed %d cells but only %d were corrupt", rst.Computed, rst.DiskCorrupt)
+	}
+	if total := rst.Resumed + rst.DiskCorrupt; total != uint64(journal2.Len()) {
+		t.Errorf("resumed %d + corrupt %d != %d journaled cells", rst.Resumed, rst.DiskCorrupt, journal2.Len())
+	}
+}

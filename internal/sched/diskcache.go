@@ -69,10 +69,12 @@ func (d *diskStore) load(hash string, want Key) (rep cpu.Report, ok, corrupt boo
 	return e.Result, true, false
 }
 
-// store persists one result.  The write goes through a temp file and a
-// rename so a crash never leaves a half-written entry at the final
-// address (it would be detected as corrupt anyway, but this keeps
-// concurrent readers from ever seeing it).
+// store persists one result.  The write goes through a temp file, an
+// fsync and a rename so a crash never leaves a truncated entry at the
+// final address: either the old state survives or the complete new
+// entry does (a torn file would be detected as corrupt anyway, but
+// this keeps concurrent readers — and post-crash resumes — from ever
+// seeing one).
 func (d *diskStore) store(hash string, key Key, rep cpu.Report) error {
 	if err := os.MkdirAll(d.dir, 0o755); err != nil {
 		return err
@@ -94,9 +96,41 @@ func (d *diskStore) store(hash string, key Key, rep cpu.Report) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	// Flush the payload before the rename publishes it, so the entry
+	// can never be durable-by-name but empty-by-content after a crash.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), d.path(hash))
+	if err := os.Rename(tmp.Name(), d.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	d.syncDir()
+	return nil
+}
+
+// syncDir fsyncs the cache directory so the rename itself survives a
+// crash.  Best-effort: some filesystems reject directory fsync, and a
+// lost rename only costs a recompute.
+func (d *diskStore) syncDir() {
+	if dir, err := os.Open(d.dir); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+}
+
+// mangle truncates a stored entry in place, simulating a torn write or
+// bit rot landing at the final address.  Only the fault injector calls
+// it; the next load must detect the damage and recompute.
+func (d *diskStore) mangle(hash string) {
+	p := d.path(hash)
+	if fi, err := os.Stat(p); err == nil && fi.Size() > 1 {
+		os.Truncate(p, fi.Size()/2)
+	}
 }

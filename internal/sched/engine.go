@@ -2,12 +2,14 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"bioperf5/internal/cpu"
+	"bioperf5/internal/fault"
 	"bioperf5/internal/telemetry"
 )
 
@@ -32,6 +34,50 @@ type Options struct {
 	// Registry receives the engine's telemetry (sched.* metrics).  Nil
 	// gets a private registry, readable via Engine.Registry.
 	Registry *telemetry.Registry
+
+	// Retries is the per-job retry budget: a job failing with a
+	// retryable error (panic, transient error, cell timeout, injected
+	// fault) is re-executed up to Retries more times.  0 disables
+	// retries; permanent errors (an unknown application, a dead
+	// submission context) are never retried.
+	Retries int
+	// RetryBackoff is the delay before the first retry; it doubles
+	// every attempt, capped at 64x.  Values <= 0 mean 5ms.  The
+	// schedule is deliberately jitter-free so runs reproduce exactly.
+	RetryBackoff time.Duration
+	// CellTimeout bounds one simulation attempt.  An attempt exceeding
+	// it fails that cell with ErrCellTimeout (retryable) instead of
+	// wedging the worker; 0 means no deadline.  The abandoned attempt's
+	// goroutine is left to finish in the background — the simulator has
+	// no preemption points — so its result is discarded, never stored.
+	CellTimeout time.Duration
+	// Injector, when non-nil, is consulted at the job-execute and
+	// disk-store points and the decided faults are injected — the
+	// chaos-testing hook behind the BIOPERF5_FAULTS CLI spec.
+	Injector fault.Injector
+	// Journal, when non-nil, records each completed cell hash to an
+	// fsync'd append-only WAL, enabling crash-safe sweep resume: cells
+	// already journaled and cached are skipped (and counted under
+	// sched.journal.resumed) when the sweep re-runs after a kill.
+	Journal *Journal
+}
+
+// ErrCellTimeout marks a simulation attempt that exceeded
+// Options.CellTimeout.  It is retryable: a transient hang clears on
+// retry, and a deterministic one exhausts the budget and degrades the
+// cell rather than the process.
+var ErrCellTimeout = errors.New("cell deadline exceeded")
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+func (p permanentError) Unwrap() error { return p.err }
+
+// retryable reports whether a failed attempt is worth repeating.
+func retryable(err error) bool {
+	var p permanentError
+	return !errors.As(err, &p)
 }
 
 // Engine is a parallel, cache-aware job executor.  All methods are
@@ -54,6 +100,8 @@ type Engine struct {
 	// telemetry handles, resolved once
 	mSubmitted, mComputed, mFailed, mPanics    *telemetry.Counter
 	mMemHits, mDiskHits, mDiskWrites, mCorrupt *telemetry.Counter
+	mRetries, mTimeouts, mInjected             *telemetry.Counter
+	mJournal, mResumed                         *telemetry.Counter
 	gWorkers, gQueuePeak                       *telemetry.Gauge
 	hQueueWait                                 *telemetry.Histogram
 }
@@ -119,6 +167,11 @@ func New(o Options) *Engine {
 		mDiskHits:   reg.Counter("sched.cache.disk.hits"),
 		mDiskWrites: reg.Counter("sched.cache.disk.writes"),
 		mCorrupt:    reg.Counter("sched.cache.disk.corrupt"),
+		mRetries:    reg.Counter("sched.jobs.retries"),
+		mTimeouts:   reg.Counter("sched.jobs.timeouts"),
+		mInjected:   reg.Counter("sched.faults.injected"),
+		mJournal:    reg.Counter("sched.journal.appends"),
+		mResumed:    reg.Counter("sched.journal.resumed"),
 		gWorkers:    reg.Gauge("sched.workers"),
 		gQueuePeak:  reg.Gauge("sched.queue.peak"),
 		hQueueWait:  reg.Histogram("sched.queue.wait_us", nil),
@@ -186,7 +239,23 @@ func (e *Engine) Submit(ctx context.Context, j Job) *Future {
 	e.mu.Unlock()
 
 	t := &task{job: j, hash: hash, fut: f, ctx: ctx, enqueued: time.Now()}
-	e.queue <- t
+	select {
+	case e.queue <- t:
+	case <-ctx.Done():
+		// Blocked on a full queue and the caller gave up: withdraw the
+		// single-flight registration (the cell was never enqueued, so a
+		// later submission must be free to compute it) and fail the
+		// future with the context's error.
+		e.mu.Lock()
+		if e.inflight != nil && e.inflight[hash] == f {
+			delete(e.inflight, hash)
+		}
+		e.mu.Unlock()
+		e.mFailed.Add(1)
+		f.complete(cpu.Report{}, fmt.Errorf("sched: job %s/%s seed %d: %w",
+			j.App, j.Variant, j.Seed, ctx.Err()))
+		return f
+	}
 	if depth := float64(len(e.queue)); depth > e.gQueuePeak.Value() {
 		e.gQueuePeak.Set(depth)
 	}
@@ -217,38 +286,169 @@ func (e *Engine) worker() {
 	}
 }
 
-// execute resolves one task: context check, disk cache probe, then the
-// simulation itself under panic recovery, then disk write-back.
-func (e *Engine) execute(t *task) (rep cpu.Report, err error) {
+// describe names the task's cell for error messages.
+func (t *task) describe() string {
+	return fmt.Sprintf("%s/%s seed %d", t.job.App, t.job.Variant, t.job.Seed)
+}
+
+// execute resolves one task: context check, disk cache probe, then up
+// to 1+Retries simulation attempts — each under panic recovery and the
+// cell-deadline watchdog — then disk write-back and journaling.
+func (e *Engine) execute(t *task) (cpu.Report, error) {
 	if cerr := t.ctx.Err(); cerr != nil {
-		return cpu.Report{}, fmt.Errorf("sched: job %s/%s seed %d: %w",
-			t.job.App, t.job.Variant, t.job.Seed, cerr)
+		return cpu.Report{}, fmt.Errorf("sched: job %s: %w", t.describe(), cerr)
 	}
 	if e.disk != nil {
 		if cached, ok, corrupt := e.disk.load(t.hash, t.job.Key()); ok {
 			e.mDiskHits.Add(1)
+			e.journalFinish(t.hash, true)
 			return cached, nil
 		} else if corrupt {
 			e.mCorrupt.Add(1)
 		}
 	}
-	defer func() {
-		if r := recover(); r != nil {
-			e.mPanics.Add(1)
-			err = fmt.Errorf("sched: job %s/%s seed %d panicked: %v",
-				t.job.App, t.job.Variant, t.job.Seed, r)
+	var err error
+	for attempt := 0; ; attempt++ {
+		var rep cpu.Report
+		rep, err = e.attempt(t, attempt)
+		if err == nil {
+			e.persist(t, rep, attempt)
+			e.journalFinish(t.hash, false)
+			return rep, nil
 		}
+		if attempt >= e.opts.Retries || !retryable(err) || t.ctx.Err() != nil {
+			break
+		}
+		e.mRetries.Add(1)
+		if !e.backoff(t.ctx, attempt) {
+			break
+		}
+	}
+	if e.opts.Retries > 0 && retryable(err) {
+		err = fmt.Errorf("sched: job %s: giving up after %d attempts: %w",
+			t.describe(), e.opts.Retries+1, err)
+	}
+	return cpu.Report{}, err
+}
+
+// attempt runs one simulation try in its own goroutine so the worker
+// can enforce the cell deadline and honour cancellation mid-run.  An
+// abandoned attempt keeps running in the background; its result lands
+// in a buffered channel and is discarded.
+func (e *Engine) attempt(t *task, attempt int) (cpu.Report, error) {
+	type outcome struct {
+		rep cpu.Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.mPanics.Add(1)
+				done <- outcome{err: fmt.Errorf("sched: job %s panicked: %v", t.describe(), r)}
+			}
+		}()
+		if inj := e.opts.Injector; inj != nil {
+			switch d := inj.Decide(fault.SiteExecute, t.hash, attempt); d.Kind {
+			case fault.Panic:
+				e.mInjected.Add(1)
+				panic("injected fault")
+			case fault.Error:
+				e.mInjected.Add(1)
+				done <- outcome{err: fmt.Errorf("sched: job %s: injected transient error", t.describe())}
+				return
+			case fault.Cancel:
+				e.mInjected.Add(1)
+				done <- outcome{err: fmt.Errorf("sched: job %s: injected cancellation: %w",
+					t.describe(), context.Canceled)}
+				return
+			case fault.Hang:
+				e.mInjected.Add(1)
+				time.Sleep(d.Delay)
+			}
+		}
+		e.mComputed.Add(1)
+		rep, err := e.compute(t.job)
+		done <- outcome{rep: rep, err: err}
 	}()
-	e.mComputed.Add(1)
-	rep, err = e.compute(t.job)
-	if err == nil && e.disk != nil {
-		if werr := e.disk.store(t.hash, t.job.Key(), rep); werr == nil {
-			e.mDiskWrites.Add(1)
-		}
+	var expired <-chan time.Time
+	if e.opts.CellTimeout > 0 {
+		timer := time.NewTimer(e.opts.CellTimeout)
+		defer timer.Stop()
+		expired = timer.C
+	}
+	select {
+	case o := <-done:
+		return o.rep, o.err
+	case <-expired:
+		e.mTimeouts.Add(1)
+		return cpu.Report{}, fmt.Errorf("sched: job %s: %w (budget %v)",
+			t.describe(), ErrCellTimeout, e.opts.CellTimeout)
+	case <-t.ctx.Done():
+		return cpu.Report{}, permanentError{fmt.Errorf("sched: job %s: %w",
+			t.describe(), t.ctx.Err())}
+	}
+}
+
+// backoff sleeps the deterministic capped-exponential delay before the
+// next attempt; it returns false if the submission context died first.
+func (e *Engine) backoff(ctx context.Context, attempt int) bool {
+	base := e.opts.RetryBackoff
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	d := 64 * base
+	if attempt < 6 {
+		d = base << uint(attempt)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// persist writes one computed result to the disk store, applying an
+// injected corruption afterwards when the fault plan says so (the
+// in-process future still holds the sound result; the damage is only
+// visible to a later process, which must detect and heal it).
+func (e *Engine) persist(t *task, rep cpu.Report, attempt int) {
+	if e.disk == nil {
+		return
+	}
+	if err := e.disk.store(t.hash, t.job.Key(), rep); err != nil {
 		// A failed write is not a job failure: the result is sound,
 		// only the cross-process cache misses next time.
+		return
 	}
-	return rep, err
+	e.mDiskWrites.Add(1)
+	if inj := e.opts.Injector; inj != nil {
+		if d := inj.Decide(fault.SiteStore, t.hash, attempt); d.Kind == fault.Corrupt {
+			e.mInjected.Add(1)
+			e.disk.mangle(t.hash)
+		}
+	}
+}
+
+// journalFinish records a completed cell in the WAL.  A disk hit whose
+// hash was journaled by an earlier process counts as a resumed cell.
+func (e *Engine) journalFinish(hash string, fromDisk bool) {
+	j := e.opts.Journal
+	if j == nil {
+		return
+	}
+	if j.Done(hash) {
+		if fromDisk {
+			e.mResumed.Add(1)
+		}
+		return
+	}
+	if err := j.Record(hash); err == nil {
+		e.mJournal.Add(1)
+	}
 }
 
 // Stats is a point-in-time view of the engine's counters.
@@ -260,7 +460,12 @@ type Stats struct {
 	DiskWrites  uint64 `json:"disk_writes"`  // results persisted to disk
 	DiskCorrupt uint64 `json:"disk_corrupt"` // corrupted disk entries detected and recomputed
 	Failed      uint64 `json:"failed"`       // jobs that returned an error
-	Panics      uint64 `json:"panics"`       // jobs recovered from a panic
+	Panics      uint64 `json:"panics"`       // attempts recovered from a panic
+	Retries     uint64 `json:"retries"`      // attempts repeated after a retryable failure
+	Timeouts    uint64 `json:"timeouts"`     // attempts killed by the cell-deadline watchdog
+	Injected    uint64 `json:"injected_faults"` // faults injected by Options.Injector
+	Journaled   uint64 `json:"journal_appends"` // completed cells appended to the WAL
+	Resumed     uint64 `json:"journal_resumed"` // journaled cells skipped via the disk cache
 	Workers     int    `json:"workers"`      // pool size
 }
 
@@ -275,6 +480,11 @@ func (e *Engine) Stats() Stats {
 		DiskCorrupt: e.mCorrupt.Value(),
 		Failed:      e.mFailed.Value(),
 		Panics:      e.mPanics.Value(),
+		Retries:     e.mRetries.Value(),
+		Timeouts:    e.mTimeouts.Value(),
+		Injected:    e.mInjected.Value(),
+		Journaled:   e.mJournal.Value(),
+		Resumed:     e.mResumed.Value(),
 		Workers:     e.opts.Workers,
 	}
 }

@@ -86,7 +86,9 @@ func (j Job) Hash() string {
 func (j Job) run() (cpu.Report, error) {
 	k, err := kernels.ByApp(j.App)
 	if err != nil {
-		return cpu.Report{}, err
+		// A job naming an unknown application can never succeed; mark
+		// it permanent so the retry loop does not burn its budget on it.
+		return cpu.Report{}, permanentError{err}
 	}
 	s := core.Setup{Name: j.App, Variant: j.Variant, CPU: j.CPU}
 	return core.RunCell(k, s, j.Seed, j.Scale)
