@@ -8,6 +8,10 @@
 package bioperf5
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"testing"
 
@@ -17,6 +21,7 @@ import (
 	"bioperf5/internal/harness"
 	"bioperf5/internal/kernels"
 	"bioperf5/internal/sched"
+	"bioperf5/internal/server"
 	"bioperf5/internal/workload"
 )
 
@@ -228,6 +233,60 @@ func BenchmarkAblationTakenPenalty(b *testing.B) {
 			b.ReportMetric(ipc, "sim-IPC")
 		})
 	}
+}
+
+// benchServeCell measures the HTTP serving layer end to end — decode,
+// canonicalize, admission, engine round trip, encode — by POSTing the
+// same cell repeatedly at an httptest server.
+func benchServeCell(b *testing.B, opts sched.Options) {
+	b.Helper()
+	eng := sched.New(opts)
+	defer eng.Close()
+	srv := httptest.NewServer(server.New(server.Options{Engine: eng}))
+	defer srv.Close()
+	body, err := json.Marshal(map[string]any{
+		"app": "Clustalw", "variant": "combination", "fxus": 3, "btac_entries": 8,
+		"scale": 1, "seeds": []int64{1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func() {
+		resp, err := http.Post(srv.URL+"/v1/cells", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		var out server.CellResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if out.Stats.Aggregate.Counters.Cycles == 0 {
+			b.Fatal("empty cell result")
+		}
+	}
+	post() // prime: first request pays compile + (when enabled) cache fill
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+}
+
+// BenchmarkServeCellCached is the steady-state serving cost: every
+// request after the first is a memoization hit, so this measures the
+// HTTP + canonicalization + cache-lookup overhead per request.
+func BenchmarkServeCellCached(b *testing.B) {
+	benchServeCell(b, sched.Options{})
+}
+
+// BenchmarkServeCellCold disables the cache so every request simulates;
+// the gap to BenchmarkServeCellCached is the win coalescing/memoization
+// buys the serving path.
+func BenchmarkServeCellCold(b *testing.B) {
+	benchServeCell(b, sched.Options{DisableCache: true})
 }
 
 // BenchmarkAblationIfConvertArmLimit sweeps the if-converter's arm-size

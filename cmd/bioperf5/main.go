@@ -8,6 +8,8 @@
 //	bioperf5 run <experiment>|all [-scale N] [-seeds a,b,c] [-json]
 //	bioperf5 sweep [-fxus 2,3,4] [-btac off,8] [-variants v,...] [-apps a,...]
 //	               [-workers N] [-cache-dir DIR] [-grid] [-json]
+//	bioperf5 serve [-addr HOST:PORT] [-workers N] [-cache-dir DIR]
+//	               [-max-inflight N] [-request-timeout DUR] [-drain-timeout DUR]
 //	bioperf5 trace <Blast|Clustalw|Fasta|Hmmer> <variant> [-scale N] [-seed N]
 //	bioperf5 stats [application] [-scale N] [-seed N] [-json]
 //	bioperf5 profile <Blast|Clustalw|Fasta|Hmmer> [-scale N]
@@ -20,12 +22,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"bioperf5/internal/cpu"
 	"bioperf5/internal/fault"
@@ -33,6 +37,7 @@ import (
 	"bioperf5/internal/kernels"
 	"bioperf5/internal/perf"
 	"bioperf5/internal/sched"
+	"bioperf5/internal/server"
 	"bioperf5/internal/telemetry"
 	"bioperf5/internal/workload"
 )
@@ -56,6 +61,16 @@ commands:
                            manifest under DIR and resumes a killed sweep;
                            -grid prints every point; -json emits the manifest;
                            BIOPERF5_FAULTS=spec injects deterministic faults)
+  serve                    expose the engine as an HTTP/JSON service:
+                           POST /v1/cells runs one cell, POST /v1/cells:batch
+                           streams a batch as JSONL, GET /v1/experiments/{id}
+                           serves a paper experiment byte-identical to
+                           'run <id> -json', plus /healthz /readyz /metrics
+                           (-addr HOST:PORT; -workers N; -cache-dir DIR;
+                           -retries N; -cell-timeout DUR; -max-inflight N
+                           admission bound; -request-timeout DUR default
+                           per-request deadline; -drain-timeout DUR graceful
+                           SIGTERM drain budget)
   trace <application> <variant>
                            emit a per-instruction pipeline event trace as
                            JSONL (-scale N, -seed N, -cap N ring capacity)
@@ -87,6 +102,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
 	case "stats":
@@ -283,7 +300,7 @@ func cmdSweep(args []string) error {
 		Injector:    injector,
 		Journal:     journal,
 	})
-	defer eng.Close()
+	defer eng.Drain(context.Background())
 	// SIGINT/SIGTERM cancel pending cells instead of killing the
 	// process: the sweep degrades, the journal and cache keep what
 	// finished, and -resume picks up the rest.
@@ -355,6 +372,82 @@ func sweepDegradedSummary(m *harness.SweepManifest) error {
 	}
 	return fmt.Errorf("sweep: %d of %d cells degraded (re-run with -resume to retry them)",
 		m.Degraded, len(m.Points))
+}
+
+// cmdServe exposes the simulation engine as an HTTP/JSON service and
+// runs it until SIGINT/SIGTERM, then drains gracefully: readiness
+// flips to 503, in-flight cells finish, the listener shuts down, and
+// the engine's workers are drained — all inside the -drain-timeout
+// budget.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cacheDir := fs.String("cache-dir", "", "content-addressed on-disk result cache directory")
+	retries := fs.Int("retries", 2, "per-cell retry budget for transient failures")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell simulation deadline, e.g. 30s (0 = none)")
+	maxInflight := fs.Int("max-inflight", 0, "admission bound on in-flight cells (0 = 4x GOMAXPROCS)")
+	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "default per-request deadline; clients override with ?timeout= (0 = none)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget after SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries: must be >= 0, got %d", *retries)
+	}
+	if *cellTimeout < 0 || *reqTimeout < 0 || *drainTimeout <= 0 {
+		return fmt.Errorf("-cell-timeout and -request-timeout must be >= 0 and -drain-timeout > 0")
+	}
+	injector, err := fault.FromEnv()
+	if err != nil {
+		return err
+	}
+	eng := sched.New(sched.Options{
+		Workers:     *workers,
+		CacheDir:    *cacheDir,
+		Retries:     *retries,
+		CellTimeout: *cellTimeout,
+		Injector:    injector,
+	})
+	srv := server.New(server.Options{
+		Engine:         eng,
+		MaxInflight:    *maxInflight,
+		DefaultTimeout: *reqTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		err := httpSrv.ListenAndServe()
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		errc <- err
+	}()
+	fmt.Fprintf(os.Stderr, "bioperf5: serving on http://%s\n", *addr)
+	select {
+	case err := <-errc:
+		eng.Drain(context.Background())
+		return err // the listener died before any signal
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "bioperf5: draining (in-flight requests finish; new requests get 503)")
+	srv.StartDrain()
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	if err := eng.Drain(sctx); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := <-errc; err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "bioperf5: drained cleanly")
+	return nil
 }
 
 // cmdTrace runs one kernel invocation with the pipeline event trace
@@ -504,26 +597,12 @@ func cmdProfile(args []string) error {
 	return nil
 }
 
-// variantAliases maps convenient spellings to canonical variant names.
-var variantAliases = map[string]string{
-	"base":     "original",
-	"baseline": "original",
-	"branchy":  "original",
-	"isel":     "hand isel",
-	"max":      "hand max",
-	"combo":    "combination",
-}
-
 func parseVariant(name string) (kernels.Variant, error) {
-	if full, ok := variantAliases[strings.ToLower(name)]; ok {
-		name = full
+	v, err := kernels.VariantByName(name)
+	if err != nil {
+		return 0, fmt.Errorf("unknown variant %q (try `bioperf5 variants`)", name)
 	}
-	for v := kernels.Branchy; v < kernels.NumVariants; v++ {
-		if v.String() == name {
-			return v, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown variant %q (try `bioperf5 variants`)", name)
+	return v, nil
 }
 
 func cmdDisasm(args []string) error {

@@ -88,3 +88,50 @@ func (cl *pending) counters() (cpu.Counters, error) {
 	}
 	return det.Aggregate.Counters, nil
 }
+
+// CellStats runs one (application, setup) cell through the
+// configuration's engine and packages the result for an API consumer.
+// It returns the per-seed + aggregate stats, the cell's content key
+// (the hash over its per-seed job hashes, the same value a sweep
+// manifest records), and how many of the cell's per-seed submissions
+// coalesced onto in-flight or memoized jobs instead of enqueuing new
+// work — the number behind the server's `server.cells.coalesced`
+// counter.
+func CellStats(cfg Config, app string, s core.Setup) (KernelStats, string, int, error) {
+	cfg = cfg.normalize()
+	k, err := kernels.ByApp(app)
+	if err != nil {
+		return KernelStats{}, "", 0, err
+	}
+	eng := cfg.engine()
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var (
+		jobs      []sched.Job
+		futs      []*sched.Future
+		coalesced int
+	)
+	for _, seed := range cfg.Seeds {
+		j := sched.Job{
+			App:     k.App,
+			Variant: s.Variant,
+			CPU:     s.CPU,
+			Seed:    seed,
+			Scale:   cfg.Scale,
+		}
+		jobs = append(jobs, j)
+		f, hit := eng.SubmitTracked(ctx, j)
+		if hit {
+			coalesced++
+		}
+		futs = append(futs, f)
+	}
+	cl := &pending{seeds: cfg.Seeds, futs: futs}
+	det, err := cl.detail()
+	if err != nil {
+		return KernelStats{}, "", coalesced, err
+	}
+	return packKernelStats(k, s, det), cellKey(jobs), coalesced, nil
+}

@@ -119,10 +119,18 @@ func BaselineStats(cfg Config) ([]KernelStats, error) {
 	return out, nil
 }
 
+// SchemaVersion tags every machine-readable artifact the harness emits
+// (experiment reports, sweep manifests, server responses) so API
+// clients can detect drift instead of misparsing a newer encoding.
+// Bump the suffix when a field changes meaning or disappears; purely
+// additive fields keep the version.
+const SchemaVersion = "bioperf5/v1"
+
 // Report is the machine-readable encoding of one experiment run: the
 // rendered table plus, when the experiment carries a Detail hook, the
 // per-seed counters, derived rates and CPI stall stacks behind it.
 type Report struct {
+	Schema  string        `json:"schema"`
 	ID      string        `json:"id"`
 	Title   string        `json:"title"`
 	Note    string        `json:"note,omitempty"`
@@ -140,6 +148,7 @@ func RunReport(e *Experiment, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	rep := &Report{
+		Schema:  SchemaVersion,
 		ID:      tab.ID,
 		Title:   tab.Title,
 		Note:    tab.Note,

@@ -76,8 +76,12 @@ func (sp SweepSpec) normalize() (SweepSpec, error) {
 	return sp, nil
 }
 
-// setupFor builds the core setup of one grid point.
-func setupFor(v kernels.Variant, fxus, btacEntries int) core.Setup {
+// SetupFor builds the core setup of one grid point: a predication
+// variant, a fixed-point unit count, and a BTAC sizing (0 disables the
+// BTAC).  It is the single canonicalization point shared by the sweep
+// and the HTTP server, so a served cell and a swept cell with the same
+// coordinates produce identical sched.Job keys and coalesce.
+func SetupFor(v kernels.Variant, fxus, btacEntries int) core.Setup {
 	s := core.Baseline()
 	s.Variant = v
 	s.CPU.NumFXU = fxus
@@ -115,9 +119,9 @@ type SweepPoint struct {
 	Key         string      `json:"key"`          // content hash of the cell (over its per-seed job hashes)
 	Status      string      `json:"status"`       // ok|failed|timeout|skipped
 	Error       string      `json:"error,omitempty"`
-	Stats       KernelStats `json:"stats"`        // the PR-1 report schema, per seed + aggregate
-	NormIPC     float64     `json:"norm_ipc"`     // baseline work / cycles (a speedup measure)
-	Improvement float64     `json:"improvement"`  // NormIPC vs the app's POWER5 baseline IPC, fractional
+	Stats       KernelStats `json:"stats"`       // the PR-1 report schema, per seed + aggregate
+	NormIPC     float64     `json:"norm_ipc"`    // baseline work / cycles (a speedup measure)
+	Improvement float64     `json:"improvement"` // NormIPC vs the app's POWER5 baseline IPC, fractional
 }
 
 // SweepBest names the best configuration found for one application.
@@ -132,7 +136,8 @@ type SweepBest struct {
 
 // SweepManifest is the machine-readable outcome of a sweep.
 type SweepManifest struct {
-	Spec struct {
+	Schema string `json:"schema"`
+	Spec   struct {
 		FXUs        []int    `json:"fxus"`
 		BTACEntries []int    `json:"btac_entries"`
 		Variants    []string `json:"variants"`
@@ -228,7 +233,7 @@ func RunSweep(sp SweepSpec) (*SweepManifest, error) {
 	start := time.Now()
 	cfg := sp.Config
 
-	m := &SweepManifest{Config: cfg}
+	m := &SweepManifest{Schema: SchemaVersion, Config: cfg}
 	m.Spec.FXUs = sp.FXUs
 	m.Spec.BTACEntries = sp.BTACEntries
 	for _, v := range sp.Variants {
@@ -254,7 +259,7 @@ func RunSweep(sp SweepSpec) (*SweepManifest, error) {
 		for _, v := range sp.Variants {
 			for _, fxus := range sp.FXUs {
 				for _, entries := range sp.BTACEntries {
-					s := setupFor(v, fxus, entries)
+					s := SetupFor(v, fxus, entries)
 					var jobs []sched.Job
 					for _, seed := range cfg.Seeds {
 						jobs = append(jobs, sched.Job{

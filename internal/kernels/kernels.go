@@ -25,6 +25,7 @@ package kernels
 
 import (
 	"fmt"
+	"strings"
 
 	"bioperf5/internal/compiler"
 	"bioperf5/internal/cpu"
@@ -74,6 +75,34 @@ func (v Variant) String() string {
 		return "combination"
 	}
 	return fmt.Sprintf("variant%d", int(v))
+}
+
+// variantAliases maps convenient spellings to canonical variant names,
+// shared by the CLI flags and the HTTP API so both surfaces accept the
+// same vocabulary.
+var variantAliases = map[string]string{
+	"base":     "original",
+	"baseline": "original",
+	"branchy":  "original",
+	"isel":     "hand isel",
+	"max":      "hand max",
+	"combo":    "combination",
+}
+
+// VariantByName resolves a canonical variant name ("original", "hand
+// isel", ...) or a documented alias ("base", "combo", ...) to its
+// Variant.  Matching is case-insensitive.
+func VariantByName(name string) (Variant, error) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if full, ok := variantAliases[name]; ok {
+		name = full
+	}
+	for v := Branchy; v < NumVariants; v++ {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("kernels: unknown variant %q", name)
 }
 
 // Shape is the IR form a variant compiles from.

@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"bioperf5/internal/cpu"
+)
+
+// TestDrainGoroutineLeak is the shutdown gate: an engine that has run
+// work and been drained must leave no goroutines behind.  The count is
+// taken before New and re-checked (with settling retries — the runtime
+// needs a moment to reap exited goroutines) after Drain.
+func TestDrainGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	e := New(Options{Workers: 8})
+	e.compute = func(j Job) (cpu.Report, error) {
+		return cpu.Report{Counters: cpu.Counters{Cycles: 2, Instructions: 1}}, nil
+	}
+	for seed := int64(0); seed < 32; seed++ {
+		j := Job{App: "Fasta", CPU: cpu.POWER5Baseline(), Seed: seed, Scale: 1}
+		if _, err := e.Run(context.Background(), j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked by drained engine: before=%d after=%d", before, after)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDrainIdempotent checks Drain can be called repeatedly — also
+// interleaved with Close — and that Submit after Drain fails fast
+// instead of deadlocking on a closed queue.
+func TestDrainIdempotent(t *testing.T) {
+	e := New(Options{Workers: 2})
+	e.compute = func(j Job) (cpu.Report, error) { return cpu.Report{}, nil }
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatalf("first Drain: %v", err)
+	}
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+	e.Close()
+	_, err := e.Run(context.Background(), Job{App: "Fasta", Seed: 1})
+	if err == nil {
+		t.Fatal("Submit after Drain succeeded")
+	}
+}
+
+// TestDrainHonoursContext: a Drain whose context is already dead must
+// return promptly with the context error while work is still in
+// flight, and a later unbounded Drain must still complete.
+func TestDrainHonoursContext(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	e := New(Options{Workers: 1})
+	e.compute = func(j Job) (cpu.Report, error) {
+		started <- struct{}{}
+		<-release
+		return cpu.Report{}, nil
+	}
+	fut := e.Submit(context.Background(), Job{App: "Fasta", Seed: 1})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.Drain(ctx); err == nil {
+		t.Fatal("Drain with dead context returned nil while a job was in flight")
+	}
+	close(release)
+	if _, err := fut.Wait(); err != nil {
+		t.Fatalf("in-flight job after failed drain: %v", err)
+	}
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatalf("final Drain: %v", err)
+	}
+}

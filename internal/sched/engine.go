@@ -196,15 +196,38 @@ func (e *Engine) Registry() *telemetry.Registry { return e.reg }
 
 // Close stops accepting jobs and waits for queued work to drain.
 func (e *Engine) Close() {
+	e.Drain(context.Background())
+}
+
+// Drain is the engine's single shutdown entry point: it stops intake
+// (later Submits fail fast with "engine closed"), waits for every
+// queued and in-flight job to finish, and flushes the disk cache
+// directory so persisted results survive the process.  Both `sweep`
+// and `serve` shut down through it.  Drain is idempotent and safe to
+// call concurrently with Close.  If ctx expires first, Drain returns
+// the context's error; the workers keep finishing in the background
+// and a later Drain call can wait for them again.
+func (e *Engine) Drain(ctx context.Context) error {
 	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
 	}
-	e.closed = true
 	e.mu.Unlock()
-	close(e.queue)
-	e.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		if e.disk != nil {
+			e.disk.syncDir()
+		}
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("sched: drain: %w", ctx.Err())
+	}
 }
 
 // Submit schedules a job and returns its future.  Identical jobs
@@ -214,6 +237,16 @@ func (e *Engine) Close() {
 // context is cancelled or past its deadline before a worker picks it
 // up fails with the context's error instead of simulating.
 func (e *Engine) Submit(ctx context.Context, j Job) *Future {
+	f, _ := e.SubmitTracked(ctx, j)
+	return f
+}
+
+// SubmitTracked is Submit plus a coalescing report: the second return
+// is true when the submission was served by the in-memory layer — it
+// joined an in-flight computation of the same cell or hit the memoized
+// result — without enqueuing any new work.  The server's batch and
+// cell endpoints use it to count `server.cells.coalesced`.
+func (e *Engine) SubmitTracked(ctx context.Context, j Job) (*Future, bool) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -223,13 +256,13 @@ func (e *Engine) Submit(ctx context.Context, j Job) *Future {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return resolved(cpu.Report{}, fmt.Errorf("sched: engine closed"))
+		return resolved(cpu.Report{}, fmt.Errorf("sched: engine closed")), false
 	}
 	if e.inflight != nil {
 		if f, ok := e.inflight[hash]; ok {
 			e.mu.Unlock()
 			e.mMemHits.Add(1)
-			return f
+			return f, true
 		}
 	}
 	f := &Future{done: make(chan struct{})}
@@ -254,12 +287,12 @@ func (e *Engine) Submit(ctx context.Context, j Job) *Future {
 		e.mFailed.Add(1)
 		f.complete(cpu.Report{}, fmt.Errorf("sched: job %s/%s seed %d: %w",
 			j.App, j.Variant, j.Seed, ctx.Err()))
-		return f
+		return f, false
 	}
 	if depth := float64(len(e.queue)); depth > e.gQueuePeak.Value() {
 		e.gQueuePeak.Set(depth)
 	}
-	return f
+	return f, false
 }
 
 // Run is Submit + Wait.
@@ -453,20 +486,20 @@ func (e *Engine) journalFinish(hash string, fromDisk bool) {
 
 // Stats is a point-in-time view of the engine's counters.
 type Stats struct {
-	Submitted   uint64 `json:"submitted"`    // jobs submitted
-	Computed    uint64 `json:"computed"`     // jobs actually simulated
-	MemoryHits  uint64 `json:"memory_hits"`  // submits resolved by the in-memory cache
-	DiskHits    uint64 `json:"disk_hits"`    // jobs resolved by the on-disk store
-	DiskWrites  uint64 `json:"disk_writes"`  // results persisted to disk
-	DiskCorrupt uint64 `json:"disk_corrupt"` // corrupted disk entries detected and recomputed
-	Failed      uint64 `json:"failed"`       // jobs that returned an error
-	Panics      uint64 `json:"panics"`       // attempts recovered from a panic
-	Retries     uint64 `json:"retries"`      // attempts repeated after a retryable failure
-	Timeouts    uint64 `json:"timeouts"`     // attempts killed by the cell-deadline watchdog
+	Submitted   uint64 `json:"submitted"`       // jobs submitted
+	Computed    uint64 `json:"computed"`        // jobs actually simulated
+	MemoryHits  uint64 `json:"memory_hits"`     // submits resolved by the in-memory cache
+	DiskHits    uint64 `json:"disk_hits"`       // jobs resolved by the on-disk store
+	DiskWrites  uint64 `json:"disk_writes"`     // results persisted to disk
+	DiskCorrupt uint64 `json:"disk_corrupt"`    // corrupted disk entries detected and recomputed
+	Failed      uint64 `json:"failed"`          // jobs that returned an error
+	Panics      uint64 `json:"panics"`          // attempts recovered from a panic
+	Retries     uint64 `json:"retries"`         // attempts repeated after a retryable failure
+	Timeouts    uint64 `json:"timeouts"`        // attempts killed by the cell-deadline watchdog
 	Injected    uint64 `json:"injected_faults"` // faults injected by Options.Injector
 	Journaled   uint64 `json:"journal_appends"` // completed cells appended to the WAL
 	Resumed     uint64 `json:"journal_resumed"` // journaled cells skipped via the disk cache
-	Workers     int    `json:"workers"`      // pool size
+	Workers     int    `json:"workers"`         // pool size
 }
 
 // Stats snapshots the engine counters.

@@ -1,0 +1,348 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"bioperf5/internal/core"
+	"bioperf5/internal/harness"
+	"bioperf5/internal/kernels"
+)
+
+// Request-size guardrails.  They bound resource consumption per
+// request, not the science: a sweep wanting more goes through the CLI.
+const (
+	maxBodyBytes = 1 << 20 // request bodies are small JSON documents
+	maxFXUs      = 8
+	maxBTAC      = 4096
+	maxScale     = 64
+	maxSeeds     = 16
+)
+
+// CellRequest is the wire form of one simulation cell.  Everything but
+// App is optional; zero values mean the POWER5 baseline (2 FXUs, no
+// BTAC, original code, scale 1, seed 1).
+type CellRequest struct {
+	App         string  `json:"app"`
+	Variant     string  `json:"variant,omitempty"`
+	FXUs        int     `json:"fxus,omitempty"`
+	BTACEntries int     `json:"btac_entries,omitempty"`
+	Scale       int     `json:"scale,omitempty"`
+	Seeds       []int64 `json:"seeds,omitempty"`
+}
+
+// CellResponse is the result of one cell: the canonical coordinates
+// the request resolved to, the cell's content key (identical to the
+// key a sweep manifest records for the same cell), how many of its
+// per-seed submissions coalesced with work already in flight or
+// memoized, and the per-seed + aggregate stats in the harness report
+// schema.
+type CellResponse struct {
+	Schema      string              `json:"schema"`
+	App         string              `json:"app"`
+	Variant     string              `json:"variant"`
+	FXUs        int                 `json:"fxus"`
+	BTACEntries int                 `json:"btac_entries"`
+	Scale       int                 `json:"scale"`
+	Seeds       []int64             `json:"seeds"`
+	Key         string              `json:"key"`
+	Coalesced   int                 `json:"coalesced"`
+	Stats       harness.KernelStats `json:"stats"`
+}
+
+// cellSpec is a validated, canonicalized cell: the exact coordinates
+// that address the engine's caches.
+type cellSpec struct {
+	app     string
+	variant kernels.Variant
+	fxus    int
+	btac    int
+	scale   int
+	seeds   []int64
+	setup   core.Setup
+}
+
+// canonicalize validates the request and resolves every field to its
+// canonical form: the kernel's exact application name (matched
+// case-insensitively), the variant through the shared alias table, and
+// defaults identical to the CLI baseline.  Canonical requests are what
+// make coalescing work — two spellings of the same cell must produce
+// the same sched.Job keys.
+func (r CellRequest) canonicalize() (cellSpec, error) {
+	var sp cellSpec
+	if strings.TrimSpace(r.App) == "" {
+		return sp, fmt.Errorf("missing app (one of %s)", strings.Join(appNames(), ", "))
+	}
+	k, err := kernelByAppFold(r.App)
+	if err != nil {
+		return sp, err
+	}
+	sp.app = k.App
+	variant := r.Variant
+	if strings.TrimSpace(variant) == "" {
+		variant = kernels.Branchy.String()
+	}
+	if sp.variant, err = kernels.VariantByName(variant); err != nil {
+		return sp, fmt.Errorf("unknown variant %q", r.Variant)
+	}
+	sp.fxus = r.FXUs
+	if sp.fxus == 0 {
+		sp.fxus = core.Baseline().CPU.NumFXU
+	}
+	if sp.fxus < 1 || sp.fxus > maxFXUs {
+		return sp, fmt.Errorf("fxus %d out of range [1, %d]", r.FXUs, maxFXUs)
+	}
+	sp.btac = r.BTACEntries
+	if sp.btac < 0 || sp.btac > maxBTAC {
+		return sp, fmt.Errorf("btac_entries %d out of range [0, %d]", r.BTACEntries, maxBTAC)
+	}
+	sp.scale = r.Scale
+	if sp.scale == 0 {
+		sp.scale = 1
+	}
+	if sp.scale < 1 || sp.scale > maxScale {
+		return sp, fmt.Errorf("scale %d out of range [1, %d]", r.Scale, maxScale)
+	}
+	sp.seeds = r.Seeds
+	if len(sp.seeds) == 0 {
+		sp.seeds = []int64{1}
+	}
+	if len(sp.seeds) > maxSeeds {
+		return sp, fmt.Errorf("%d seeds exceed the per-cell limit of %d", len(sp.seeds), maxSeeds)
+	}
+	seen := make(map[int64]bool, len(sp.seeds))
+	for _, s := range sp.seeds {
+		if s < 0 {
+			return sp, fmt.Errorf("bad seed %d: seeds must be non-negative", s)
+		}
+		if seen[s] {
+			return sp, fmt.Errorf("duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+	sp.setup = harness.SetupFor(sp.variant, sp.fxus, sp.btac)
+	return sp, nil
+}
+
+// appNames lists the canonical application names.
+func appNames() []string {
+	var out []string
+	for _, k := range kernels.All() {
+		out = append(out, k.App)
+	}
+	return out
+}
+
+// kernelByAppFold resolves an application name case-insensitively.
+func kernelByAppFold(app string) (*kernels.Kernel, error) {
+	for _, k := range kernels.All() {
+		if strings.EqualFold(k.App, strings.TrimSpace(app)) {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown app %q (one of %s)", app, strings.Join(appNames(), ", "))
+}
+
+// runCell executes one canonicalized cell through the engine and
+// packages the response.
+func (s *Server) runCell(cfg harness.Config, sp cellSpec) (*CellResponse, error) {
+	cfg.Scale = sp.scale
+	cfg.Seeds = sp.seeds
+	cfg.Engine = s.eng
+	stats, key, coalesced, err := harness.CellStats(cfg, sp.app, sp.setup)
+	s.mCoalesced.Add(uint64(coalesced))
+	if err != nil {
+		return nil, err
+	}
+	return &CellResponse{
+		Schema:      harness.SchemaVersion,
+		App:         sp.app,
+		Variant:     sp.variant.String(),
+		FXUs:        sp.fxus,
+		BTACEntries: sp.btac,
+		Scale:       sp.scale,
+		Seeds:       sp.seeds,
+		Key:         key,
+		Coalesced:   coalesced,
+		Stats:       stats,
+	}, nil
+}
+
+// handleCell runs one cell synchronously: validate, admit, execute,
+// answer.
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	var req CellRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sp, err := req.canonicalize()
+	if err != nil {
+		s.errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	if !s.acquire(1) {
+		s.saturated(w)
+		return
+	}
+	defer s.release(1)
+	resp, err := s.runCell(harness.Config{Context: ctx}, sp)
+	if err != nil {
+		s.errorJSON(w, statusForRunError(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchRequest is the wire form of POST /v1/cells:batch.
+type BatchRequest struct {
+	Cells []CellRequest `json:"cells"`
+}
+
+// BatchItem is one JSONL line of a batch response, emitted as its cell
+// completes (completion order, not request order — Index ties the line
+// back to the request).
+type BatchItem struct {
+	Schema string        `json:"schema"`
+	Index  int           `json:"index"`
+	Status string        `json:"status"` // "ok" or "error"
+	Error  string        `json:"error,omitempty"`
+	Result *CellResponse `json:"result,omitempty"`
+}
+
+// handleBatch fans a batch of cells into the engine and streams
+// per-cell results back as JSON Lines as they complete.  The whole
+// batch is validated and admitted (all cells or none) before any work
+// starts, so a batch can never half-fail on a malformed trailing cell
+// or wedge the server beyond its admission bound.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Cells) == 0 {
+		s.errorJSON(w, http.StatusBadRequest, "empty batch: cells must name at least one cell")
+		return
+	}
+	if len(req.Cells) > s.opts.MaxBatch {
+		s.errorJSON(w, http.StatusBadRequest,
+			"batch of %d cells exceeds the limit of %d", len(req.Cells), s.opts.MaxBatch)
+		return
+	}
+	specs := make([]cellSpec, len(req.Cells))
+	for i, c := range req.Cells {
+		sp, err := c.canonicalize()
+		if err != nil {
+			s.errorJSON(w, http.StatusBadRequest, "cell %d: %v", i, err)
+			return
+		}
+		specs[i] = sp
+	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	if !s.acquire(len(specs)) {
+		s.saturated(w)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	items := make(chan BatchItem)
+	var wg sync.WaitGroup
+	for i, sp := range specs {
+		i, sp := i, sp
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer s.release(1)
+			item := BatchItem{Schema: harness.SchemaVersion, Index: i, Status: "ok"}
+			resp, err := s.runCell(harness.Config{Context: ctx}, sp)
+			if err != nil {
+				item.Status = "error"
+				item.Error = err.Error()
+			} else {
+				item.Result = resp
+			}
+			items <- item
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(items)
+	}()
+	enc := json.NewEncoder(w)
+	for item := range items {
+		enc.Encode(item)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// decodeBody parses a JSON request body strictly: unknown fields are
+// rejected (they are always a client bug — a typoed "btac_entires"
+// must not silently run the wrong cell), as is trailing garbage.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("bad request body: trailing data after the JSON document")
+	}
+	return nil
+}
+
+// configFromQuery builds the experiment configuration from ?scale= and
+// ?seeds=, with the CLI's defaults (scale 1, seeds 1,2,3) so the
+// served bytes match an argument-less `bioperf5 run <id> -json`.
+func configFromQuery(r *http.Request) (harness.Config, error) {
+	cfg := harness.Config{Scale: 1, Seeds: []int64{1, 2, 3}}
+	q := r.URL.Query()
+	if v := q.Get("scale"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > maxScale {
+			return cfg, fmt.Errorf("bad scale %q: want an integer in [1, %d]", v, maxScale)
+		}
+		cfg.Scale = n
+	}
+	if v := q.Get("seeds"); v != "" {
+		cfg.Seeds = nil
+		seen := make(map[int64]bool)
+		for _, part := range strings.Split(v, ",") {
+			part = strings.TrimSpace(part)
+			n, err := strconv.ParseInt(part, 10, 64)
+			if err != nil || n < 0 {
+				return cfg, fmt.Errorf("bad seed %q: want a non-negative integer", part)
+			}
+			if seen[n] {
+				return cfg, fmt.Errorf("duplicate seed %d", n)
+			}
+			seen[n] = true
+			cfg.Seeds = append(cfg.Seeds, n)
+		}
+		if len(cfg.Seeds) > maxSeeds {
+			return cfg, fmt.Errorf("%d seeds exceed the limit of %d", len(cfg.Seeds), maxSeeds)
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"bioperf5/internal/telemetry"
+)
+
+// writePrometheus renders a telemetry snapshot in the Prometheus text
+// exposition format (version 0.0.4).  Metric families are emitted in
+// sorted name order so scrapes diff cleanly; dot-separated registry
+// names become underscore-separated Prometheus names ("sched.jobs
+// .computed" -> "sched_jobs_computed").  Histograms are translated
+// from the registry's per-bucket counts to Prometheus' cumulative
+// _bucket/_sum/_count convention; labeled counters become one series
+// per label value.
+func writePrometheus(w io.Writer, snap telemetry.Snapshot) {
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, snap.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", n, n, snap.Gauges[name])
+	}
+
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		n := promName(name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, b.Le, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+	}
+
+	names = names[:0]
+	for name := range snap.Labeled {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n", n)
+		for _, lc := range snap.Labeled[name] {
+			fmt.Fprintf(w, "%s{label=%q} %d\n", n, promLabel(lc.Label), lc.Count)
+		}
+	}
+}
+
+// promName maps a registry metric name onto the Prometheus grammar:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the exposition format (the %q
+// verb already escapes backslashes and quotes; newlines become \n
+// through the same path, so this is just a normalization pass for
+// non-printable input).
+func promLabel(v string) string {
+	return strings.ToValidUTF8(v, "_")
+}

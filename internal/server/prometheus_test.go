@@ -1,0 +1,60 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"bioperf5/internal/telemetry"
+)
+
+// TestWritePrometheusGolden pins the exposition format on a registry
+// fixture: sorted families, sanitized names, cumulative histogram
+// buckets with +Inf, labeled counters as one series per label.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("sched.jobs.computed").Add(7)
+	reg.Counter("server.requests").Add(3)
+	reg.Gauge("server.cells.inflight").Set(2)
+	h := reg.Histogram("server.request.latency_us", []uint64{10, 100, 1000})
+	for _, v := range []uint64{5, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	reg.Labeled("profile.calls").Add("dp_loop", 11)
+
+	var b strings.Builder
+	writePrometheus(&b, reg.Snapshot(0))
+	got := b.String()
+	want := strings.Join([]string{
+		"# TYPE sched_jobs_computed counter",
+		"sched_jobs_computed 7",
+		"# TYPE server_requests counter",
+		"server_requests 3",
+		"# TYPE server_cells_inflight gauge",
+		"server_cells_inflight 2",
+		"# TYPE server_request_latency_us histogram",
+		`server_request_latency_us_bucket{le="10"} 2`,
+		`server_request_latency_us_bucket{le="100"} 3`,
+		`server_request_latency_us_bucket{le="+Inf"} 4`,
+		"server_request_latency_us_sum 5060",
+		"server_request_latency_us_count 4",
+		"# TYPE profile_calls counter",
+		`profile_calls{label="dp_loop"} 11`,
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"sched.jobs.computed": "sched_jobs_computed",
+		"cpu.rate.ipc":        "cpu_rate_ipc",
+		"9lives":              "_lives",
+		"a-b c":               "a_b_c",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

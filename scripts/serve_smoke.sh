@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — boot `bioperf5 serve`, exercise every endpoint once,
+# and shut it down with SIGTERM.  The gates: /readyz comes up, a single
+# cell and a streamed batch both succeed, the experiments endpoint is
+# byte-identical to `bioperf5 run -json`, /metrics exposes the server.*
+# family, and SIGTERM drains cleanly (exit 0, drain message on stderr).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+port=18077
+base="http://127.0.0.1:$port"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/bioperf5" ./cmd/bioperf5
+
+echo "== start server"
+"$work/bioperf5" serve -addr "127.0.0.1:$port" -cache-dir "$work/cache" \
+  2> "$work/serve.stderr" &
+pid=$!
+
+echo "== poll /readyz"
+ready=0
+for _ in $(seq 1 50); do
+  if curl -fsS "$base/readyz" > /dev/null 2>&1; then ready=1; break; fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "FAIL: server died during startup" >&2
+    cat "$work/serve.stderr" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+if [ "$ready" -ne 1 ]; then
+  echo "FAIL: /readyz never came up" >&2
+  exit 1
+fi
+curl -fsS "$base/healthz" > /dev/null
+
+echo "== single cell"
+curl -fsS -X POST "$base/v1/cells" -d \
+  '{"app":"Fasta","variant":"combination","fxus":3,"btac_entries":8,"scale":1,"seeds":[1]}' \
+  > "$work/cell.json"
+python3 - "$work/cell.json" <<'PY'
+import json, sys
+c = json.load(open(sys.argv[1]))
+assert c["schema"] == "bioperf5/v1", c.get("schema")
+assert c["app"] == "Fasta" and c["variant"] == "combination", (c["app"], c["variant"])
+assert c["stats"]["aggregate"]["counters"]["Cycles"] > 0
+PY
+
+echo "== batch (3 cells, JSONL stream)"
+curl -fsS -X POST "$base/v1/cells:batch" -d \
+  '{"cells":[{"app":"Fasta","seeds":[1]},{"app":"Blast","seeds":[1]},{"app":"Fasta","seeds":[1]}]}' \
+  > "$work/batch.jsonl"
+python3 - "$work/batch.jsonl" <<'PY'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) == 3, len(lines)
+assert sorted(l["index"] for l in lines) == [0, 1, 2]
+assert all(l["status"] == "ok" for l in lines), lines
+PY
+
+echo "== experiments endpoint is byte-identical to the CLI"
+curl -fsS "$base/v1/experiments/fig3?scale=1&seeds=1" > "$work/fig3.http.json"
+"$work/bioperf5" run fig3 -json -scale 1 -seeds 1 > "$work/fig3.cli.json"
+if ! cmp -s "$work/fig3.http.json" "$work/fig3.cli.json"; then
+  echo "FAIL: served fig3 differs from CLI fig3" >&2
+  diff -u "$work/fig3.cli.json" "$work/fig3.http.json" | head -40 >&2
+  exit 1
+fi
+
+echo "== /metrics exposes server.* and sched.* families"
+curl -fsS "$base/metrics" > "$work/metrics.txt"
+for want in \
+  "# TYPE server_requests counter" \
+  "server_cells_admitted" \
+  "server_request_latency_us_bucket" \
+  "sched_jobs_computed"; do
+  if ! grep -q "$want" "$work/metrics.txt"; then
+    echo "FAIL: /metrics missing \"$want\"" >&2
+    exit 1
+  fi
+done
+
+echo "== SIGTERM drains cleanly"
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=""
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: server exited $status on SIGTERM" >&2
+  cat "$work/serve.stderr" >&2
+  exit 1
+fi
+if ! grep -q "drained cleanly" "$work/serve.stderr"; then
+  echo "FAIL: no drain message on stderr" >&2
+  cat "$work/serve.stderr" >&2
+  exit 1
+fi
+
+echo "PASS: serve smoke — cell, batch, byte-identical experiments, metrics, clean drain"
