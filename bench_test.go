@@ -22,6 +22,7 @@ import (
 	"bioperf5/internal/kernels"
 	"bioperf5/internal/sched"
 	"bioperf5/internal/server"
+	"bioperf5/internal/trace"
 	"bioperf5/internal/workload"
 )
 
@@ -288,6 +289,46 @@ func BenchmarkServeCellCached(b *testing.B) {
 func BenchmarkServeCellCold(b *testing.B) {
 	benchServeCell(b, sched.Options{DisableCache: true})
 }
+
+// benchSweepTrace runs the FXU x BTAC timing factorial — six
+// configurations of one (kernel, variant, seed, scale) cell — under a
+// trace policy, with a fresh store per iteration so every iteration
+// pays the full capture cost exactly once (auto) or never captures at
+// all (off: six coupled functional+timing runs).
+func benchSweepTrace(b *testing.B, policy core.TracePolicy) {
+	b.Helper()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		store := trace.NewStore(trace.StoreOptions{})
+		for _, fxus := range []int{2, 3, 4} {
+			for _, entries := range []int{0, 8} {
+				cfg := cpu.POWER5Baseline()
+				cfg.NumFXU = fxus
+				cfg.UseBTAC = entries > 0
+				resp, err := core.Simulate(core.Request{
+					App: "Fasta", Variant: kernels.Branchy, Seeds: []int64{1},
+					Scale: 1, CPU: cfg, Trace: policy, Traces: store,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += resp.Aggregate.Counters.Cycles
+			}
+		}
+	}
+	if cycles == 0 {
+		b.Fatal("factorial simulated nothing")
+	}
+}
+
+// BenchmarkSweepTraceOff is the capture-per-cell baseline: every cell
+// of the factorial runs the coupled functional+timing path.
+func BenchmarkSweepTraceOff(b *testing.B) { benchSweepTrace(b, core.TraceOff) }
+
+// BenchmarkSweepTraceReplay is the capture-once/replay-many path: one
+// functional capture, six decoupled replays.  The CI benchmark gate
+// (scripts/bench_trace.sh) requires this to beat BenchmarkSweepTraceOff.
+func BenchmarkSweepTraceReplay(b *testing.B) { benchSweepTrace(b, core.TraceAuto) }
 
 // BenchmarkAblationIfConvertArmLimit sweeps the if-converter's arm-size
 // budget on the Blast kernel (whose convertible hammocks include the

@@ -5,10 +5,10 @@
 // Usage:
 //
 //	bioperf5 list
-//	bioperf5 run <experiment>|all [-scale N] [-seeds a,b,c] [-json]
+//	bioperf5 run <experiment>|all [-scale N] [-seeds a,b,c] [-trace P] [-json]
 //	bioperf5 sweep [-fxus 2,3,4] [-btac off,8] [-variants v,...] [-apps a,...]
-//	               [-workers N] [-cache-dir DIR] [-grid] [-json]
-//	bioperf5 serve [-addr HOST:PORT] [-workers N] [-cache-dir DIR]
+//	               [-workers N] [-cache-dir DIR] [-trace P] [-grid] [-json]
+//	bioperf5 serve [-addr HOST:PORT] [-workers N] [-cache-dir DIR] [-trace P]
 //	               [-max-inflight N] [-request-timeout DUR] [-drain-timeout DUR]
 //	bioperf5 trace <Blast|Clustalw|Fasta|Hmmer> <variant> [-scale N] [-seed N]
 //	bioperf5 stats [application] [-scale N] [-seed N] [-json]
@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"bioperf5/internal/core"
 	"bioperf5/internal/cpu"
 	"bioperf5/internal/fault"
 	"bioperf5/internal/harness"
@@ -48,7 +49,9 @@ func usage() {
 commands:
   list                     list the experiments (one per paper table/figure)
   run <id>|all             regenerate a table/figure (-scale N, -seeds a,b,c;
-                           -json emits the machine-readable report)
+                           -trace auto|capture|replay|off selects the trace
+                           policy — the numbers are identical under every
+                           policy; -json emits the machine-readable report)
   sweep                    full-factorial design-space sweep over FXU count x
                            BTAC sizing x predication variant x application,
                            run on the parallel cache-aware fault-tolerant
@@ -60,6 +63,7 @@ commands:
                            per-cell deadline; -resume DIR keeps cache + journal +
                            manifest under DIR and resumes a killed sweep;
                            -grid prints every point; -json emits the manifest;
+                           -trace off disables capture-once/replay-many;
                            BIOPERF5_FAULTS=spec injects deterministic faults)
   serve                    expose the engine as an HTTP/JSON service:
                            POST /v1/cells runs one cell, POST /v1/cells:batch
@@ -67,7 +71,9 @@ commands:
                            serves a paper experiment byte-identical to
                            'run <id> -json', plus /healthz /readyz /metrics
                            (-addr HOST:PORT; -workers N; -cache-dir DIR;
-                           -retries N; -cell-timeout DUR; -max-inflight N
+                           -trace P default trace policy for cells without a
+                           "trace" field; -retries N; -cell-timeout DUR;
+                           -max-inflight N
                            admission bound; -request-timeout DUR default
                            per-request deadline; -drain-timeout DUR graceful
                            SIGTERM drain budget)
@@ -133,10 +139,15 @@ func cmdList() error {
 func parseConfig(fs *flag.FlagSet, args []string) (harness.Config, []string, error) {
 	scale := fs.Int("scale", 1, "workload scale factor")
 	seeds := fs.String("seeds", "1,2,3", "comma-separated input seeds")
+	tracePolicy := fs.String("trace", "", "trace policy: auto (default; capture each functional run once, replay per timing config), capture, replay, or off (coupled execution)")
 	if err := fs.Parse(args); err != nil {
 		return harness.Config{}, nil, err
 	}
-	cfg := harness.Config{Scale: *scale}
+	trace, err := core.ParseTracePolicy(*tracePolicy)
+	if err != nil {
+		return harness.Config{}, nil, fmt.Errorf("-trace: %w", err)
+	}
+	cfg := harness.Config{Scale: *scale, Trace: trace}
 	seen := make(map[int64]bool)
 	for _, s := range strings.Split(*seeds, ",") {
 		s = strings.TrimSpace(s)
@@ -389,8 +400,13 @@ func cmdServe(args []string) error {
 	maxInflight := fs.Int("max-inflight", 0, "admission bound on in-flight cells (0 = 4x GOMAXPROCS)")
 	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "default per-request deadline; clients override with ?timeout= (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget after SIGTERM")
+	tracePolicy := fs.String("trace", "", "default trace policy for cells without a \"trace\" field: auto (default), capture, replay, or off")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	defaultTrace, err := core.ParseTracePolicy(*tracePolicy)
+	if err != nil {
+		return fmt.Errorf("-trace: %w", err)
 	}
 	if *retries < 0 {
 		return fmt.Errorf("-retries: must be >= 0, got %d", *retries)
@@ -413,6 +429,7 @@ func cmdServe(args []string) error {
 		Engine:         eng,
 		MaxInflight:    *maxInflight,
 		DefaultTimeout: *reqTimeout,
+		DefaultTrace:   defaultTrace,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -237,6 +237,22 @@ func (h *Hierarchy) Access(addr uint64) int {
 	return h.MemLatency
 }
 
+// LevelLatency returns the load-to-use latency of an access that
+// resolves at the given miss level: 0 is an L1 hit, 1 an L2 hit, and
+// anything else goes to memory.  It is the same arithmetic Access
+// applies, exposed so a recorded miss level can be turned back into a
+// latency without re-simulating the hierarchy.
+func (h *Hierarchy) LevelLatency(level int) int {
+	switch level {
+	case 0:
+		return h.L1.cfg.HitLatency
+	case 1:
+		return h.L2.cfg.HitLatency
+	default:
+		return h.MemLatency
+	}
+}
+
 // Reset clears both levels.
 func (h *Hierarchy) Reset() {
 	h.L1.Reset()

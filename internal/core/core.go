@@ -56,6 +56,10 @@ const stepLimit = 500_000_000
 
 // RunKernel compiles app's kernel under the setup and simulates one
 // invocation per seed, returning the summed counters.
+//
+// Deprecated: use Simulate, which adds trace policies and hit
+// accounting behind the same semantics.  RunKernel runs the coupled
+// path (TraceOff).
 func RunKernel(k *kernels.Kernel, s Setup, seeds []int64, scale int) (cpu.Counters, error) {
 	det, err := RunKernelDetailed(k, s, seeds, scale)
 	if err != nil {
@@ -81,33 +85,43 @@ type Detail struct {
 
 // RunCell simulates exactly one (kernel, setup, seed) cell — the unit
 // of work the internal/sched engine schedules and caches.  It touches
-// no state outside its own run (NewRun marshals a fresh memory image,
-// Compile builds fresh IR, cpu.New builds a fresh model), so cells are
-// safe to execute from concurrent workers.
+// no state outside its own run, so cells are safe to execute from
+// concurrent workers.
+//
+// Deprecated: use Simulate.  RunCell runs the coupled path (TraceOff).
 func RunCell(k *kernels.Kernel, s Setup, seed int64, scale int) (cpu.Report, error) {
-	run, err := k.NewRun(seed, scale)
+	resp, err := Simulate(Request{
+		App:     k.App,
+		Variant: s.Variant,
+		Seeds:   []int64{seed},
+		Scale:   scale,
+		CPU:     s.CPU,
+		Trace:   TraceOff,
+	})
 	if err != nil {
 		return cpu.Report{}, err
 	}
-	return kernels.SimulateObserved(k, s.Variant, run, s.CPU, stepLimit, kernels.Observer{})
+	return resp.Aggregate, nil
 }
 
 // RunKernelDetailed simulates one invocation per seed, keeping each
 // seed's counters and CPI stall stack as well as the aggregate.
+//
+// Deprecated: use Simulate.  RunKernelDetailed runs the coupled path
+// (TraceOff).
 func RunKernelDetailed(k *kernels.Kernel, s Setup, seeds []int64, scale int) (*Detail, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("core: no seeds")
+	resp, err := Simulate(Request{
+		App:     k.App,
+		Variant: s.Variant,
+		Seeds:   seeds,
+		Scale:   scale,
+		CPU:     s.CPU,
+		Trace:   TraceOff,
+	})
+	if err != nil {
+		return nil, err
 	}
-	det := &Detail{}
-	for _, seed := range seeds {
-		rep, err := RunCell(k, s, seed, scale)
-		if err != nil {
-			return nil, err
-		}
-		det.Seeds = append(det.Seeds, SeedReport{Seed: seed, Counters: rep.Counters, Stalls: rep.Stalls})
-		det.Aggregate = det.Aggregate.Add(rep)
-	}
-	return det, nil
+	return &Detail{Seeds: resp.Seeds, Aggregate: resp.Aggregate}, nil
 }
 
 // Interval is one sampling window of a run (Figure 2's x-axis is

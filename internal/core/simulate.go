@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"bioperf5/internal/cpu"
+	"bioperf5/internal/kernels"
+	"bioperf5/internal/trace"
+)
+
+// TracePolicy selects how a simulation uses the capture-once/
+// replay-many trace subsystem.
+type TracePolicy string
+
+// Trace policies.  The zero value means TraceAuto.
+const (
+	// TraceAuto captures the cell's dynamic trace on first use and
+	// replays it for every later request that differs only in timing
+	// configuration.  This is the default: results are bit-identical to
+	// the coupled path and sweeps pay for each functional execution
+	// once.
+	TraceAuto TracePolicy = "auto"
+	// TraceCapture forces a fresh capture even when a trace exists,
+	// replacing the stored one.
+	TraceCapture TracePolicy = "capture"
+	// TraceReplay requires a stored trace and fails rather than
+	// capture — for strictly bounded-latency serving.
+	TraceReplay TracePolicy = "replay"
+	// TraceOff runs the coupled functional-plus-timing path, bypassing
+	// the trace subsystem entirely.
+	TraceOff TracePolicy = "off"
+)
+
+// ParseTracePolicy resolves a policy spelling; the empty string means
+// TraceAuto so absent config fields keep the default behaviour.
+func ParseTracePolicy(s string) (TracePolicy, error) {
+	switch TracePolicy(s) {
+	case "":
+		return TraceAuto, nil
+	case TraceAuto, TraceCapture, TraceReplay, TraceOff:
+		return TracePolicy(s), nil
+	}
+	return "", fmt.Errorf("core: unknown trace policy %q (want auto, capture, replay or off)", s)
+}
+
+// Request describes one simulation through the unified Simulate entry
+// point: which cell to run (application, variant, seeds, scale), the
+// timing configuration, and how to use the trace subsystem.
+type Request struct {
+	App     string
+	Variant kernels.Variant
+	Seeds   []int64
+	Scale   int
+	CPU     cpu.Config
+
+	// Trace selects the trace policy; the zero value is TraceAuto.
+	Trace TracePolicy
+	// Traces is the trace store to capture into / replay from; nil uses
+	// the process-wide default store.  Ignored when Trace is TraceOff.
+	Traces *trace.Store
+	// Limit bounds each seed's dynamic instruction count; 0 means the
+	// standard per-invocation limit.
+	Limit uint64
+}
+
+// Response is the result of one Simulate call.
+type Response struct {
+	// Seeds holds each seed's counters and stall stack, in request
+	// order.  The values are bit-identical regardless of trace policy.
+	Seeds []SeedReport `json:"seeds"`
+	// Aggregate is the field-wise sum over seeds.
+	Aggregate cpu.Report `json:"aggregate"`
+	// TraceHits counts seeds served from an existing trace (memory,
+	// disk, or a capture coalesced with a concurrent request).
+	TraceHits int `json:"trace_hits"`
+	// Captures counts seeds that ran a fresh functional capture.
+	Captures int `json:"captures"`
+}
+
+var (
+	defaultStoreOnce sync.Once
+	defaultStore     *trace.Store
+)
+
+// DefaultTraceStore returns the process-wide in-memory trace store that
+// Simulate uses when the request does not supply one.
+func DefaultTraceStore() *trace.Store {
+	defaultStoreOnce.Do(func() {
+		defaultStore = trace.NewStore(trace.StoreOptions{})
+	})
+	return defaultStore
+}
+
+// Simulate is the single entry point for running a cell: it resolves
+// the kernel, applies the trace policy per seed, and aggregates.  With
+// tracing enabled the counters and stall stacks are bit-identical to
+// the coupled path (TraceOff) — the replay-equivalence tests in
+// kernels enforce it — so callers choose a policy on cost alone.
+func Simulate(req Request) (*Response, error) {
+	if len(req.Seeds) == 0 {
+		return nil, fmt.Errorf("core: no seeds")
+	}
+	k, err := kernels.ByApp(req.App)
+	if err != nil {
+		return nil, err
+	}
+	policy := req.Trace
+	if policy == "" {
+		policy = TraceAuto
+	}
+	scale := req.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	limit := req.Limit
+	if limit == 0 {
+		limit = stepLimit
+	}
+	store := req.Traces
+	if store == nil && policy != TraceOff {
+		store = DefaultTraceStore()
+	}
+
+	resp := &Response{}
+	for _, seed := range req.Seeds {
+		rep, hit, err := simulateSeed(k, req.Variant, seed, scale, req.CPU, policy, store, limit)
+		if err != nil {
+			return nil, err
+		}
+		if policy != TraceOff {
+			if hit {
+				resp.TraceHits++
+			} else {
+				resp.Captures++
+			}
+		}
+		resp.Seeds = append(resp.Seeds, SeedReport{Seed: seed, Counters: rep.Counters, Stalls: rep.Stalls})
+		resp.Aggregate = resp.Aggregate.Add(rep)
+	}
+	return resp, nil
+}
+
+// simulateSeed runs one (kernel, variant, seed, scale) invocation under
+// the policy and reports whether an existing trace served it.
+func simulateSeed(k *kernels.Kernel, v kernels.Variant, seed int64, scale int,
+	cfg cpu.Config, policy TracePolicy, store *trace.Store, limit uint64) (cpu.Report, bool, error) {
+	if policy == TraceOff {
+		run, err := k.NewRun(seed, scale)
+		if err != nil {
+			return cpu.Report{}, false, err
+		}
+		rep, err := kernels.SimulateObserved(k, v, run, cfg, limit, kernels.Observer{})
+		return rep, false, err
+	}
+
+	key, err := kernels.TraceKey(k, v, seed, scale, cfg.Predictor)
+	if err != nil {
+		return cpu.Report{}, false, err
+	}
+	var t *trace.Trace
+	hit := false
+	switch policy {
+	case TraceCapture:
+		t, err = kernels.CaptureTrace(k, v, seed, scale, cfg.Predictor, limit)
+		if err != nil {
+			return cpu.Report{}, false, err
+		}
+		store.Put(key, t)
+	case TraceReplay:
+		var ok bool
+		if t, ok = store.Get(key); !ok {
+			return cpu.Report{}, false, fmt.Errorf("core: no captured trace for %s/%s seed %d scale %d (policy replay)",
+				k.App, v, seed, scale)
+		}
+		hit = true
+	default: // TraceAuto
+		t, hit, err = store.GetOrCapture(key, func() (*trace.Trace, error) {
+			return kernels.CaptureTrace(k, v, seed, scale, cfg.Predictor, limit)
+		})
+		if err != nil {
+			return cpu.Report{}, false, err
+		}
+	}
+	rep, err := kernels.ReplayTrace(k, v, t, cfg)
+	return rep, hit, err
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bioperf5/internal/cpu"
+	"bioperf5/internal/kernels"
+	"bioperf5/internal/trace"
+)
+
+func simRequest(store *trace.Store, policy TracePolicy) Request {
+	cfg := cpu.POWER5Baseline()
+	cfg.UseBTAC = true
+	return Request{
+		App:     "Fasta",
+		Variant: kernels.Branchy,
+		Seeds:   []int64{1, 2},
+		Scale:   1,
+		CPU:     cfg,
+		Trace:   policy,
+		Traces:  store,
+	}
+}
+
+// TestSimulatePoliciesBitIdentical is the API contract: every trace
+// policy produces byte-identical per-seed reports; only the cost model
+// differs.
+func TestSimulatePoliciesBitIdentical(t *testing.T) {
+	store := trace.NewStore(trace.StoreOptions{})
+	off, err := Simulate(simRequest(nil, TraceOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Simulate(simRequest(store, TraceAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture, err := Simulate(simRequest(store, TraceCapture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := Simulate(simRequest(store, TraceReplay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, resp := range map[string]*Response{"auto": auto, "capture": capture, "replay": replay} {
+		if !reflect.DeepEqual(resp.Seeds, off.Seeds) || resp.Aggregate != off.Aggregate {
+			t.Errorf("policy %s diverges from the coupled path", name)
+		}
+	}
+	if off.TraceHits != 0 || off.Captures != 0 {
+		t.Errorf("off policy counted trace activity: %+v", off)
+	}
+	if auto.Captures != 2 || auto.TraceHits != 0 {
+		t.Errorf("first auto run = %d captures / %d hits, want 2/0", auto.Captures, auto.TraceHits)
+	}
+	if replay.TraceHits != 2 || replay.Captures != 0 {
+		t.Errorf("replay run = %d captures / %d hits, want 0/2", replay.Captures, replay.TraceHits)
+	}
+	// A warm store serves auto entirely from memory.
+	warm, err := Simulate(simRequest(store, TraceAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.TraceHits != 2 || warm.Captures != 0 {
+		t.Errorf("warm auto run = %d captures / %d hits, want 2 hits", warm.Captures, warm.TraceHits)
+	}
+	if !reflect.DeepEqual(warm.Seeds, off.Seeds) {
+		t.Error("warm-cache replay diverges from the coupled path")
+	}
+}
+
+// TestSimulateSharesTraceAcrossTimingConfigs: the FXU x BTAC factorial
+// over one (kernel, variant, seed, scale) runs one capture total.
+func TestSimulateSharesTraceAcrossTimingConfigs(t *testing.T) {
+	store := trace.NewStore(trace.StoreOptions{})
+	base := cpu.POWER5Baseline()
+	first := true
+	for _, fxus := range []int{2, 3, 4} {
+		for _, btac := range []bool{false, true} {
+			cfg := base
+			cfg.NumFXU = fxus
+			cfg.UseBTAC = btac
+			resp, err := Simulate(Request{
+				App: "Hmmer", Variant: kernels.Branchy, Seeds: []int64{1},
+				Scale: 1, CPU: cfg, Traces: store,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first {
+				if resp.Captures != 1 {
+					t.Fatalf("first cell = %d captures, want 1", resp.Captures)
+				}
+				first = false
+			} else if resp.TraceHits != 1 {
+				t.Errorf("FXU=%d BTAC=%v recaptured instead of replaying", fxus, btac)
+			}
+		}
+	}
+	if st := store.Stats(); st.Captures != 1 {
+		t.Errorf("factorial ran %d captures, want 1", st.Captures)
+	}
+}
+
+func TestSimulateReplayWithoutCaptureFails(t *testing.T) {
+	store := trace.NewStore(trace.StoreOptions{})
+	_, err := Simulate(simRequest(store, TraceReplay))
+	if err == nil || !strings.Contains(err.Error(), "no captured trace") {
+		t.Fatalf("replay against empty store: %v", err)
+	}
+}
+
+func TestSimulateNoSeeds(t *testing.T) {
+	if _, err := Simulate(Request{App: "Fasta"}); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+}
+
+func TestSimulateUnknownApp(t *testing.T) {
+	if _, err := Simulate(Request{App: "NoSuchApp", Seeds: []int64{1}}); err == nil {
+		t.Fatal("unknown application accepted")
+	}
+}
+
+// TestSimulateCorruptDiskTraceFallsBack is the end-to-end corruption
+// drill: a bit-flipped trace file must be detected, discarded, and
+// transparently recaptured — same numbers, one corrupt count.
+func TestSimulateCorruptDiskTraceFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s1 := trace.NewStore(trace.StoreOptions{Dir: dir})
+	req := simRequest(s1, TraceAuto)
+	req.Seeds = []int64{1}
+	want, err := Simulate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("trace files on disk = %v, %v", files, err)
+	}
+	b, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/3] ^= 0x10
+	if err := os.WriteFile(files[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store (fresh process) sees only the damaged file.
+	s2 := trace.NewStore(trace.StoreOptions{Dir: dir})
+	req.Traces = s2
+	got, err := Simulate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Captures != 1 || got.TraceHits != 0 {
+		t.Errorf("corrupt trace not recaptured: %d captures / %d hits", got.Captures, got.TraceHits)
+	}
+	if !reflect.DeepEqual(got.Seeds, want.Seeds) {
+		t.Error("recapture after corruption changed the numbers")
+	}
+	if st := s2.Stats(); st.Corrupt != 1 {
+		t.Errorf("store stats = %+v, want Corrupt=1", st)
+	}
+	// And the recapture healed the file for the next process.
+	s3 := trace.NewStore(trace.StoreOptions{Dir: dir})
+	req.Traces = s3
+	if resp, err := Simulate(req); err != nil || resp.TraceHits != 1 {
+		t.Errorf("healed file not served: %+v, %v", resp, err)
+	}
+}
+
+// TestDeprecatedWrappersMatchSimulate keeps the old entry points exact:
+// they are thin shims over Simulate with tracing off.
+func TestDeprecatedWrappersMatchSimulate(t *testing.T) {
+	k, err := kernels.ByApp("Clustalw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Baseline().WithBTAC()
+	seeds := []int64{1, 2}
+
+	resp, err := Simulate(Request{App: k.App, Variant: s.Variant, Seeds: seeds,
+		Scale: 1, CPU: s.CPU, Trace: TraceOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := RunKernelDetailed(k, s, seeds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(det.Seeds, resp.Seeds) || det.Aggregate != resp.Aggregate {
+		t.Error("RunKernelDetailed diverges from Simulate")
+	}
+	ctrs, err := RunKernel(k, s, seeds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrs != resp.Aggregate.Counters {
+		t.Error("RunKernel diverges from Simulate")
+	}
+	rep, err := RunCell(k, s, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counters != resp.Seeds[0].Counters || rep.Stalls != resp.Seeds[0].Stalls {
+		t.Error("RunCell diverges from Simulate")
+	}
+}
+
+func TestParseTracePolicy(t *testing.T) {
+	for in, want := range map[string]TracePolicy{
+		"": TraceAuto, "auto": TraceAuto, "capture": TraceCapture,
+		"replay": TraceReplay, "off": TraceOff,
+	} {
+		got, err := ParseTracePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseTracePolicy(%q) = (%q, %v), want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParseTracePolicy("always"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}

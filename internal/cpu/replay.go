@@ -1,0 +1,467 @@
+package cpu
+
+import (
+	"fmt"
+
+	"bioperf5/internal/branch"
+	"bioperf5/internal/isa"
+)
+
+// This file is the replay half of the capture-once/replay-many trace
+// subsystem.  Model.Consume is the reference implementation: it runs
+// the functional machine's output through the live cache hierarchy and
+// direction predictor.  Replayer reproduces its counters and stall
+// stack bit-for-bit from an annotated trace instead — the miss level of
+// every memory access and the verdict of the direction predictor are
+// read from the trace (both are invariant across the timing
+// configurations a sweep varies), so only the BTAC, whose geometry the
+// sweeps change, stays live.  Everything static per PC (op class,
+// register uses and defs, latencies) is precomputed once per compiled
+// program by ProgMeta.
+//
+// Replayer deliberately re-implements rather than calls into Consume:
+// the coupled path keeps its telemetry hooks and live structures, the
+// replay path sheds them for speed.  The replay-equivalence golden
+// tests in kernels hold the two implementations together.
+
+// InsMeta is the static per-instruction metadata replay needs, laid
+// out for a flat lookup by PC.
+type InsMeta struct {
+	Uses   [3]isa.Reg // read registers, in Instruction.Uses order
+	NUses  uint8
+	Def    isa.Reg // written register (at most one in the ISA)
+	HasDef bool
+
+	Class  isa.Class
+	Lat    uint64 // static execution latency (loads: overridden by miss level)
+	Load   bool
+	Store  bool
+	Branch bool
+	CondBr bool
+	Ext    bool // instruction requires ISA extensions (max/isel)
+
+	kind uint8 // op-counter bucket, see kind* below
+	Op   isa.Op
+}
+
+// Op-counter buckets, mirroring Consume's switch: a compare counts as
+// CmpOps even when the op is also max/isel-adjacent, then max, then
+// isel.
+const (
+	kindNone = iota
+	kindCmp
+	kindMax
+	kindIsel
+)
+
+// ProgMeta precomputes the per-PC metadata for a compiled program.  It
+// is pure and deterministic; kernels caches it alongside the program.
+func ProgMeta(p *isa.Program) []InsMeta {
+	metas := make([]InsMeta, len(p.Code))
+	var regs []isa.Reg
+	for i := range p.Code {
+		ins := &p.Code[i]
+		info := ins.Op.Info()
+		m := &metas[i]
+		m.Class = info.Class
+		m.Lat = uint64(info.Latency)
+		m.Load = info.Load
+		m.Store = info.Store
+		m.Branch = info.Branch
+		m.CondBr = info.CondBr
+		m.Ext = ins.Op == isa.OpMax || ins.Op == isa.OpIsel
+		m.Op = ins.Op
+		switch {
+		case info.Compare:
+			m.kind = kindCmp
+		case ins.Op == isa.OpMax:
+			m.kind = kindMax
+		case ins.Op == isa.OpIsel:
+			m.kind = kindIsel
+		}
+		regs = ins.Uses(regs[:0])
+		m.NUses = uint8(copy(m.Uses[:], regs))
+		regs = ins.Defs(regs[:0])
+		if len(regs) > 0 {
+			m.Def, m.HasDef = regs[0], true
+		}
+	}
+	return metas
+}
+
+// ReplayEvent is one dynamic instruction reconstructed from a trace:
+// the static metadata for its PC plus the dynamic facts the trace
+// recorded.  The effective address is not needed — the miss level
+// already encodes what the cache would have said.
+type ReplayEvent struct {
+	Meta      *InsMeta
+	PC        int
+	Next      int
+	Taken     bool
+	DirWrong  bool  // conditional branches: direction predictor was wrong
+	MissLevel uint8 // memory ops: 0 L1 hit, 1 L2 hit, 2 memory
+}
+
+// Replay-side fetch-redirect causes (Model uses the bucket-name
+// strings; an enum compares faster).
+const (
+	fcNone = iota
+	fcMispredict
+	fcTakenBubble
+)
+
+// Replayer is the decoupled timing model: same pipeline arithmetic as
+// Model, fed by ReplayEvents instead of machine.DynInst.
+type Replayer struct {
+	cfg     Config
+	btac    *branch.BTAC
+	loadLat [3]uint64 // load-to-use latency per miss level, from the trace
+
+	ctr    Counters
+	stalls StallStack
+
+	fetchCycle   uint64
+	fetchedAt    uint64
+	fetchCause   uint8
+	dispCycle    uint64
+	dispatchedAt uint64
+	complCycle   uint64
+	completedAt  uint64
+
+	regReady  [isa.NumRegs]uint64
+	regWriter [isa.NumRegs]isa.Class
+	regMiss   [isa.NumRegs]uint8
+	units     [4][]uint64 // indexed by isa.Class
+
+	groupCompl uint64
+	groupFill  uint64
+	window     []uint64
+	wpos       int
+	wcount     int
+}
+
+// NewReplayer builds a replayer for cfg charging the given per-level
+// load latencies (recorded in the trace meta at capture time).
+func NewReplayer(cfg Config, loadLat [3]int) (*Replayer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Replayer{cfg: cfg}
+	if cfg.UseBTAC {
+		r.btac = branch.NewBTAC(cfg.BTAC)
+	}
+	r.units[isa.ClassFXU] = make([]uint64, cfg.NumFXU)
+	r.units[isa.ClassLSU] = make([]uint64, cfg.NumLSU)
+	r.units[isa.ClassBRU] = make([]uint64, cfg.NumBRU)
+	r.units[isa.ClassCRU] = make([]uint64, cfg.NumCRU)
+	r.window = make([]uint64, cfg.Window)
+	r.fetchCycle = 1
+	for i, l := range loadLat {
+		r.loadLat[i] = uint64(l)
+	}
+	return r, nil
+}
+
+// Counters returns a snapshot with Cycles set to the pipeline time,
+// exactly as Model.Counters does.
+func (r *Replayer) Counters() Counters {
+	c := r.ctr
+	c.Cycles = r.complCycle
+	return c
+}
+
+// Stalls returns the accumulated CPI stall stack.
+func (r *Replayer) Stalls() StallStack { return r.stalls }
+
+// Report returns counters and stall stack together.
+func (r *Replayer) Report() Report {
+	return Report{Counters: r.Counters(), Stalls: r.Stalls()}
+}
+
+// Consume advances the pipeline by one replayed instruction.  The
+// structure tracks Model.Consume statement for statement; divergence
+// here is a bug the replay-equivalence tests exist to catch.
+func (r *Replayer) Consume(ev *ReplayEvent) error {
+	meta := ev.Meta
+	if meta.Ext && !r.cfg.Extensions {
+		return fmt.Errorf("cpu: illegal instruction %s: ISA extensions disabled (unmodified POWER5)", meta.Op)
+	}
+
+	// ---- Fetch.
+	fetchC := r.fetchCycle
+	if r.fetchedAt >= uint64(r.cfg.FetchWidth) {
+		fetchC++
+	}
+	if fetchC > r.fetchCycle {
+		r.fetchCycle = fetchC
+		r.fetchedAt = 0
+		r.fetchCause = fcNone
+	}
+	fcause := r.fetchCause
+	r.fetchedAt++
+
+	// ---- Dispatch.
+	dispC := fetchC + uint64(r.cfg.FrontendDepth)
+	if dispC < r.dispCycle {
+		dispC = r.dispCycle
+	}
+	if dispC == r.dispCycle && r.dispatchedAt >= uint64(r.cfg.DispatchWidth) {
+		dispC++
+	}
+	windowLimited := false
+	if r.wcount >= len(r.window) {
+		if oldest := r.window[r.wpos]; dispC <= oldest {
+			dispC = oldest + 1
+			windowLimited = true
+		}
+	}
+	if dispC > r.dispCycle {
+		r.dispCycle = dispC
+		r.dispatchedAt = 0
+	}
+	r.dispatchedAt++
+
+	// ---- Issue.
+	readyC := dispC + 1
+	blockerClass := isa.ClassFXU
+	blockerMiss := uint8(0)
+	for i := uint8(0); i < meta.NUses; i++ {
+		reg := meta.Uses[i]
+		if r.regReady[reg] > readyC {
+			readyC = r.regReady[reg]
+			blockerClass = r.regWriter[reg]
+			blockerMiss = r.regMiss[reg]
+		}
+	}
+	class := meta.Class
+	units := r.units[class]
+	best := 0
+	for i := 1; i < len(units); i++ {
+		if units[i] < units[best] {
+			best = i
+		}
+	}
+	issueC := readyC
+	if units[best] > issueC {
+		issueC = units[best]
+	}
+	units[best] = issueC + 1
+
+	stallClass := blockerClass
+	if issueC > readyC {
+		stallClass = class
+	}
+
+	// ---- Execute: miss level comes from the trace, latency from the
+	// recorded per-level table — same numbers Consume got from the live
+	// hierarchy, without simulating it.
+	lat := meta.Lat
+	missLevel := uint8(0)
+	if meta.Load || meta.Store {
+		r.ctr.L1DAccesses++
+		if ev.MissLevel >= 1 {
+			r.ctr.L1DMisses++
+			r.ctr.L2Accesses++
+			if ev.MissLevel >= 2 {
+				r.ctr.L2Misses++
+			}
+		}
+		if meta.Load {
+			missLevel = ev.MissLevel
+			lat = r.loadLat[missLevel]
+		}
+		// Stores charge the cache counters but retire in one cycle with
+		// missLevel 0, exactly as in Consume.
+	}
+	doneC := issueC + lat
+	if meta.HasDef {
+		r.regReady[meta.Def] = doneC
+		r.regWriter[meta.Def] = class
+		r.regMiss[meta.Def] = missLevel
+	}
+
+	switch class {
+	case isa.ClassFXU:
+		r.ctr.FXUOps++
+	case isa.ClassLSU:
+		r.ctr.LSUOps++
+	case isa.ClassBRU:
+		r.ctr.BRUOps++
+	}
+	switch meta.kind {
+	case kindCmp:
+		r.ctr.CmpOps++
+	case kindMax:
+		r.ctr.MaxOps++
+	case kindIsel:
+		r.ctr.IselOps++
+	}
+
+	// ---- Branch resolution.
+	if meta.Branch {
+		r.branchTiming(ev, fetchC, doneC)
+	}
+
+	// ---- In-order completion.
+	complC := doneC
+	if complC < r.complCycle {
+		complC = r.complCycle
+	}
+	if complC == r.complCycle && r.completedAt >= uint64(r.cfg.CompleteWidth) {
+		complC++
+	}
+	if complC > r.complCycle {
+		r.chargeStalls(complC-r.complCycle, r.complCycle,
+			doneC, issueC, readyC, dispC, class, blockerClass, blockerMiss,
+			missLevel, windowLimited, fcause)
+	}
+	r.groupFill++
+	if gap := int64(complC) - int64(r.groupCompl) - 1; gap > 0 {
+		stall := uint64(gap)
+		switch {
+		case doneC == complC && (issueC > dispC+1 || lat > 1):
+			if issueC > dispC+1 {
+				r.attributeStall(stallClass, stall)
+			} else {
+				r.attributeStall(class, stall)
+			}
+		default:
+			r.ctr.StallFrontend += stall
+		}
+		r.groupCompl = complC
+		r.groupFill = 0
+	} else if r.groupFill >= uint64(r.cfg.CompleteWidth) {
+		r.groupCompl = complC
+		r.groupFill = 0
+	}
+	if complC > r.complCycle {
+		r.complCycle = complC
+		r.completedAt = 0
+	}
+	r.completedAt++
+	r.ctr.Instructions++
+
+	if r.wcount >= len(r.window) {
+		r.wpos = (r.wpos + 1) % len(r.window)
+	} else {
+		r.wcount++
+	}
+	idx := (r.wpos + r.wcount - 1) % len(r.window)
+	r.window[idx] = complC
+	return nil
+}
+
+// chargeStalls mirrors Model.chargeStalls with the fetch cause as an
+// enum; the priority order is identical.
+func (r *Replayer) chargeStalls(delta, oldCompl, doneC, issueC, readyC, dispC uint64,
+	class, blocker isa.Class, blockerMiss, missLevel uint8,
+	windowLimited bool, fcause uint8) {
+	bucket := &r.stalls.Base
+	switch {
+	case doneC <= oldCompl:
+		bucket = &r.stalls.Completion
+	case missLevel == 2:
+		bucket = &r.stalls.L2Miss
+	case missLevel == 1:
+		bucket = &r.stalls.L1DMiss
+	case issueC > readyC:
+		bucket = r.unitBucket(class)
+	case readyC > dispC+1:
+		switch {
+		case blockerMiss == 2:
+			bucket = &r.stalls.L2Miss
+		case blockerMiss == 1:
+			bucket = &r.stalls.L1DMiss
+		default:
+			bucket = r.unitBucket(blocker)
+		}
+	case windowLimited:
+		bucket = &r.stalls.WindowFull
+	case fcause == fcMispredict:
+		bucket = &r.stalls.MispredictFlush
+	case fcause == fcTakenBubble:
+		bucket = &r.stalls.TakenBubble
+	}
+	*bucket += delta
+}
+
+func (r *Replayer) unitBucket(class isa.Class) *uint64 {
+	switch class {
+	case isa.ClassLSU:
+		return &r.stalls.LSU
+	case isa.ClassBRU:
+		return &r.stalls.BRU
+	default:
+		return &r.stalls.FXU
+	}
+}
+
+func (r *Replayer) attributeStall(class isa.Class, n uint64) {
+	switch class {
+	case isa.ClassFXU, isa.ClassCRU:
+		r.ctr.StallFXU += n
+	case isa.ClassLSU:
+		r.ctr.StallLSU += n
+	case isa.ClassBRU:
+		r.ctr.StallBRU += n
+	}
+}
+
+// branchTiming mirrors Model.branchTiming: the direction predictor's
+// verdict comes from the trace annotation, the BTAC stays live because
+// its geometry is part of the timing configuration.
+func (r *Replayer) branchTiming(ev *ReplayEvent, fetchC, doneC uint64) {
+	r.ctr.Branches++
+
+	mispredicted := false
+	if ev.Meta.CondBr {
+		r.ctr.CondBranches++
+		if ev.DirWrong {
+			r.ctr.DirMispredicts++
+			mispredicted = true
+		}
+	}
+
+	if ev.Taken {
+		r.ctr.TakenBranches++
+	}
+
+	switch {
+	case mispredicted:
+		r.redirect(doneC+uint64(r.cfg.MispredictPenalty), fcMispredict)
+		if r.btac != nil && ev.Taken {
+			r.btac.Update(ev.PC, ev.Next)
+		}
+	case ev.Taken:
+		bubble := uint64(r.cfg.TakenBranchPenalty)
+		if r.btac != nil {
+			r.ctr.BTACLookups++
+			nia, predict := r.btac.Lookup(ev.PC)
+			if predict {
+				r.ctr.BTACPredicts++
+				if nia == ev.Next {
+					r.ctr.BTACCorrect++
+					bubble = 0
+				} else {
+					r.ctr.TgtMispredicts++
+					r.btac.Update(ev.PC, ev.Next)
+					r.redirect(doneC+uint64(r.cfg.MispredictPenalty), fcMispredict)
+					return
+				}
+			}
+			r.btac.Update(ev.PC, ev.Next)
+		}
+		if bubble > 0 {
+			r.ctr.TakenBubbles++
+			r.redirect(fetchC+1+bubble, fcTakenBubble)
+		}
+	}
+}
+
+func (r *Replayer) redirect(c uint64, cause uint8) {
+	if c > r.fetchCycle {
+		r.fetchCycle = c
+		r.fetchedAt = 0
+		r.fetchCause = cause
+	}
+}

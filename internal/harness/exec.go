@@ -58,6 +58,7 @@ func (c Config) submitCell(k *kernels.Kernel, s core.Setup) *pending {
 			CPU:     s.CPU,
 			Seed:    seed,
 			Scale:   c.Scale,
+			Trace:   c.Trace,
 		}))
 	}
 	return cl
@@ -89,19 +90,32 @@ func (cl *pending) counters() (cpu.Counters, error) {
 	return det.Aggregate.Counters, nil
 }
 
+// CellOutcome is the result of running one (application, setup) cell
+// through the scheduler, packaged for an API consumer.
+type CellOutcome struct {
+	// Stats is the per-seed + aggregate view of the cell.
+	Stats KernelStats
+	// Key is the cell's content key (the hash over its per-seed job
+	// hashes, the same value a sweep manifest records).
+	Key string
+	// Coalesced counts per-seed submissions served by the scheduler's
+	// in-memory layer — joined an in-flight computation or hit the
+	// memoized result — the number behind `server.cells.coalesced`.
+	Coalesced int
+	// TraceHit reports whether every seed was served without a fresh
+	// functional capture: trace replays, disk-cached results, or
+	// coalesced submissions.  Always false with tracing off.
+	TraceHit bool
+}
+
 // CellStats runs one (application, setup) cell through the
 // configuration's engine and packages the result for an API consumer.
-// It returns the per-seed + aggregate stats, the cell's content key
-// (the hash over its per-seed job hashes, the same value a sweep
-// manifest records), and how many of the cell's per-seed submissions
-// coalesced onto in-flight or memoized jobs instead of enqueuing new
-// work — the number behind the server's `server.cells.coalesced`
-// counter.
-func CellStats(cfg Config, app string, s core.Setup) (KernelStats, string, int, error) {
+func CellStats(cfg Config, app string, s core.Setup) (CellOutcome, error) {
 	cfg = cfg.normalize()
+	out := CellOutcome{}
 	k, err := kernels.ByApp(app)
 	if err != nil {
-		return KernelStats{}, "", 0, err
+		return out, err
 	}
 	eng := cfg.engine()
 	ctx := cfg.Context
@@ -109,9 +123,9 @@ func CellStats(cfg Config, app string, s core.Setup) (KernelStats, string, int, 
 		ctx = context.Background()
 	}
 	var (
-		jobs      []sched.Job
-		futs      []*sched.Future
-		coalesced int
+		jobs   []sched.Job
+		futs   []*sched.Future
+		shared []bool
 	)
 	for _, seed := range cfg.Seeds {
 		j := sched.Job{
@@ -120,18 +134,31 @@ func CellStats(cfg Config, app string, s core.Setup) (KernelStats, string, int, 
 			CPU:     s.CPU,
 			Seed:    seed,
 			Scale:   cfg.Scale,
+			Trace:   cfg.Trace,
 		}
 		jobs = append(jobs, j)
 		f, hit := eng.SubmitTracked(ctx, j)
 		if hit {
-			coalesced++
+			out.Coalesced++
 		}
 		futs = append(futs, f)
+		shared = append(shared, hit)
 	}
 	cl := &pending{seeds: cfg.Seeds, futs: futs}
 	det, err := cl.detail()
 	if err != nil {
-		return KernelStats{}, "", coalesced, err
+		return out, err
 	}
-	return packKernelStats(k, s, det), cellKey(jobs), coalesced, nil
+	out.TraceHit = true
+	for i, f := range futs {
+		// A coalesced submission joined someone else's computation, so
+		// it triggered no capture of its own either way.
+		if !shared[i] && !f.TraceHit() {
+			out.TraceHit = false
+			break
+		}
+	}
+	out.Stats = packKernelStats(k, s, det)
+	out.Key = cellKey(jobs)
+	return out, nil
 }

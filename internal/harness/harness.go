@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"bioperf5/internal/core"
 	"bioperf5/internal/kernels"
 	"bioperf5/internal/sched"
 )
@@ -30,6 +31,14 @@ type Config struct {
 	// simulating them (the CLI wires SIGINT/SIGTERM here, so an
 	// interrupted sweep degrades gracefully and remains resumable).
 	Context context.Context `json:"-"`
+
+	// Trace is the trace policy every cell submitted under this
+	// configuration carries (zero value: auto — capture each distinct
+	// functional execution once, replay it for every timing variation).
+	// Results are bit-identical under every policy, so the field is
+	// excluded from JSON: manifests do not change when tracing is
+	// toggled.
+	Trace core.TracePolicy `json:"-"`
 }
 
 // DefaultConfig is the configuration the CLI uses.

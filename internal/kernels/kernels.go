@@ -166,7 +166,19 @@ type Kernel struct {
 
 // Compile builds and compiles the kernel for a variant, returning the
 // assembled program and the compiler's transformation statistics.
+// Compilation is deterministic and results are memoized per
+// (kernel, variant); the returned program is shared and must be
+// treated as read-only.
 func (k *Kernel) Compile(v Variant) (*isa.Program, *compiler.Stats, error) {
+	c, err := CompileCached(k, v)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.Prog, c.Stats, nil
+}
+
+// compile is the uncached compilation CompileCached memoizes.
+func (k *Kernel) compile(v Variant) (*isa.Program, *compiler.Stats, error) {
 	shape, tgt, opts := v.Plan()
 	f, err := k.Build(shape)
 	if err != nil {
@@ -183,16 +195,11 @@ func (k *Kernel) Compile(v Variant) (*isa.Program, *compiler.Stats, error) {
 // timing) and checks the result; it returns the dynamic instruction
 // count.
 func Execute(k *Kernel, v Variant, run *Run, limit uint64) (uint64, error) {
-	shape, tgt, opts := v.Plan()
-	f, err := k.Build(shape)
+	c, err := CompileCached(k, v)
 	if err != nil {
 		return 0, err
 	}
-	prog, _, err := compiler.Compile(f, tgt, opts)
-	if err != nil {
-		return 0, err
-	}
-	mach := machine.New(prog, run.Mem)
+	mach := machine.New(c.Prog, run.Mem)
 	got, err := mach.Call(k.Name, limit, run.Args...)
 	if err != nil {
 		return 0, fmt.Errorf("kernels: %s/%s: %w", k.Name, v, err)
@@ -223,15 +230,11 @@ func Simulate(k *Kernel, v Variant, run *Run, cfg cpu.Config, limit uint64) (cpu
 // lifecycle records to obs.Trace when set, and publishes the final
 // model state into obs.Registry when set.
 func SimulateObserved(k *Kernel, v Variant, run *Run, cfg cpu.Config, limit uint64, obs Observer) (cpu.Report, error) {
-	shape, tgt, opts := v.Plan()
-	f, err := k.Build(shape)
+	c, err := CompileCached(k, v)
 	if err != nil {
 		return cpu.Report{}, err
 	}
-	prog, _, err := compiler.Compile(f, tgt, opts)
-	if err != nil {
-		return cpu.Report{}, err
-	}
+	prog := c.Prog
 	if v.NeedsExtensions() {
 		cfg.Extensions = true
 	}

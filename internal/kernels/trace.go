@@ -1,0 +1,196 @@
+package kernels
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"bioperf5/internal/compiler"
+	"bioperf5/internal/cpu"
+	"bioperf5/internal/isa"
+	"bioperf5/internal/machine"
+	"bioperf5/internal/trace"
+)
+
+// Compiled is one memoized compilation: the assembled program, the
+// compiler's transformation statistics, the replay metadata derived
+// from the program, and the program's content hash (which pins traces
+// to the exact code they were captured from).  Compiled values are
+// shared across callers and must be treated as read-only.
+type Compiled struct {
+	Prog  *isa.Program
+	Stats *compiler.Stats
+	Meta  []cpu.InsMeta
+	Hash  string
+}
+
+var (
+	compileMu    sync.Mutex
+	compileCache = map[string]*Compiled{}
+)
+
+// CompileCached compiles the kernel for a variant, memoizing the result
+// per (kernel, variant).  Compilation is deterministic, so every caller
+// of the same cell shares one program, one stats block and one replay
+// metadata table; errors are not cached and recompile on retry.
+func CompileCached(k *Kernel, v Variant) (*Compiled, error) {
+	key := k.Name + "\x00" + v.String()
+	compileMu.Lock()
+	c, ok := compileCache[key]
+	compileMu.Unlock()
+	if ok {
+		return c, nil
+	}
+
+	prog, st, err := k.compile(v)
+	if err != nil {
+		return nil, err
+	}
+	h, err := hashProgram(prog)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: %s/%s: %w", k.Name, v, err)
+	}
+	c = &Compiled{Prog: prog, Stats: st, Meta: cpu.ProgMeta(prog), Hash: h}
+
+	compileMu.Lock()
+	if prev, ok := compileCache[key]; ok {
+		c = prev // a concurrent compile won; results are identical anyway
+	} else {
+		compileCache[key] = c
+	}
+	compileMu.Unlock()
+	return c, nil
+}
+
+// hashProgram returns the hex SHA-256 of the program's machine code.
+func hashProgram(p *isa.Program) (string, error) {
+	words, err := p.EncodeAll()
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(buf[4*i:], w)
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// TraceKey returns the content address of the trace for one
+// (kernel, variant, seed, scale) cell under the named direction
+// predictor.  It compiles (cached) to obtain the program hash.
+func TraceKey(k *Kernel, v Variant, seed int64, scale int, predictor string) (trace.Key, error) {
+	c, err := CompileCached(k, v)
+	if err != nil {
+		return trace.Key{}, err
+	}
+	return trace.Key{
+		App:       k.App,
+		Variant:   v.String(),
+		Seed:      seed,
+		Scale:     scale,
+		Predictor: trace.CanonicalPredictor(predictor),
+		ProgHash:  c.Hash,
+	}, nil
+}
+
+// CaptureTrace runs the kernel once on the functional machine — the
+// same entry conventions as SimulateObserved — and records the
+// annotated dynamic trace.  The functional result is verified before
+// the trace is sealed, so a stored trace is always a trace of a
+// correct execution.
+func CaptureTrace(k *Kernel, v Variant, seed int64, scale int, predictor string, limit uint64) (*trace.Trace, error) {
+	c, err := CompileCached(k, v)
+	if err != nil {
+		return nil, err
+	}
+	run, err := k.NewRun(seed, scale)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: %s/%s: %w", k.Name, v, err)
+	}
+	cap := trace.NewCapturer(predictor)
+	mach := machine.New(c.Prog, run.Mem)
+	mach.Reset()
+	if err := mach.SetPC(k.Name); err != nil {
+		return nil, fmt.Errorf("kernels: %s/%s: %w", k.Name, v, err)
+	}
+	mach.SetReg(spReg, spInit)
+	for i, a := range run.Args {
+		mach.SetReg(argReg(i), a)
+	}
+	var n uint64
+	for !mach.Halted() {
+		if n >= limit {
+			return nil, fmt.Errorf("kernels: %s/%s: capture: %w", k.Name, v, machine.ErrLimit)
+		}
+		d, err := mach.Step()
+		if err != nil {
+			return nil, fmt.Errorf("kernels: %s/%s: capture: %w", k.Name, v, err)
+		}
+		cap.Observe(d)
+		n++
+	}
+	got := int64(mach.Reg(argReg(0)))
+	if got != run.Want {
+		return nil, fmt.Errorf("kernels: %s/%s: computed %d, want %d", k.Name, v, got, run.Want)
+	}
+	return cap.Finish(trace.Meta{
+		App:      k.App,
+		Kernel:   k.Name,
+		Variant:  v.String(),
+		Seed:     seed,
+		Scale:    scale,
+		ProgHash: c.Hash,
+		Result:   got,
+	}), nil
+}
+
+// ReplayTrace feeds a stored trace through the decoupled timing model
+// under cfg and returns the report.  The counters and stall stack are
+// bit-identical to what SimulateObserved produces for the same cell —
+// the replay-equivalence golden tests enforce it.  A trace whose
+// program hash does not match the current compilation, or whose
+// payload decodes inconsistently, is rejected as corrupt.
+func ReplayTrace(k *Kernel, v Variant, t *trace.Trace, cfg cpu.Config) (cpu.Report, error) {
+	c, err := CompileCached(k, v)
+	if err != nil {
+		return cpu.Report{}, err
+	}
+	if t.Meta.ProgHash != c.Hash {
+		return cpu.Report{}, fmt.Errorf("%w: trace for program %.12s, compiled %.12s",
+			trace.ErrCorrupt, t.Meta.ProgHash, c.Hash)
+	}
+	if v.NeedsExtensions() {
+		cfg.Extensions = true
+	}
+	rep, err := cpu.NewReplayer(cfg, t.Meta.LoadLat)
+	if err != nil {
+		return cpu.Report{}, err
+	}
+	var ev cpu.ReplayEvent
+	it := t.Iter()
+	for it.Next() {
+		rec := it.Rec()
+		if rec.PC < 0 || rec.PC >= len(c.Meta) {
+			return rep.Report(), fmt.Errorf("%w: PC %d outside program of %d instructions",
+				trace.ErrCorrupt, rec.PC, len(c.Meta))
+		}
+		ev = cpu.ReplayEvent{
+			Meta:      &c.Meta[rec.PC],
+			PC:        rec.PC,
+			Next:      rec.Next,
+			Taken:     rec.Taken,
+			DirWrong:  rec.DirWrong,
+			MissLevel: rec.MissLevel,
+		}
+		if err := rep.Consume(&ev); err != nil {
+			return rep.Report(), fmt.Errorf("kernels: %s/%s: %w", k.Name, v, err)
+		}
+	}
+	if err := it.Err(); err != nil {
+		return rep.Report(), err
+	}
+	return rep.Report(), nil
+}

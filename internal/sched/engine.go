@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"bioperf5/internal/cpu"
 	"bioperf5/internal/fault"
 	"bioperf5/internal/telemetry"
+	"bioperf5/internal/trace"
 )
 
 // Options configures an Engine.  The zero value is usable: GOMAXPROCS
@@ -60,6 +62,17 @@ type Options struct {
 	// already journaled and cached are skipped (and counted under
 	// sched.journal.resumed) when the sweep re-runs after a kill.
 	Journal *Journal
+
+	// Traces, when non-nil, is the trace store jobs capture into and
+	// replay from; tests inject a pre-warmed store through it.  Nil
+	// builds an engine-owned store: in-memory with the TraceBudget
+	// byte budget, backed by CacheDir/traces when CacheDir is set, and
+	// publishing trace.* metrics into the engine's registry.
+	Traces *trace.Store
+	// TraceBudget bounds the engine-owned trace store's in-memory tier
+	// in bytes; values <= 0 mean trace.DefaultBudget.  Ignored when
+	// Traces is supplied.
+	TraceBudget int64
 }
 
 // ErrCellTimeout marks a simulation attempt that exceeded
@@ -83,12 +96,15 @@ func retryable(err error) bool {
 // Engine is a parallel, cache-aware job executor.  All methods are
 // safe for concurrent use.
 type Engine struct {
-	opts Options
-	reg  *telemetry.Registry
-	disk *diskStore
+	opts   Options
+	reg    *telemetry.Registry
+	disk   *diskStore
+	traces *trace.Store
 
-	// compute executes one job; tests substitute a stub.
-	compute func(Job) (cpu.Report, error)
+	// compute executes one job, additionally reporting whether an
+	// existing trace (or cached result) served it without a fresh
+	// functional capture; tests substitute a stub.
+	compute func(Job) (cpu.Report, bool, error)
 
 	queue chan *task
 	wg    sync.WaitGroup
@@ -121,6 +137,7 @@ type task struct {
 type Future struct {
 	done chan struct{}
 	rep  cpu.Report
+	hit  bool
 	err  error
 }
 
@@ -131,14 +148,23 @@ func (f *Future) Wait() (cpu.Report, error) {
 	return f.rep, f.err
 }
 
-func (f *Future) complete(rep cpu.Report, err error) {
-	f.rep, f.err = rep, err
+// TraceHit blocks until the job completes and reports whether it was
+// served without a fresh functional capture: a trace replay hit, a
+// disk-cached result, or coalescing onto another submission's
+// computation.
+func (f *Future) TraceHit() bool {
+	<-f.done
+	return f.hit
+}
+
+func (f *Future) complete(rep cpu.Report, hit bool, err error) {
+	f.rep, f.hit, f.err = rep, hit, err
 	close(f.done)
 }
 
 func resolved(rep cpu.Report, err error) *Future {
 	f := &Future{done: make(chan struct{})}
-	f.complete(rep, err)
+	f.complete(rep, false, err)
 	return f
 }
 
@@ -176,7 +202,15 @@ func New(o Options) *Engine {
 		gQueuePeak:  reg.Gauge("sched.queue.peak"),
 		hQueueWait:  reg.Histogram("sched.queue.wait_us", nil),
 	}
-	e.compute = func(j Job) (cpu.Report, error) { return j.run() }
+	e.traces = o.Traces
+	if e.traces == nil {
+		topts := trace.StoreOptions{Budget: o.TraceBudget, Registry: reg}
+		if o.CacheDir != "" {
+			topts.Dir = filepath.Join(o.CacheDir, "traces")
+		}
+		e.traces = trace.NewStore(topts)
+	}
+	e.compute = func(j Job) (cpu.Report, bool, error) { return j.run(e.traces) }
 	if !o.DisableCache {
 		e.inflight = make(map[string]*Future)
 	}
@@ -193,6 +227,10 @@ func New(o Options) *Engine {
 
 // Registry returns the registry the engine publishes into.
 func (e *Engine) Registry() *telemetry.Registry { return e.reg }
+
+// TraceStore returns the trace store the engine's jobs capture into
+// and replay from.
+func (e *Engine) TraceStore() *trace.Store { return e.traces }
 
 // Close stops accepting jobs and waits for queued work to drain.
 func (e *Engine) Close() {
@@ -285,7 +323,7 @@ func (e *Engine) SubmitTracked(ctx context.Context, j Job) (*Future, bool) {
 		}
 		e.mu.Unlock()
 		e.mFailed.Add(1)
-		f.complete(cpu.Report{}, fmt.Errorf("sched: job %s/%s seed %d: %w",
+		f.complete(cpu.Report{}, false, fmt.Errorf("sched: job %s/%s seed %d: %w",
 			j.App, j.Variant, j.Seed, ctx.Err()))
 		return f, false
 	}
@@ -304,7 +342,7 @@ func (e *Engine) worker() {
 	defer e.wg.Done()
 	for t := range e.queue {
 		e.hQueueWait.Observe(uint64(time.Since(t.enqueued) / time.Microsecond))
-		rep, err := e.execute(t)
+		rep, hit, err := e.execute(t)
 		if err != nil {
 			e.mFailed.Add(1)
 			// Don't memoize failures (a cancelled context would
@@ -315,7 +353,7 @@ func (e *Engine) worker() {
 			}
 			e.mu.Unlock()
 		}
-		t.fut.complete(rep, err)
+		t.fut.complete(rep, hit, err)
 	}
 }
 
@@ -327,15 +365,16 @@ func (t *task) describe() string {
 // execute resolves one task: context check, disk cache probe, then up
 // to 1+Retries simulation attempts — each under panic recovery and the
 // cell-deadline watchdog — then disk write-back and journaling.
-func (e *Engine) execute(t *task) (cpu.Report, error) {
+func (e *Engine) execute(t *task) (cpu.Report, bool, error) {
 	if cerr := t.ctx.Err(); cerr != nil {
-		return cpu.Report{}, fmt.Errorf("sched: job %s: %w", t.describe(), cerr)
+		return cpu.Report{}, false, fmt.Errorf("sched: job %s: %w", t.describe(), cerr)
 	}
 	if e.disk != nil {
 		if cached, ok, corrupt := e.disk.load(t.hash, t.job.Key()); ok {
 			e.mDiskHits.Add(1)
 			e.journalFinish(t.hash, true)
-			return cached, nil
+			// A disk-cached result needed no fresh capture either.
+			return cached, true, nil
 		} else if corrupt {
 			e.mCorrupt.Add(1)
 		}
@@ -343,11 +382,12 @@ func (e *Engine) execute(t *task) (cpu.Report, error) {
 	var err error
 	for attempt := 0; ; attempt++ {
 		var rep cpu.Report
-		rep, err = e.attempt(t, attempt)
+		var hit bool
+		rep, hit, err = e.attempt(t, attempt)
 		if err == nil {
 			e.persist(t, rep, attempt)
 			e.journalFinish(t.hash, false)
-			return rep, nil
+			return rep, hit, nil
 		}
 		if attempt >= e.opts.Retries || !retryable(err) || t.ctx.Err() != nil {
 			break
@@ -361,16 +401,17 @@ func (e *Engine) execute(t *task) (cpu.Report, error) {
 		err = fmt.Errorf("sched: job %s: giving up after %d attempts: %w",
 			t.describe(), e.opts.Retries+1, err)
 	}
-	return cpu.Report{}, err
+	return cpu.Report{}, false, err
 }
 
 // attempt runs one simulation try in its own goroutine so the worker
 // can enforce the cell deadline and honour cancellation mid-run.  An
 // abandoned attempt keeps running in the background; its result lands
 // in a buffered channel and is discarded.
-func (e *Engine) attempt(t *task, attempt int) (cpu.Report, error) {
+func (e *Engine) attempt(t *task, attempt int) (cpu.Report, bool, error) {
 	type outcome struct {
 		rep cpu.Report
+		hit bool
 		err error
 	}
 	done := make(chan outcome, 1)
@@ -401,8 +442,8 @@ func (e *Engine) attempt(t *task, attempt int) (cpu.Report, error) {
 			}
 		}
 		e.mComputed.Add(1)
-		rep, err := e.compute(t.job)
-		done <- outcome{rep: rep, err: err}
+		rep, hit, err := e.compute(t.job)
+		done <- outcome{rep: rep, hit: hit, err: err}
 	}()
 	var expired <-chan time.Time
 	if e.opts.CellTimeout > 0 {
@@ -412,13 +453,13 @@ func (e *Engine) attempt(t *task, attempt int) (cpu.Report, error) {
 	}
 	select {
 	case o := <-done:
-		return o.rep, o.err
+		return o.rep, o.hit, o.err
 	case <-expired:
 		e.mTimeouts.Add(1)
-		return cpu.Report{}, fmt.Errorf("sched: job %s: %w (budget %v)",
+		return cpu.Report{}, false, fmt.Errorf("sched: job %s: %w (budget %v)",
 			t.describe(), ErrCellTimeout, e.opts.CellTimeout)
 	case <-t.ctx.Done():
-		return cpu.Report{}, permanentError{fmt.Errorf("sched: job %s: %w",
+		return cpu.Report{}, false, permanentError{fmt.Errorf("sched: job %s: %w",
 			t.describe(), t.ctx.Err())}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"bioperf5/internal/core"
 	"bioperf5/internal/cpu"
 	"bioperf5/internal/kernels"
+	"bioperf5/internal/trace"
 )
 
 // Job is one self-describing simulation cell: which application kernel
@@ -31,6 +32,13 @@ type Job struct {
 	CPU     cpu.Config      // microarchitecture configuration
 	Seed    int64           // input seed
 	Scale   int             // workload scale factor (values < 1 mean 1)
+
+	// Trace selects the trace policy for this cell (zero value: auto).
+	// It is execution strategy, not identity: results are bit-identical
+	// under every policy, so it is deliberately excluded from Key and
+	// Hash — cached results are shared across policies and manifests do
+	// not change when tracing is toggled.
+	Trace core.TracePolicy `json:"-"`
 }
 
 // keySchema versions the canonical key encoding; bump it whenever the
@@ -81,15 +89,26 @@ func (j Job) Hash() string {
 	return hex.EncodeToString(sum[:])
 }
 
-// run executes the job.  It is the default compute function of an
-// Engine (tests substitute a stub).
-func (j Job) run() (cpu.Report, error) {
-	k, err := kernels.ByApp(j.App)
-	if err != nil {
+// run executes the job through core.Simulate under the job's trace
+// policy, reporting whether an existing trace served it.  It is the
+// default compute function of an Engine (tests substitute a stub).
+func (j Job) run(traces *trace.Store) (cpu.Report, bool, error) {
+	if _, err := kernels.ByApp(j.App); err != nil {
 		// A job naming an unknown application can never succeed; mark
 		// it permanent so the retry loop does not burn its budget on it.
-		return cpu.Report{}, permanentError{err}
+		return cpu.Report{}, false, permanentError{err}
 	}
-	s := core.Setup{Name: j.App, Variant: j.Variant, CPU: j.CPU}
-	return core.RunCell(k, s, j.Seed, j.Scale)
+	resp, err := core.Simulate(core.Request{
+		App:     j.App,
+		Variant: j.Variant,
+		Seeds:   []int64{j.Seed},
+		Scale:   j.Scale,
+		CPU:     j.CPU,
+		Trace:   j.Trace,
+		Traces:  traces,
+	})
+	if err != nil {
+		return cpu.Report{}, false, err
+	}
+	return resp.Aggregate, resp.TraceHits > 0, nil
 }

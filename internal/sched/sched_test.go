@@ -58,7 +58,10 @@ func TestJobHashCanonical(t *testing.T) {
 func stubEngine(t *testing.T, o Options, compute func(Job) (cpu.Report, error)) *Engine {
 	t.Helper()
 	e := New(o)
-	e.compute = compute
+	e.compute = func(j Job) (cpu.Report, bool, error) {
+		rep, err := compute(j)
+		return rep, false, err
+	}
 	t.Cleanup(e.Close)
 	return e
 }
@@ -209,7 +212,7 @@ func TestEngineRealCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := j.run()
+	want, _, err := j.run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,10 @@ type CellRequest struct {
 	BTACEntries int     `json:"btac_entries,omitempty"`
 	Scale       int     `json:"scale,omitempty"`
 	Seeds       []int64 `json:"seeds,omitempty"`
+	// Trace selects the execution strategy ("auto", "capture", "replay",
+	// "off"); empty means the server's default.  It never changes the
+	// numbers or the cell's key — only how they are computed.
+	Trace string `json:"trace,omitempty"`
 }
 
 // CellResponse is the result of one cell: the canonical coordinates
@@ -52,6 +56,7 @@ type CellResponse struct {
 	Seeds       []int64             `json:"seeds"`
 	Key         string              `json:"key"`
 	Coalesced   int                 `json:"coalesced"`
+	TraceHit    bool                `json:"trace_hit"`
 	Stats       harness.KernelStats `json:"stats"`
 }
 
@@ -64,6 +69,7 @@ type cellSpec struct {
 	btac    int
 	scale   int
 	seeds   []int64
+	trace   core.TracePolicy
 	setup   core.Setup
 }
 
@@ -125,6 +131,11 @@ func (r CellRequest) canonicalize() (cellSpec, error) {
 		}
 		seen[s] = true
 	}
+	if strings.TrimSpace(r.Trace) != "" {
+		if sp.trace, err = core.ParseTracePolicy(r.Trace); err != nil {
+			return sp, fmt.Errorf("bad trace policy %q (one of auto, capture, replay, off)", r.Trace)
+		}
+	}
 	sp.setup = harness.SetupFor(sp.variant, sp.fxus, sp.btac)
 	return sp, nil
 }
@@ -154,8 +165,12 @@ func (s *Server) runCell(cfg harness.Config, sp cellSpec) (*CellResponse, error)
 	cfg.Scale = sp.scale
 	cfg.Seeds = sp.seeds
 	cfg.Engine = s.eng
-	stats, key, coalesced, err := harness.CellStats(cfg, sp.app, sp.setup)
-	s.mCoalesced.Add(uint64(coalesced))
+	cfg.Trace = sp.trace
+	if cfg.Trace == "" {
+		cfg.Trace = s.opts.DefaultTrace
+	}
+	out, err := harness.CellStats(cfg, sp.app, sp.setup)
+	s.mCoalesced.Add(uint64(out.Coalesced))
 	if err != nil {
 		return nil, err
 	}
@@ -167,9 +182,10 @@ func (s *Server) runCell(cfg harness.Config, sp cellSpec) (*CellResponse, error)
 		BTACEntries: sp.btac,
 		Scale:       sp.scale,
 		Seeds:       sp.seeds,
-		Key:         key,
-		Coalesced:   coalesced,
-		Stats:       stats,
+		Key:         out.Key,
+		Coalesced:   out.Coalesced,
+		TraceHit:    out.TraceHit,
+		Stats:       out.Stats,
 	}, nil
 }
 

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bioperf5/internal/core"
 	"bioperf5/internal/harness"
 	"bioperf5/internal/sched"
 	"bioperf5/internal/telemetry"
@@ -59,6 +60,11 @@ type Options struct {
 	// RetryAfter is the hint sent with 429 and 503 responses; values
 	// <= 0 mean 1s.
 	RetryAfter time.Duration
+	// DefaultTrace is the trace policy applied to cells whose request
+	// carries no "trace" field; the zero value means auto (capture each
+	// distinct functional execution once, replay it for every timing
+	// variation).  Responses are bit-identical under every policy.
+	DefaultTrace core.TracePolicy
 }
 
 // Server is the HTTP layer over one sched.Engine.  It implements

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"bioperf5/internal/core"
+	"bioperf5/internal/sched"
+)
+
+// TestCellTraceHitSemantics: the first request for a cell captures its
+// trace ("trace_hit": false), a second request differing only in timing
+// configuration replays it ("trace_hit": true) — and the numbers agree.
+func TestCellTraceHitSemantics(t *testing.T) {
+	s, _ := newTestServer(t, sched.Options{Workers: 2}, Options{})
+	w := postCell(s, `{"app":"Fasta","seeds":[1]}`, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	var cold CellResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.TraceHit {
+		t.Error("cold cell reported trace_hit")
+	}
+	w = postCell(s, `{"app":"Fasta","btac_entries":8,"fxus":4,"seeds":[1]}`, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	var warm CellResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.TraceHit {
+		t.Error("timing variation of a captured cell did not report trace_hit")
+	}
+	if cold.Stats.Aggregate.Counters.Instructions != warm.Stats.Aggregate.Counters.Instructions {
+		t.Error("timing variation changed the instruction count")
+	}
+}
+
+// TestCellTracePolicyField: explicit per-request policies are honoured
+// ("off" bypasses the store, "replay" fails without a capture) and an
+// unknown policy is a 400, not a silent default.
+func TestCellTracePolicyField(t *testing.T) {
+	s, eng := newTestServer(t, sched.Options{Workers: 1, DisableCache: true}, Options{})
+	w := postCell(s, `{"app":"Hmmer","seeds":[1],"trace":"off"}`, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("trace=off: status = %d, body %s", w.Code, w.Body)
+	}
+	var resp CellResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceHit {
+		t.Error("off-policy cell reported trace_hit")
+	}
+	if st := eng.TraceStore().Stats(); st.Captures != 0 {
+		t.Errorf("off-policy request captured a trace: %+v", st)
+	}
+
+	w = postCell(s, `{"app":"Hmmer","seeds":[1],"trace":"replay"}`, "")
+	if w.Code == http.StatusOK {
+		t.Error("replay policy succeeded against an empty trace store")
+	}
+
+	w = postCell(s, `{"app":"Hmmer","seeds":[1],"trace":"always"}`, "")
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("unknown policy: status = %d, want 400 (body %s)", w.Code, w.Body)
+	}
+}
+
+// TestCellNumbersIdenticalAcrossPolicies is the serving-layer identity
+// gate: the same cell with tracing off and on returns byte-identical
+// stats.
+func TestCellNumbersIdenticalAcrossPolicies(t *testing.T) {
+	s, _ := newTestServer(t, sched.Options{Workers: 1, DisableCache: true}, Options{})
+	var bodies [][]byte
+	for _, req := range []string{
+		`{"app":"Clustalw","btac_entries":8,"seeds":[1,2],"trace":"off"}`,
+		`{"app":"Clustalw","btac_entries":8,"seeds":[1,2]}`,
+		`{"app":"Clustalw","btac_entries":8,"seeds":[1,2]}`, // warm replay
+	} {
+		w := postCell(s, req, "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("status = %d, body %s", w.Code, w.Body)
+		}
+		var resp CellResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(resp.Stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, b)
+	}
+	for i := 1; i < len(bodies); i++ {
+		if string(bodies[0]) != string(bodies[i]) {
+			t.Errorf("response %d stats diverge from traced-off stats", i)
+		}
+	}
+}
+
+// TestServerDefaultTraceOption: a server started with DefaultTrace off
+// applies it to requests without a "trace" field, and a per-request
+// field overrides it.
+func TestServerDefaultTraceOption(t *testing.T) {
+	s, eng := newTestServer(t, sched.Options{Workers: 1, DisableCache: true},
+		Options{DefaultTrace: core.TraceOff})
+	if w := postCell(s, `{"app":"Fasta","seeds":[1]}`, ""); w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	if st := eng.TraceStore().Stats(); st.Captures != 0 {
+		t.Errorf("server default off still captured: %+v", st)
+	}
+	if w := postCell(s, `{"app":"Fasta","seeds":[1],"trace":"auto"}`, ""); w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	if st := eng.TraceStore().Stats(); st.Captures != 1 {
+		t.Errorf("per-request auto did not override the server default: %+v", st)
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"bioperf5/internal/branch"
+	"bioperf5/internal/cache"
+	"bioperf5/internal/machine"
+)
+
+// CanonicalPredictor resolves a cpu.Config predictor spelling ("" or an
+// unknown name mean the default) to the canonical name of the predictor
+// it instantiates.  Trace identity uses the canonical name because the
+// DirWrong annotations are valid exactly for the predictor that
+// produced them.
+func CanonicalPredictor(name string) string {
+	return branch.New(name).Name()
+}
+
+// Capturer builds an annotated trace from the dynamic instruction
+// stream of one functional execution.  It runs the same fixed data
+// hierarchy and the same direction predictor the coupled timing model
+// would, in the same program order, so the recorded miss levels and
+// predictor verdicts are bit-identical to what cpu.Model.Consume would
+// have observed.
+type Capturer struct {
+	b    Builder
+	mem  *cache.Hierarchy
+	pred branch.DirectionPredictor
+}
+
+// NewCapturer returns a capturer annotating for the named direction
+// predictor (resolved through branch.New, like the timing model).
+func NewCapturer(predictor string) *Capturer {
+	return &Capturer{
+		mem:  cache.NewPOWER5Hierarchy(),
+		pred: branch.New(predictor),
+	}
+}
+
+// Observe records one dynamic instruction.  Call it in execution order
+// with every instruction the machine steps.
+func (c *Capturer) Observe(d machine.DynInst) {
+	r := Record{PC: d.Index, Taken: d.Taken}
+	ins := d.Ins
+	if ins.IsLoad() || ins.IsStore() {
+		r.HasEA, r.EA = true, d.EA
+		l1 := c.mem.L1.Stats().Misses
+		l2 := c.mem.L2.Stats().Misses
+		c.mem.Access(d.EA)
+		if c.mem.L1.Stats().Misses > l1 {
+			r.MissLevel = 1
+			if c.mem.L2.Stats().Misses > l2 {
+				r.MissLevel = 2
+			}
+		}
+	}
+	if ins.IsCondBranch() {
+		predTaken := c.pred.Predict(d.Index)
+		c.pred.Update(d.Index, d.Taken)
+		r.DirWrong = predTaken != d.Taken
+	}
+	c.b.Add(r)
+}
+
+// Records returns the number of instructions observed so far.
+func (c *Capturer) Records() uint64 { return c.b.Len() }
+
+// Finish seals the capture.  The predictor name and the per-miss-level
+// load latencies are stamped from the live structures so replay charges
+// exactly the latencies capture observed.
+func (c *Capturer) Finish(meta Meta) *Trace {
+	meta.Predictor = c.pred.Name()
+	meta.LoadLat = [3]int{
+		c.mem.LevelLatency(0),
+		c.mem.LevelLatency(1),
+		c.mem.LevelLatency(2),
+	}
+	return c.b.Finish(meta)
+}
+
+// keySchema versions the trace content address; bump it when the
+// meaning of a key field changes.
+const keySchema = 1
+
+// Key is the content identity of a trace: everything the dynamic
+// instruction stream and its annotations depend on — and nothing the
+// timing sweep varies.  Cells differing only in FXU count, BTAC sizing
+// or pipeline penalties share one Key, which is the entire point.
+type Key struct {
+	App       string
+	Variant   string
+	Seed      int64
+	Scale     int
+	Predictor string // canonical name (see CanonicalPredictor)
+	ProgHash  string
+}
+
+// Matches reports whether a trace's meta answers this key.
+func (k Key) Matches(m Meta) bool {
+	return m.App == k.App && m.Variant == k.Variant && m.Seed == k.Seed &&
+		m.Scale == k.Scale && m.Predictor == k.Predictor && m.ProgHash == k.ProgHash
+}
+
+// Hash returns the key's content address: the hex SHA-256 of its
+// canonical JSON encoding.
+func (k Key) Hash() string {
+	b, err := json.Marshal(struct {
+		Schema int `json:"schema"`
+		Key
+	}{Schema: keySchema, Key: k})
+	if err != nil {
+		panic(fmt.Sprintf("trace: marshal key: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
