@@ -8,8 +8,11 @@
 //	bioperf5 run <experiment>|all [-scale N] [-seeds a,b,c] [-trace P] [-json]
 //	bioperf5 sweep [-fxus 2,3,4] [-btac off,8] [-variants v,...] [-apps a,...]
 //	               [-workers N] [-cache-dir DIR] [-trace P] [-grid] [-json]
+//	               [-spans DIR] [-cpuprofile FILE] [-memprofile FILE]
 //	bioperf5 serve [-addr HOST:PORT] [-workers N] [-cache-dir DIR] [-trace P]
 //	               [-max-inflight N] [-request-timeout DUR] [-drain-timeout DUR]
+//	               [-pprof] [-spans DIR]
+//	bioperf5 spans <spans.jsonl> [-json] [-chrome FILE]
 //	bioperf5 trace <Blast|Clustalw|Fasta|Hmmer> <variant> [-scale N] [-seed N]
 //	bioperf5 stats [application] [-scale N] [-seed N] [-json]
 //	bioperf5 profile <Blast|Clustalw|Fasta|Hmmer> [-scale N]
@@ -26,6 +29,9 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -64,6 +70,10 @@ commands:
                            manifest under DIR and resumes a killed sweep;
                            -grid prints every point; -json emits the manifest;
                            -trace off disables capture-once/replay-many;
+                           -spans DIR records a span per lifecycle stage and
+                           writes spans.jsonl + trace.json (Perfetto-loadable)
+                           under DIR; -cpuprofile/-memprofile FILE write
+                           pprof profiles of the sweep;
                            BIOPERF5_FAULTS=spec injects deterministic faults)
   serve                    expose the engine as an HTTP/JSON service:
                            POST /v1/cells runs one cell, POST /v1/cells:batch
@@ -76,7 +86,10 @@ commands:
                            -max-inflight N
                            admission bound; -request-timeout DUR default
                            per-request deadline; -drain-timeout DUR graceful
-                           SIGTERM drain budget)
+                           SIGTERM drain budget; -pprof mounts net/http/pprof
+                           under /debug/pprof/; -spans DIR records a span
+                           per request and writes spans.jsonl + trace.json
+                           under DIR at shutdown)
   trace <application> <variant>
                            emit a per-instruction pipeline event trace as
                            JSONL (-scale N, -seed N, -cap N ring capacity)
@@ -84,6 +97,10 @@ commands:
                            CPI stall stack, cache/BTAC/profile metrics
                            (-scale N, -seed N, -json)
   profile <application>    gprof-style function breakout (-scale N)
+  spans <spans.jsonl>      aggregate a recorded span log into a per-stage
+                           profile: count, total, mean, max, share
+                           (-json; -chrome FILE converts the log to a
+                           Chrome trace-event file)
   disasm <application> <variant>
                            show the compiled DP kernel for a predication variant
   variants                 list predication variants
@@ -116,6 +133,8 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "profile":
 		err = cmdProfile(os.Args[2:])
+	case "spans":
+		err = cmdSpans(os.Args[2:])
 	case "disasm":
 		err = cmdDisasm(os.Args[2:])
 	case "variants":
@@ -249,6 +268,9 @@ func cmdSweep(args []string) error {
 	resume := fs.String("resume", "", "sweep state directory (disk cache + completion journal + manifest); re-running against it resumes only unfinished cells")
 	grid := fs.Bool("grid", false, "print every grid point, not just the best per application")
 	jsonOut := fs.Bool("json", false, "emit the JSON manifest instead of the summary table")
+	spansDir := fs.String("spans", "", "record a span per lifecycle stage and write spans.jsonl + trace.json (Perfetto-loadable) under DIR")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to FILE")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile (taken after the sweep) to FILE")
 	cfg, _, err := parseConfig(fs, args)
 	if err != nil {
 		return err
@@ -319,6 +341,27 @@ func cmdSweep(args []string) error {
 	defer stop()
 	cfg.Engine = eng
 	cfg.Context = ctx
+	var tracer *telemetry.Tracer
+	if *spansDir != "" {
+		// The registry hookup puts span.<stage>.us histograms in the
+		// manifest's scheduler snapshot path for free.
+		tracer = telemetry.NewTracer(0, eng.Registry())
+		cfg.Context = telemetry.WithTracer(ctx, tracer)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 	m, err := harness.RunSweep(harness.SweepSpec{
 		FXUs:        fxus,
 		BTACEntries: btac,
@@ -330,8 +373,26 @@ func cmdSweep(args []string) error {
 		return err
 	}
 	if *resume != "" {
-		if err := m.WriteJSONFile(filepath.Join(*resume, "manifest.json")); err != nil {
-			return fmt.Errorf("write manifest: %w", err)
+		_, msp := telemetry.StartSpan(cfg.Context, telemetry.StageManifest)
+		werr := m.WriteJSONFile(filepath.Join(*resume, "manifest.json"))
+		msp.End()
+		if werr != nil {
+			return fmt.Errorf("write manifest: %w", werr)
+		}
+	}
+	if *memprofile != "" {
+		if err := writeHeapProfile(*memprofile); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	if tracer != nil {
+		if err := writeSpanFiles(*spansDir, tracer); err != nil {
+			return fmt.Errorf("-spans: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "bioperf5: wrote %d spans to %s (spans.jsonl + trace.json)\n",
+			tracer.Len(), *spansDir)
+		if n := tracer.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "bioperf5: span capacity reached, dropped %d spans\n", n)
 		}
 	}
 	if *jsonOut {
@@ -344,6 +405,9 @@ func cmdSweep(args []string) error {
 		fmt.Println(m.Grid().Render())
 	}
 	fmt.Println(m.Summary().Render())
+	if tbl := m.ProfileTable(); tbl != nil {
+		fmt.Println(tbl.Render())
+	}
 	st := m.Scheduler
 	pool := fmt.Sprintf("%d workers", st.Workers)
 	if st.Workers == 1 {
@@ -361,8 +425,70 @@ func cmdSweep(args []string) error {
 	if st.Resumed > 0 {
 		fmt.Printf("scheduler: resumed — %d completed cells skipped via the journal and cache\n", st.Resumed)
 	}
-	fmt.Printf("elapsed: %dms\n", m.ElapsedMS)
+	fmt.Println(sweepElapsedLine(m))
 	return sweepDegradedSummary(m)
+}
+
+// sweepElapsedLine renders the closing wall-clock summary.  When the
+// manifest carries a stage profile it also says where that time went:
+// total attributed across workers (which exceeds wall time whenever
+// the sweep ran in parallel) and the dominant stage with its share.
+func sweepElapsedLine(m *harness.SweepManifest) string {
+	wall := time.Duration(m.ElapsedMS) * time.Millisecond
+	p := m.Profile
+	if p == nil || p.Aggregate.IsZero() || len(p.Stages) == 0 || p.Stages[0].NS == 0 {
+		return fmt.Sprintf("elapsed: %s wall", wall)
+	}
+	var attributed int64
+	for _, s := range p.Stages {
+		attributed += s.NS
+	}
+	dom := p.Stages[0]
+	return fmt.Sprintf("elapsed: %s wall; %s attributed across workers; dominant stage: %s (%s, %.0f%%)",
+		wall, time.Duration(attributed).Round(time.Millisecond),
+		dom.Name, time.Duration(dom.NS).Round(time.Millisecond),
+		100*float64(dom.NS)/float64(attributed))
+}
+
+// writeHeapProfile snapshots the heap into path, after a GC so the
+// profile reflects live objects rather than garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+// writeSpanFiles exports a tracer's spans under dir in both formats:
+// spans.jsonl (the loadable log `bioperf5 spans` reads) and trace.json
+// (Chrome trace-event, for Perfetto / chrome://tracing).
+func writeSpanFiles(dir string, tr *telemetry.Tracer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	jf, err := os.Create(filepath.Join(dir, "spans.jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	cf, err := os.Create(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(cf); err != nil {
+		cf.Close()
+		return err
+	}
+	return cf.Close()
 }
 
 // sweepDegradedSummary reports degraded cells on stderr and returns a
@@ -401,6 +527,8 @@ func cmdServe(args []string) error {
 	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "default per-request deadline; clients override with ?timeout= (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget after SIGTERM")
 	tracePolicy := fs.String("trace", "", "default trace policy for cells without a \"trace\" field: auto (default), capture, replay, or off")
+	enablePprof := fs.Bool("pprof", false, "mount the net/http/pprof diagnostics handlers under /debug/pprof/")
+	spansDir := fs.String("spans", "", "record a span per request and write spans.jsonl + trace.json under DIR at shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -425,11 +553,17 @@ func cmdServe(args []string) error {
 		CellTimeout: *cellTimeout,
 		Injector:    injector,
 	})
+	var tracer *telemetry.Tracer
+	if *spansDir != "" {
+		tracer = telemetry.NewTracer(0, eng.Registry())
+	}
 	srv := server.New(server.Options{
 		Engine:         eng,
 		MaxInflight:    *maxInflight,
 		DefaultTimeout: *reqTimeout,
 		DefaultTrace:   defaultTrace,
+		Tracer:         tracer,
+		EnablePprof:    *enablePprof,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -462,6 +596,13 @@ func cmdServe(args []string) error {
 	}
 	if err := <-errc; err != nil {
 		return err
+	}
+	if tracer != nil {
+		if err := writeSpanFiles(*spansDir, tracer); err != nil {
+			return fmt.Errorf("-spans: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "bioperf5: wrote %d spans to %s (spans.jsonl + trace.json)\n",
+			tracer.Len(), *spansDir)
 	}
 	fmt.Fprintln(os.Stderr, "bioperf5: drained cleanly")
 	return nil
@@ -611,6 +752,103 @@ func cmdProfile(args []string) error {
 		p.Add(e.Name, e.Time, e.Calls)
 	}
 	fmt.Print(p.Format())
+	return nil
+}
+
+// spanStat is one stage row of the aggregated spans report.
+type spanStat struct {
+	Stage   string `json:"stage"`
+	Count   int    `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+	MeanNS  int64  `json:"mean_ns"`
+	MaxNS   int64  `json:"max_ns"`
+}
+
+// aggregateSpans folds a span log into per-stage statistics, sorted by
+// total time descending.
+func aggregateSpans(spans []telemetry.SpanData) []spanStat {
+	byName := map[string]*spanStat{}
+	for _, d := range spans {
+		st := byName[d.Name]
+		if st == nil {
+			st = &spanStat{Stage: d.Name}
+			byName[d.Name] = st
+		}
+		st.Count++
+		st.TotalNS += d.DurNS
+		if d.DurNS > st.MaxNS {
+			st.MaxNS = d.DurNS
+		}
+	}
+	out := make([]spanStat, 0, len(byName))
+	for _, st := range byName {
+		st.MeanNS = st.TotalNS / int64(st.Count)
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalNS != out[j].TotalNS {
+			return out[i].TotalNS > out[j].TotalNS
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// cmdSpans aggregates a recorded span log (sweep -spans / serve -spans)
+// into a per-stage profile, and optionally converts it to a Chrome
+// trace-event file for Perfetto.
+func cmdSpans(args []string) error {
+	fs := flag.NewFlagSet("spans", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the aggregated profile as JSON")
+	chromeOut := fs.String("chrome", "", "also convert the span log to a Chrome trace-event file at FILE")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("spans: need exactly one spans.jsonl file (written by sweep -spans or serve -spans)")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := telemetry.ReadSpansJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("spans: %s holds no spans", fs.Arg(0))
+	}
+	if *chromeOut != "" {
+		cf, err := os.Create(*chromeOut)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteChromeTraceData(cf, spans); err != nil {
+			cf.Close()
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bioperf5: wrote Chrome trace-event file %s (%d events)\n",
+			*chromeOut, len(spans))
+	}
+	stats := aggregateSpans(spans)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(stats)
+	}
+	fmt.Printf("%d spans, %d stages\n", len(spans), len(stats))
+	fmt.Printf("%-16s %8s %12s %12s %12s\n", "stage", "count", "total", "mean", "max")
+	for _, st := range stats {
+		fmt.Printf("%-16s %8d %12s %12s %12s\n", st.Stage, st.Count,
+			time.Duration(st.TotalNS).Round(time.Microsecond),
+			time.Duration(st.MeanNS).Round(time.Microsecond),
+			time.Duration(st.MaxNS).Round(time.Microsecond))
+	}
+	fmt.Println("\nnote: stages nest (sched.execute contains capture/replay/cache), so totals overlap")
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"bioperf5/internal/harness"
 	"bioperf5/internal/kernels"
 	"bioperf5/internal/sched"
+	"bioperf5/internal/telemetry"
 )
 
 func TestParseVariant(t *testing.T) {
@@ -256,5 +257,158 @@ func TestCmdSweepResumeRoundTrip(t *testing.T) {
 	}
 	if m.Degraded != 0 {
 		t.Errorf("degraded = %d", m.Degraded)
+	}
+}
+
+// TestCmdSweepSpansAndProfiles drives the observability flags end to
+// end: -spans must leave a loadable spans.jsonl + a Chrome trace-event
+// trace.json behind, -cpuprofile/-memprofile must write pprof files,
+// and `bioperf5 spans` must aggregate the recorded log.
+func TestCmdSweepSpansAndProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	spansDir := filepath.Join(dir, "spans")
+	args := []string{"-fxus", "2", "-btac", "off", "-variants", "original",
+		"-apps", "Fasta", "-cache-dir", filepath.Join(dir, "cache"),
+		"-spans", spansDir,
+		"-cpuprofile", filepath.Join(dir, "cpu.pprof"),
+		"-memprofile", filepath.Join(dir, "mem.pprof")}
+	if err := cmdSweep(args); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, name := range []string{"cpu.pprof", "mem.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("%s: %v (size %d)", name, err, fi.Size())
+		}
+	}
+
+	// The span log loads, covers the lifecycle taxonomy, and nests
+	// under a single sweep root.
+	f, err := os.Open(filepath.Join(spansDir, "spans.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := telemetry.ReadSpansJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]int{}
+	roots := 0
+	for _, d := range spans {
+		names[d.Name]++
+		if d.Parent == 0 {
+			roots++
+		}
+	}
+	for _, want := range []string{telemetry.StageSweep, telemetry.StageQueue,
+		telemetry.StageExecute, telemetry.StageCapture} {
+		if names[want] == 0 {
+			t.Errorf("no %q span in the exported log (have %v)", want, names)
+		}
+	}
+	if names[telemetry.StageSweep] != 1 || roots != 1 {
+		t.Errorf("want exactly one sweep root span, got %d (%d roots)",
+			names[telemetry.StageSweep], roots)
+	}
+
+	// The Chrome trace-event export is valid JSON with one event per
+	// span — the Perfetto-loadable artifact.
+	b, err := os.ReadFile(filepath.Join(spansDir, "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace.json not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(spans) {
+		t.Errorf("trace.json has %d events for %d spans", len(doc.TraceEvents), len(spans))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Name == "" {
+			t.Fatalf("malformed trace event: %+v", ev)
+		}
+	}
+
+	// The spans subcommand aggregates the log (and re-exports Chrome).
+	chrome2 := filepath.Join(dir, "trace2.json")
+	if err := cmdSpans([]string{"-chrome", chrome2, filepath.Join(spansDir, "spans.jsonl")}); err != nil {
+		t.Fatalf("spans: %v", err)
+	}
+	if fi, err := os.Stat(chrome2); err != nil || fi.Size() == 0 {
+		t.Errorf("spans -chrome wrote nothing: %v", err)
+	}
+	if err := cmdSpans([]string{"-json", filepath.Join(spansDir, "spans.jsonl")}); err != nil {
+		t.Fatalf("spans -json: %v", err)
+	}
+}
+
+// TestCmdSpansValidation covers the failure modes of the spans report.
+func TestCmdSpansValidation(t *testing.T) {
+	if err := cmdSpans(nil); err == nil {
+		t.Error("spans without a file accepted")
+	}
+	if err := cmdSpans([]string{filepath.Join(t.TempDir(), "absent.jsonl")}); err == nil {
+		t.Error("spans with a missing file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSpans([]string{empty}); err == nil {
+		t.Error("empty span log accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"id\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSpans([]string{bad}); err == nil {
+		t.Error("nameless span accepted")
+	}
+}
+
+// TestAggregateSpans pins the aggregation: totals, means, maxima, and
+// the descending sort.
+func TestAggregateSpans(t *testing.T) {
+	spans := []telemetry.SpanData{
+		{ID: 1, Name: "a", DurNS: 100},
+		{ID: 2, Name: "a", DurNS: 300},
+		{ID: 3, Name: "b", DurNS: 1000},
+	}
+	got := aggregateSpans(spans)
+	if len(got) != 2 || got[0].Stage != "b" || got[1].Stage != "a" {
+		t.Fatalf("order: %+v", got)
+	}
+	a := got[1]
+	if a.Count != 2 || a.TotalNS != 400 || a.MeanNS != 200 || a.MaxNS != 300 {
+		t.Errorf("a stats: %+v", a)
+	}
+}
+
+// TestSweepElapsedLine checks both renderings of the closing summary.
+func TestSweepElapsedLine(t *testing.T) {
+	m := &harness.SweepManifest{ElapsedMS: 1500}
+	if got := sweepElapsedLine(m); got != "elapsed: 1.5s wall" {
+		t.Errorf("bare line = %q", got)
+	}
+	m.Profile = &harness.SweepProfile{
+		Aggregate: telemetry.StageCost{CaptureNS: 3_000_000_000, ReplayNS: 1_000_000_000},
+	}
+	m.Profile.Stages = m.Profile.Aggregate.Stages()
+	got := sweepElapsedLine(m)
+	for _, want := range []string{"1.5s wall", "4s attributed", "trace.capture", "75%"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary %q missing %q", got, want)
+		}
 	}
 }

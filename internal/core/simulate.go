@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"bioperf5/internal/cpu"
 	"bioperf5/internal/kernels"
+	"bioperf5/internal/telemetry"
 	"bioperf5/internal/trace"
 )
 
@@ -54,6 +57,12 @@ type Request struct {
 	Scale   int
 	CPU     cpu.Config
 
+	// Context, when non-nil, carries the caller's telemetry tracer:
+	// each stage of the simulation (compile, capture, replay, coupled
+	// run) records a span under the current span in it.  Simulation
+	// results never depend on it.
+	Context context.Context
+
 	// Trace selects the trace policy; the zero value is TraceAuto.
 	Trace TracePolicy
 	// Traces is the trace store to capture into / replay from; nil uses
@@ -76,6 +85,11 @@ type Response struct {
 	TraceHits int `json:"trace_hits"`
 	// Captures counts seeds that ran a fresh functional capture.
 	Captures int `json:"captures"`
+	// Cost is the summed per-stage time breakdown across seeds:
+	// where this call's wall time went (compile vs capture vs replay
+	// vs coupled run vs trace-store wait).  Always measured — the
+	// clock reads are trivial next to any simulation.
+	Cost telemetry.StageCost `json:"cost,omitempty"`
 }
 
 var (
@@ -122,9 +136,14 @@ func Simulate(req Request) (*Response, error) {
 		store = DefaultTraceStore()
 	}
 
+	ctx := req.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	resp := &Response{}
 	for _, seed := range req.Seeds {
-		rep, hit, err := simulateSeed(k, req.Variant, seed, scale, req.CPU, policy, store, limit)
+		rep, hit, cost, err := simulateSeed(ctx, k, req.Variant, seed, scale, req.CPU, policy, store, limit)
 		if err != nil {
 			return nil, err
 		}
@@ -137,51 +156,111 @@ func Simulate(req Request) (*Response, error) {
 		}
 		resp.Seeds = append(resp.Seeds, SeedReport{Seed: seed, Counters: rep.Counters, Stalls: rep.Stalls})
 		resp.Aggregate = resp.Aggregate.Add(rep)
+		resp.Cost.Add(cost)
 	}
 	return resp, nil
 }
 
 // simulateSeed runs one (kernel, variant, seed, scale) invocation under
-// the policy and reports whether an existing trace served it.
-func simulateSeed(k *kernels.Kernel, v kernels.Variant, seed int64, scale int,
-	cfg cpu.Config, policy TracePolicy, store *trace.Store, limit uint64) (cpu.Report, bool, error) {
+// the policy, reporting whether an existing trace served it and where
+// the time went.  The compile stage is isolated by resolving the
+// memoized compilation up front, so the capture/replay timings below it
+// measure only their own work.
+func simulateSeed(ctx context.Context, k *kernels.Kernel, v kernels.Variant, seed int64, scale int,
+	cfg cpu.Config, policy TracePolicy, store *trace.Store, limit uint64) (cpu.Report, bool, telemetry.StageCost, error) {
+	var cost telemetry.StageCost
+	seedStart := time.Now()
+	defer func() { cost.TotalNS = time.Since(seedStart).Nanoseconds() }()
+
+	// Resolve the memoized compilation first so the stage timings
+	// below measure only their own work.  The returned context is not
+	// adopted: later stages are siblings of the compile span, not
+	// children.
+	compileStart := time.Now()
+	_, csp := telemetry.StartSpan(ctx, telemetry.StageCompile)
+	csp.Attr("app", k.App)
+	csp.Attr("variant", v.String())
+	_, err := kernels.CompileCached(k, v)
+	csp.End()
+	cost.CompileNS = time.Since(compileStart).Nanoseconds()
+	if err != nil {
+		return cpu.Report{}, false, cost, err
+	}
+
 	if policy == TraceOff {
 		run, err := k.NewRun(seed, scale)
 		if err != nil {
-			return cpu.Report{}, false, err
+			return cpu.Report{}, false, cost, err
 		}
+		simStart := time.Now()
+		_, sp := telemetry.StartSpan(ctx, telemetry.StageSim)
+		sp.Attr("app", k.App)
+		sp.AttrInt("seed", seed)
 		rep, err := kernels.SimulateObserved(k, v, run, cfg, limit, kernels.Observer{})
-		return rep, false, err
+		sp.End()
+		cost.SimNS = time.Since(simStart).Nanoseconds()
+		return rep, false, cost, err
 	}
 
 	key, err := kernels.TraceKey(k, v, seed, scale, cfg.Predictor)
 	if err != nil {
-		return cpu.Report{}, false, err
+		return cpu.Report{}, false, cost, err
 	}
 	var t *trace.Trace
 	hit := false
 	switch policy {
 	case TraceCapture:
+		capStart := time.Now()
+		_, sp := telemetry.StartSpan(ctx, telemetry.StageCapture)
+		sp.Attr("app", k.App)
+		sp.AttrInt("seed", seed)
 		t, err = kernels.CaptureTrace(k, v, seed, scale, cfg.Predictor, limit)
+		sp.End()
+		cost.CaptureNS = time.Since(capStart).Nanoseconds()
 		if err != nil {
-			return cpu.Report{}, false, err
+			return cpu.Report{}, false, cost, err
 		}
 		store.Put(key, t)
 	case TraceReplay:
+		getStart := time.Now()
 		var ok bool
-		if t, ok = store.Get(key); !ok {
-			return cpu.Report{}, false, fmt.Errorf("core: no captured trace for %s/%s seed %d scale %d (policy replay)",
+		t, ok = store.Get(key)
+		cost.CacheNS += time.Since(getStart).Nanoseconds()
+		if !ok {
+			return cpu.Report{}, false, cost, fmt.Errorf("core: no captured trace for %s/%s seed %d scale %d (policy replay)",
 				k.App, v, seed, scale)
 		}
 		hit = true
 	default: // TraceAuto
+		// The store call covers both the singleflight wait (a
+		// concurrent caller is capturing the same trace) and, on a
+		// cold key, the capture itself; the closure isolates the
+		// capture portion so the remainder attributes to the store.
+		getStart := time.Now()
+		var captureNS int64
 		t, hit, err = store.GetOrCapture(key, func() (*trace.Trace, error) {
-			return kernels.CaptureTrace(k, v, seed, scale, cfg.Predictor, limit)
+			capStart := time.Now()
+			_, sp := telemetry.StartSpan(ctx, telemetry.StageCapture)
+			sp.Attr("app", k.App)
+			sp.AttrInt("seed", seed)
+			tr, cerr := kernels.CaptureTrace(k, v, seed, scale, cfg.Predictor, limit)
+			sp.End()
+			captureNS = time.Since(capStart).Nanoseconds()
+			return tr, cerr
 		})
+		cost.CaptureNS += captureNS
+		cost.CacheNS += time.Since(getStart).Nanoseconds() - captureNS
 		if err != nil {
-			return cpu.Report{}, false, err
+			return cpu.Report{}, false, cost, err
 		}
 	}
+	replayStart := time.Now()
+	_, sp := telemetry.StartSpan(ctx, telemetry.StageReplay)
+	sp.Attr("app", k.App)
+	sp.AttrInt("seed", seed)
+	sp.AttrBool("trace_hit", hit)
 	rep, err := kernels.ReplayTrace(k, v, t, cfg)
-	return rep, hit, err
+	sp.End()
+	cost.ReplayNS = time.Since(replayStart).Nanoseconds()
+	return rep, hit, cost, err
 }

@@ -8,6 +8,7 @@ import (
 	"bioperf5/internal/cpu"
 	"bioperf5/internal/kernels"
 	"bioperf5/internal/sched"
+	"bioperf5/internal/telemetry"
 )
 
 // sharedEngine is the process-wide default scheduler used when a
@@ -39,6 +40,11 @@ func (c Config) engine() *sched.Engine {
 type pending struct {
 	seeds []int64
 	futs  []*sched.Future
+	// shared flags the seeds whose submission coalesced onto an
+	// already in-flight or memoized computation; their futures carry
+	// the original computation's cost, which must not be re-attributed
+	// to this cell.
+	shared []bool
 }
 
 // submitCell fans the cell's seeds out to the scheduler under the
@@ -52,14 +58,16 @@ func (c Config) submitCell(k *kernels.Kernel, s core.Setup) *pending {
 	}
 	cl := &pending{seeds: c.Seeds}
 	for _, seed := range c.Seeds {
-		cl.futs = append(cl.futs, eng.Submit(ctx, sched.Job{
+		f, hit := eng.SubmitTracked(ctx, sched.Job{
 			App:     k.App,
 			Variant: s.Variant,
 			CPU:     s.CPU,
 			Seed:    seed,
 			Scale:   c.Scale,
 			Trace:   c.Trace,
-		}))
+		})
+		cl.futs = append(cl.futs, f)
+		cl.shared = append(cl.shared, hit)
 	}
 	return cl
 }
@@ -90,6 +98,23 @@ func (cl *pending) counters() (cpu.Counters, error) {
 	return det.Aggregate.Counters, nil
 }
 
+// cost sums the per-seed stage breakdowns of a completed cell.  Call
+// it only after detail()/counters() has returned — it waits on every
+// future.  Coalesced seeds contribute nothing: their computation (and
+// its cost) belongs to the submission that enqueued it, so each unit
+// of work is attributed exactly once and a fully-memoized cell
+// reports a zero breakdown.
+func (cl *pending) cost() telemetry.StageCost {
+	var c telemetry.StageCost
+	for i, f := range cl.futs {
+		if i < len(cl.shared) && cl.shared[i] {
+			continue
+		}
+		c.Add(f.Cost())
+	}
+	return c
+}
+
 // CellOutcome is the result of running one (application, setup) cell
 // through the scheduler, packaged for an API consumer.
 type CellOutcome struct {
@@ -106,6 +131,10 @@ type CellOutcome struct {
 	// functional capture: trace replays, disk-cached results, or
 	// coalesced submissions.  Always false with tracing off.
 	TraceHit bool
+	// Cost is the summed per-stage time breakdown across the cell's
+	// seeds: where its wall time went (queue wait, compile, capture,
+	// replay, cache I/O).
+	Cost telemetry.StageCost
 }
 
 // CellStats runs one (application, setup) cell through the
@@ -144,7 +173,7 @@ func CellStats(cfg Config, app string, s core.Setup) (CellOutcome, error) {
 		futs = append(futs, f)
 		shared = append(shared, hit)
 	}
-	cl := &pending{seeds: cfg.Seeds, futs: futs}
+	cl := &pending{seeds: cfg.Seeds, futs: futs, shared: shared}
 	det, err := cl.detail()
 	if err != nil {
 		return out, err
@@ -160,5 +189,6 @@ func CellStats(cfg Config, app string, s core.Setup) (CellOutcome, error) {
 	}
 	out.Stats = packKernelStats(k, s, det)
 	out.Key = cellKey(jobs)
+	out.Cost = cl.cost()
 	return out, nil
 }

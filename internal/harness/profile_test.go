@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"bioperf5/internal/kernels"
+	"bioperf5/internal/sched"
+	"bioperf5/internal/telemetry"
+)
+
+// TestColdSweepProfile is the attribution acceptance gate: on a cold
+// engine (nothing cached, no traces), the manifest's per-point stage
+// breakdown must sum to the measured cell wall time within 5%, and the
+// aggregate must identify trace capture as the dominant stage — the
+// claim ROADMAP item 1 is predicated on.  The grid is one FXU/BTAC
+// configuration x both variants so every variant pays exactly one
+// capture and few replays; wider grids amortize the capture across
+// more replays, which is the trace subsystem working, not a profiling
+// error.
+func TestColdSweepProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// 8 workers for 6 cells: no worker starvation, so queue wait stays
+	// a minor stage and the attribution reflects simulation work.
+	// FXUs{2} makes the branchy grid point coincide with the POWER5
+	// baseline — it coalesces and reports zero cost, covering the
+	// shared-cell path.
+	eng := sched.New(sched.Options{Workers: 8})
+	defer eng.Close()
+	tr := telemetry.NewTracer(0, eng.Registry())
+
+	sp := SweepSpec{
+		FXUs:        []int{2},
+		BTACEntries: []int{0},
+		Variants:    []kernels.Variant{kernels.Branchy, kernels.Combination},
+		Apps:        []string{"Fasta", "Blast"},
+		Config: Config{
+			Scale:   2,
+			Seeds:   []int64{1},
+			Engine:  eng,
+			Context: telemetry.WithTracer(context.Background(), tr),
+		},
+	}
+	m, err := RunSweep(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Degraded != 0 {
+		t.Fatalf("degraded cells on a clean sweep: %d", m.Degraded)
+	}
+	p := m.Profile
+	if p == nil {
+		t.Fatal("manifest has no profile")
+	}
+	if len(p.Points) != len(m.Points) {
+		t.Fatalf("profile covers %d of %d points", len(p.Points), len(m.Points))
+	}
+
+	// Per-point: the component stages must account for the measured
+	// wall time (queue wait through journal append) within 5%.  A
+	// coalesced point did no work of its own and reports all zeros.
+	measured := 0
+	for i, pc := range p.Points {
+		if pc.Key != m.Points[i].Key {
+			t.Fatalf("profile point %d key %s != manifest %s", i, pc.Key, m.Points[i].Key)
+		}
+		c := pc.Cost
+		if c.IsZero() {
+			continue
+		}
+		measured++
+		sum := c.QueueNS + c.CompileNS + c.CaptureNS + c.ReplayNS + c.SimNS + c.CacheNS + c.JournalNS
+		if rel := math.Abs(float64(sum-c.TotalNS)) / float64(c.TotalNS); rel > 0.05 {
+			t.Errorf("point %d (%s/%s): stage sum %d vs total %d (%.1f%% off)",
+				i, m.Points[i].App, m.Points[i].Variant, sum, c.TotalNS, rel*100)
+		}
+	}
+	if measured < 2 {
+		t.Fatalf("only %d points carried a measured breakdown", measured)
+	}
+
+	// Aggregate: trace capture is the dominant cold-path stage.  The
+	// race detector inflates the replay loop's per-event overhead past
+	// capture's, so under -race the claim is relaxed to "simulation
+	// work dominates" — the attribution machinery is still fully
+	// exercised; the timing ratio is just not this binary's to judge.
+	if got := p.Dominant; raceEnabled {
+		if got != telemetry.StageCapture && got != telemetry.StageReplay {
+			t.Errorf("dominant cold-path stage under -race = %q, want capture or replay (aggregate %+v)",
+				got, p.Aggregate)
+		}
+	} else if got != telemetry.StageCapture {
+		t.Errorf("dominant cold-path stage = %q, want %q (aggregate %+v)",
+			got, telemetry.StageCapture, p.Aggregate)
+	}
+	if len(p.Stages) == 0 || p.Stages[0].NS < p.Stages[len(p.Stages)-1].NS {
+		t.Errorf("stage table not descending: %+v", p.Stages)
+	}
+	if tbl := m.ProfileTable(); tbl == nil || len(tbl.Rows) == 0 {
+		t.Error("ProfileTable empty on a profiled sweep")
+	}
+
+	// The spans the sweep recorded export as Perfetto-loadable
+	// trace-event JSON with the capture stage present.
+	names := map[string]int{}
+	for _, d := range tr.Spans() {
+		names[d.Name]++
+	}
+	for _, want := range []string{telemetry.StageExecute, telemetry.StageQueue,
+		telemetry.StageCapture, telemetry.StageReplay, telemetry.StageCompile} {
+		if names[want] == 0 {
+			t.Errorf("no %q span recorded (have %v)", want, names)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace-event export not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(tr.Spans()) {
+		t.Errorf("exported %d events for %d spans", len(doc.TraceEvents), len(tr.Spans()))
+	}
+}
+
+// TestWarmSweepProfileCheap re-runs the same sweep on the same engine:
+// every cell coalesces onto the memoized results, so the warm profile
+// must attribute no fresh simulation work — no captures, no replays.
+func TestWarmSweepProfileCheap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	eng := sched.New(sched.Options{Workers: 2})
+	defer eng.Close()
+	sp := SweepSpec{
+		FXUs:        []int{3},
+		BTACEntries: []int{0},
+		Variants:    []kernels.Variant{kernels.Branchy},
+		Apps:        []string{"Fasta"},
+		Config:      Config{Scale: 1, Seeds: []int64{1}, Engine: eng},
+	}
+	if _, err := RunSweep(sp); err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunSweep(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := m.Profile.Aggregate; a.CaptureNS != 0 || a.ReplayNS != 0 || a.SimNS != 0 {
+		t.Errorf("warm sweep attributed fresh simulation work: %+v", a)
+	}
+}

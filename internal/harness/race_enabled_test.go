@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation distorts the relative stage timings
+// the profile acceptance test asserts on.
+const raceEnabled = true

@@ -17,6 +17,7 @@ import (
 	"bioperf5/internal/cpu"
 	"bioperf5/internal/kernels"
 	"bioperf5/internal/sched"
+	"bioperf5/internal/telemetry"
 	"bioperf5/internal/workload"
 )
 
@@ -143,12 +144,38 @@ type SweepManifest struct {
 		Variants    []string `json:"variants"`
 		Apps        []string `json:"apps"`
 	} `json:"spec"`
-	Config    Config       `json:"config"`
-	Points    []SweepPoint `json:"points"`
-	Best      []SweepBest  `json:"best"`     // per app, paper order; degraded cells never win
-	Degraded  int          `json:"degraded"` // cells with Status != ok
-	Scheduler sched.Stats  `json:"scheduler"`
-	ElapsedMS int64        `json:"elapsed_ms"` // timing; excluded from determinism comparisons
+	Config    Config        `json:"config"`
+	Points    []SweepPoint  `json:"points"`
+	Best      []SweepBest   `json:"best"`     // per app, paper order; degraded cells never win
+	Degraded  int           `json:"degraded"` // cells with Status != ok
+	Scheduler sched.Stats   `json:"scheduler"`
+	Profile   *SweepProfile `json:"profile,omitempty"` // timing; excluded from determinism comparisons
+	ElapsedMS int64         `json:"elapsed_ms"`        // timing; excluded from determinism comparisons
+}
+
+// SweepProfile is the sweep's "where did the time go" attribution:
+// one stage breakdown per evaluated point plus the aggregate over the
+// whole run.  Like ElapsedMS it is measured wall time, so it lives
+// outside Points and is stripped by every determinism comparison
+// (manifests stay byte-identical across worker counts, trace policies
+// and cache states on everything that is science).
+type SweepProfile struct {
+	// Points carries one breakdown per manifest point, in manifest
+	// order (the Key matches the point's Key).
+	Points []PointCost `json:"points,omitempty"`
+	// Aggregate sums every point's breakdown.
+	Aggregate telemetry.StageCost `json:"aggregate"`
+	// Stages is the aggregate by stage, descending — the attribution
+	// table behind the sweep summary and `bioperf5 spans`.
+	Stages []telemetry.StageNS `json:"stages,omitempty"`
+	// Dominant names the stage with the most aggregate time.
+	Dominant string `json:"dominant,omitempty"`
+}
+
+// PointCost pairs one evaluated cell with its stage breakdown.
+type PointCost struct {
+	Key  string              `json:"key"`
+	Cost telemetry.StageCost `json:"cost"`
 }
 
 // DegradedPoints returns the cells that did not complete, in manifest
@@ -232,6 +259,14 @@ func RunSweep(sp SweepSpec) (*SweepManifest, error) {
 	}
 	start := time.Now()
 	cfg := sp.Config
+	// The whole-sweep root span: with a tracer in the context every
+	// cell's spans nest under it, so the exported trace renders the
+	// sweep as one tree.
+	sweepCtx, sweepSpan := telemetry.StartSpan(cfg.Context, telemetry.StageSweep)
+	if sweepSpan != nil {
+		cfg.Context = sweepCtx
+		defer sweepSpan.End()
+	}
 
 	m := &SweepManifest{Schema: SchemaVersion, Config: cfg}
 	m.Spec.FXUs = sp.FXUs
@@ -288,6 +323,7 @@ func RunSweep(sp SweepSpec) (*SweepManifest, error) {
 	// of aborting the sweep: the manifest reports exactly which cells
 	// are missing, and a re-run against the same cache retries only
 	// those.
+	profile := &SweepProfile{}
 	baseWork := make(map[string]cpu.Counters, len(sp.Apps))
 	baseErr := make(map[string]string, len(sp.Apps))
 	for _, app := range sp.Apps {
@@ -297,6 +333,9 @@ func RunSweep(sp SweepSpec) (*SweepManifest, error) {
 			continue
 		}
 		baseWork[app] = ctr
+		// Baseline cells are real work too; they count toward the
+		// aggregate attribution even though they are not grid points.
+		profile.Aggregate.Add(baselines[app].cost())
 	}
 	best := make(map[string]*SweepBest, len(sp.Apps))
 	for _, pp := range pendings {
@@ -321,6 +360,9 @@ func RunSweep(sp SweepSpec) (*SweepManifest, error) {
 		}
 		k, _ := kernels.ByApp(pp.point.App)
 		p.Status = StatusOK
+		cost := pp.cell.cost()
+		profile.Points = append(profile.Points, PointCost{Key: p.Key, Cost: cost})
+		profile.Aggregate.Add(cost)
 		p.Stats = packKernelStats(k, pp.setup, det)
 		base := baseWork[p.App]
 		p.NormIPC = normIPC(base, det.Aggregate.Counters)
@@ -341,9 +383,42 @@ func RunSweep(sp SweepSpec) (*SweepManifest, error) {
 			m.Best = append(m.Best, *b)
 		}
 	}
+	profile.Stages = profile.Aggregate.Stages()
+	profile.Dominant = profile.Aggregate.Dominant()
+	m.Profile = profile
 	m.Scheduler = cfg.engine().Stats()
 	m.ElapsedMS = time.Since(start).Milliseconds()
 	return m, nil
+}
+
+// ProfileTable renders the aggregate stage attribution: where the
+// sweep's simulation time went, descending, with each stage's share.
+// Nil when the manifest predates profiles or recorded no time.
+func (m *SweepManifest) ProfileTable() *Table {
+	if m.Profile == nil || m.Profile.Aggregate.IsZero() {
+		return nil
+	}
+	t := &Table{
+		ID:    "sweep-profile",
+		Title: "Sweep stage profile: where the simulation time went",
+		Note: fmt.Sprintf("summed across %d points + baselines; dominant stage: %s",
+			len(m.Profile.Points), m.Profile.Dominant),
+		Columns: []string{"stage", "time", "share"},
+	}
+	var sum int64
+	for _, s := range m.Profile.Stages {
+		sum += s.NS
+	}
+	for _, s := range m.Profile.Stages {
+		if s.NS == 0 {
+			continue
+		}
+		share := float64(s.NS) / float64(sum) * 100
+		t.Rows = append(t.Rows, []string{s.Name,
+			time.Duration(s.NS).Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1f%%", share)})
+	}
+	return t
 }
 
 // Summary renders the best-configuration-per-application table plus

@@ -34,6 +34,7 @@ func manifestJSON(t *testing.T, m *SweepManifest) []byte {
 	clone := *m
 	clone.ElapsedMS = 0
 	clone.Scheduler.Workers = 0
+	clone.Profile = nil
 	b, err := json.MarshalIndent(&clone, "", "  ")
 	if err != nil {
 		t.Fatal(err)

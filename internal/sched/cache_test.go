@@ -21,9 +21,9 @@ func wantReport() cpu.Report {
 func diskEngine(t *testing.T, dir string, compute func(Job) (cpu.Report, error)) *Engine {
 	t.Helper()
 	e := New(Options{Workers: 1, CacheDir: dir})
-	e.compute = func(j Job) (cpu.Report, bool, error) {
+	e.compute = func(_ context.Context, j Job) (JobResult, error) {
 		rep, err := compute(j)
-		return rep, false, err
+		return JobResult{Report: rep}, err
 	}
 	t.Cleanup(e.Close)
 	return e
@@ -181,7 +181,7 @@ func TestDiskCacheKeyMismatchRejected(t *testing.T) {
 func TestDiskCacheInjectedTornWriteHealed(t *testing.T) {
 	dir := t.TempDir()
 	e1 := New(Options{Workers: 1, CacheDir: dir, Injector: &fault.Plan{CorruptRate: 1}})
-	e1.compute = func(Job) (cpu.Report, bool, error) { return wantReport(), false, nil }
+	e1.compute = func(context.Context, Job) (JobResult, error) { return JobResult{Report: wantReport()}, nil }
 	t.Cleanup(e1.Close)
 	if _, err := e1.Run(context.Background(), baseJob()); err != nil {
 		t.Fatal(err)

@@ -38,6 +38,7 @@ func canonical(t *testing.T, m *harness.SweepManifest) []byte {
 	clone := *m
 	clone.ElapsedMS = 0
 	clone.Scheduler = sched.Stats{}
+	clone.Profile = nil
 	b, err := json.MarshalIndent(&clone, "", "  ")
 	if err != nil {
 		t.Fatal(err)

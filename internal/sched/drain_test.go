@@ -17,8 +17,8 @@ func TestDrainGoroutineLeak(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	e := New(Options{Workers: 8})
-	e.compute = func(j Job) (cpu.Report, bool, error) {
-		return cpu.Report{Counters: cpu.Counters{Cycles: 2, Instructions: 1}}, false, nil
+	e.compute = func(context.Context, Job) (JobResult, error) {
+		return JobResult{Report: cpu.Report{Counters: cpu.Counters{Cycles: 2, Instructions: 1}}}, nil
 	}
 	for seed := int64(0); seed < 32; seed++ {
 		j := Job{App: "Fasta", CPU: cpu.POWER5Baseline(), Seed: seed, Scale: 1}
@@ -49,7 +49,7 @@ func TestDrainGoroutineLeak(t *testing.T) {
 // instead of deadlocking on a closed queue.
 func TestDrainIdempotent(t *testing.T) {
 	e := New(Options{Workers: 2})
-	e.compute = func(j Job) (cpu.Report, bool, error) { return cpu.Report{}, false, nil }
+	e.compute = func(context.Context, Job) (JobResult, error) { return JobResult{}, nil }
 	if err := e.Drain(context.Background()); err != nil {
 		t.Fatalf("first Drain: %v", err)
 	}
@@ -70,10 +70,10 @@ func TestDrainHonoursContext(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{}, 1)
 	e := New(Options{Workers: 1})
-	e.compute = func(j Job) (cpu.Report, bool, error) {
+	e.compute = func(context.Context, Job) (JobResult, error) {
 		started <- struct{}{}
 		<-release
-		return cpu.Report{}, false, nil
+		return JobResult{}, nil
 	}
 	fut := e.Submit(context.Background(), Job{App: "Fasta", Seed: 1})
 	<-started

@@ -101,10 +101,11 @@ type Engine struct {
 	disk   *diskStore
 	traces *trace.Store
 
-	// compute executes one job, additionally reporting whether an
-	// existing trace (or cached result) served it without a fresh
-	// functional capture; tests substitute a stub.
-	compute func(Job) (cpu.Report, bool, error)
+	// compute executes one job under the task's context (which carries
+	// the caller's tracer), reporting the result, whether an existing
+	// trace or cached result served it, and the per-stage cost
+	// breakdown; tests substitute a stub.
+	compute func(context.Context, Job) (JobResult, error)
 
 	queue chan *task
 	wg    sync.WaitGroup
@@ -136,8 +137,7 @@ type task struct {
 // Future is the pending result of a submitted job.
 type Future struct {
 	done chan struct{}
-	rep  cpu.Report
-	hit  bool
+	res  JobResult
 	err  error
 }
 
@@ -145,7 +145,7 @@ type Future struct {
 // more than once is allowed and returns the same values.
 func (f *Future) Wait() (cpu.Report, error) {
 	<-f.done
-	return f.rep, f.err
+	return f.res.Report, f.err
 }
 
 // TraceHit blocks until the job completes and reports whether it was
@@ -154,17 +154,26 @@ func (f *Future) Wait() (cpu.Report, error) {
 // computation.
 func (f *Future) TraceHit() bool {
 	<-f.done
-	return f.hit
+	return f.res.TraceHit
 }
 
-func (f *Future) complete(rep cpu.Report, hit bool, err error) {
-	f.rep, f.hit, f.err = rep, hit, err
+// Cost blocks until the job completes and returns its per-stage time
+// breakdown (queue wait, compile, capture, replay, cache I/O,
+// journal).  A coalesced submission reports the cost of the
+// computation it joined.
+func (f *Future) Cost() telemetry.StageCost {
+	<-f.done
+	return f.res.Cost
+}
+
+func (f *Future) complete(res JobResult, err error) {
+	f.res, f.err = res, err
 	close(f.done)
 }
 
-func resolved(rep cpu.Report, err error) *Future {
+func resolved(err error) *Future {
 	f := &Future{done: make(chan struct{})}
-	f.complete(rep, false, err)
+	f.complete(JobResult{}, err)
 	return f
 }
 
@@ -210,7 +219,7 @@ func New(o Options) *Engine {
 		}
 		e.traces = trace.NewStore(topts)
 	}
-	e.compute = func(j Job) (cpu.Report, bool, error) { return j.run(e.traces) }
+	e.compute = func(ctx context.Context, j Job) (JobResult, error) { return j.run(ctx, e.traces) }
 	if !o.DisableCache {
 		e.inflight = make(map[string]*Future)
 	}
@@ -294,7 +303,7 @@ func (e *Engine) SubmitTracked(ctx context.Context, j Job) (*Future, bool) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return resolved(cpu.Report{}, fmt.Errorf("sched: engine closed")), false
+		return resolved(fmt.Errorf("sched: engine closed")), false
 	}
 	if e.inflight != nil {
 		if f, ok := e.inflight[hash]; ok {
@@ -323,7 +332,7 @@ func (e *Engine) SubmitTracked(ctx context.Context, j Job) (*Future, bool) {
 		}
 		e.mu.Unlock()
 		e.mFailed.Add(1)
-		f.complete(cpu.Report{}, false, fmt.Errorf("sched: job %s/%s seed %d: %w",
+		f.complete(JobResult{}, fmt.Errorf("sched: job %s/%s seed %d: %w",
 			j.App, j.Variant, j.Seed, ctx.Err()))
 		return f, false
 	}
@@ -341,8 +350,21 @@ func (e *Engine) Run(ctx context.Context, j Job) (cpu.Report, error) {
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for t := range e.queue {
-		e.hQueueWait.Observe(uint64(time.Since(t.enqueued) / time.Microsecond))
-		rep, hit, err := e.execute(t)
+		wait := time.Since(t.enqueued)
+		e.hQueueWait.Observe(uint64(wait / time.Microsecond))
+		// The queue span is retroactive (its duration was only
+		// measurable at dequeue) and a sibling of the execute span:
+		// both attach under whatever the submitter's current span was.
+		telemetry.TracerFrom(t.ctx).Record(t.ctx, telemetry.StageQueue, t.enqueued, wait)
+		ctx, sp := telemetry.StartSpan(t.ctx, telemetry.StageExecute)
+		sp.Attr("app", t.job.App)
+		sp.Attr("variant", t.job.Variant.String())
+		sp.AttrInt("seed", t.job.Seed)
+		res, err := e.execute(ctx, t)
+		sp.AttrBool("trace_hit", res.TraceHit)
+		sp.End()
+		res.Cost.QueueNS = wait.Nanoseconds()
+		res.Cost.TotalNS = time.Since(t.enqueued).Nanoseconds()
 		if err != nil {
 			e.mFailed.Add(1)
 			// Don't memoize failures (a cancelled context would
@@ -353,7 +375,7 @@ func (e *Engine) worker() {
 			}
 			e.mu.Unlock()
 		}
-		t.fut.complete(rep, hit, err)
+		t.fut.complete(res, err)
 	}
 }
 
@@ -364,30 +386,39 @@ func (t *task) describe() string {
 
 // execute resolves one task: context check, disk cache probe, then up
 // to 1+Retries simulation attempts — each under panic recovery and the
-// cell-deadline watchdog — then disk write-back and journaling.
-func (e *Engine) execute(t *task) (cpu.Report, bool, error) {
+// cell-deadline watchdog — then disk write-back and journaling.  The
+// context carries the worker's execute span; the returned cost has its
+// cache/journal stages filled in (queue and total are the worker's).
+func (e *Engine) execute(ctx context.Context, t *task) (JobResult, error) {
 	if cerr := t.ctx.Err(); cerr != nil {
-		return cpu.Report{}, false, fmt.Errorf("sched: job %s: %w", t.describe(), cerr)
+		return JobResult{}, fmt.Errorf("sched: job %s: %w", t.describe(), cerr)
 	}
+	var cost telemetry.StageCost
 	if e.disk != nil {
-		if cached, ok, corrupt := e.disk.load(t.hash, t.job.Key()); ok {
+		probeStart := time.Now()
+		_, sp := telemetry.StartSpan(ctx, telemetry.StageCacheRead)
+		cached, ok, corrupt := e.disk.load(t.hash, t.job.Key())
+		sp.AttrBool("hit", ok)
+		sp.End()
+		cost.CacheNS += time.Since(probeStart).Nanoseconds()
+		if ok {
 			e.mDiskHits.Add(1)
-			e.journalFinish(t.hash, true)
+			cost.JournalNS += e.journalFinish(ctx, t.hash, true)
 			// A disk-cached result needed no fresh capture either.
-			return cached, true, nil
+			return JobResult{Report: cached, TraceHit: true, Cost: cost}, nil
 		} else if corrupt {
 			e.mCorrupt.Add(1)
 		}
 	}
 	var err error
 	for attempt := 0; ; attempt++ {
-		var rep cpu.Report
-		var hit bool
-		rep, hit, err = e.attempt(t, attempt)
+		var res JobResult
+		res, err = e.attempt(ctx, t, attempt)
 		if err == nil {
-			e.persist(t, rep, attempt)
-			e.journalFinish(t.hash, false)
-			return rep, hit, nil
+			res.Cost.Add(cost)
+			res.Cost.CacheNS += e.persist(ctx, t, res.Report, attempt)
+			res.Cost.JournalNS += e.journalFinish(ctx, t.hash, false)
+			return res, nil
 		}
 		if attempt >= e.opts.Retries || !retryable(err) || t.ctx.Err() != nil {
 			break
@@ -401,19 +432,21 @@ func (e *Engine) execute(t *task) (cpu.Report, bool, error) {
 		err = fmt.Errorf("sched: job %s: giving up after %d attempts: %w",
 			t.describe(), e.opts.Retries+1, err)
 	}
-	return cpu.Report{}, false, err
+	return JobResult{Cost: cost}, err
 }
 
 // attempt runs one simulation try in its own goroutine so the worker
 // can enforce the cell deadline and honour cancellation mid-run.  An
 // abandoned attempt keeps running in the background; its result lands
 // in a buffered channel and is discarded.
-func (e *Engine) attempt(t *task, attempt int) (cpu.Report, bool, error) {
+func (e *Engine) attempt(ctx context.Context, t *task, attempt int) (JobResult, error) {
 	type outcome struct {
-		rep cpu.Report
-		hit bool
+		res JobResult
 		err error
 	}
+	actx, sp := telemetry.StartSpan(ctx, telemetry.StageAttempt)
+	sp.AttrInt("attempt", int64(attempt))
+	defer sp.End()
 	done := make(chan outcome, 1)
 	go func() {
 		defer func() {
@@ -442,8 +475,8 @@ func (e *Engine) attempt(t *task, attempt int) (cpu.Report, bool, error) {
 			}
 		}
 		e.mComputed.Add(1)
-		rep, hit, err := e.compute(t.job)
-		done <- outcome{rep: rep, hit: hit, err: err}
+		res, err := e.compute(actx, t.job)
+		done <- outcome{res: res, err: err}
 	}()
 	var expired <-chan time.Time
 	if e.opts.CellTimeout > 0 {
@@ -453,13 +486,13 @@ func (e *Engine) attempt(t *task, attempt int) (cpu.Report, bool, error) {
 	}
 	select {
 	case o := <-done:
-		return o.rep, o.hit, o.err
+		return o.res, o.err
 	case <-expired:
 		e.mTimeouts.Add(1)
-		return cpu.Report{}, false, fmt.Errorf("sched: job %s: %w (budget %v)",
+		return JobResult{}, fmt.Errorf("sched: job %s: %w (budget %v)",
 			t.describe(), ErrCellTimeout, e.opts.CellTimeout)
 	case <-t.ctx.Done():
-		return cpu.Report{}, false, permanentError{fmt.Errorf("sched: job %s: %w",
+		return JobResult{}, permanentError{fmt.Errorf("sched: job %s: %w",
 			t.describe(), t.ctx.Err())}
 	}
 }
@@ -488,15 +521,19 @@ func (e *Engine) backoff(ctx context.Context, attempt int) bool {
 // persist writes one computed result to the disk store, applying an
 // injected corruption afterwards when the fault plan says so (the
 // in-process future still holds the sound result; the damage is only
-// visible to a later process, which must detect and heal it).
-func (e *Engine) persist(t *task, rep cpu.Report, attempt int) {
+// visible to a later process, which must detect and heal it).  It
+// returns the nanoseconds spent on the write-back.
+func (e *Engine) persist(ctx context.Context, t *task, rep cpu.Report, attempt int) int64 {
 	if e.disk == nil {
-		return
+		return 0
 	}
+	start := time.Now()
+	_, sp := telemetry.StartSpan(ctx, telemetry.StageCacheWr)
+	defer sp.End()
 	if err := e.disk.store(t.hash, t.job.Key(), rep); err != nil {
 		// A failed write is not a job failure: the result is sound,
 		// only the cross-process cache misses next time.
-		return
+		return time.Since(start).Nanoseconds()
 	}
 	e.mDiskWrites.Add(1)
 	if inj := e.opts.Injector; inj != nil {
@@ -505,24 +542,30 @@ func (e *Engine) persist(t *task, rep cpu.Report, attempt int) {
 			e.disk.mangle(t.hash)
 		}
 	}
+	return time.Since(start).Nanoseconds()
 }
 
-// journalFinish records a completed cell in the WAL.  A disk hit whose
-// hash was journaled by an earlier process counts as a resumed cell.
-func (e *Engine) journalFinish(hash string, fromDisk bool) {
+// journalFinish records a completed cell in the WAL, returning the
+// nanoseconds the fsync'd append took.  A disk hit whose hash was
+// journaled by an earlier process counts as a resumed cell.
+func (e *Engine) journalFinish(ctx context.Context, hash string, fromDisk bool) int64 {
 	j := e.opts.Journal
 	if j == nil {
-		return
+		return 0
 	}
+	start := time.Now()
+	_, sp := telemetry.StartSpan(ctx, telemetry.StageJournal)
+	defer sp.End()
 	if j.Done(hash) {
 		if fromDisk {
 			e.mResumed.Add(1)
 		}
-		return
+		return time.Since(start).Nanoseconds()
 	}
 	if err := j.Record(hash); err == nil {
 		e.mJournal.Add(1)
 	}
+	return time.Since(start).Nanoseconds()
 }
 
 // Stats is a point-in-time view of the engine's counters.

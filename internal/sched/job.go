@@ -13,6 +13,7 @@
 package sched
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -21,6 +22,7 @@ import (
 	"bioperf5/internal/core"
 	"bioperf5/internal/cpu"
 	"bioperf5/internal/kernels"
+	"bioperf5/internal/telemetry"
 	"bioperf5/internal/trace"
 )
 
@@ -89,14 +91,24 @@ func (j Job) Hash() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// JobResult is the outcome of executing one job: the report, whether
+// an existing trace (or cached result) served it without a fresh
+// functional capture, and the per-stage time breakdown.
+type JobResult struct {
+	Report   cpu.Report
+	TraceHit bool
+	Cost     telemetry.StageCost
+}
+
 // run executes the job through core.Simulate under the job's trace
-// policy, reporting whether an existing trace served it.  It is the
-// default compute function of an Engine (tests substitute a stub).
-func (j Job) run(traces *trace.Store) (cpu.Report, bool, error) {
+// policy.  The context carries the caller's tracer so the simulation
+// stages span under the worker's execute span.  It is the default
+// compute function of an Engine (tests substitute a stub).
+func (j Job) run(ctx context.Context, traces *trace.Store) (JobResult, error) {
 	if _, err := kernels.ByApp(j.App); err != nil {
 		// A job naming an unknown application can never succeed; mark
 		// it permanent so the retry loop does not burn its budget on it.
-		return cpu.Report{}, false, permanentError{err}
+		return JobResult{}, permanentError{err}
 	}
 	resp, err := core.Simulate(core.Request{
 		App:     j.App,
@@ -104,11 +116,12 @@ func (j Job) run(traces *trace.Store) (cpu.Report, bool, error) {
 		Seeds:   []int64{j.Seed},
 		Scale:   j.Scale,
 		CPU:     j.CPU,
+		Context: ctx,
 		Trace:   j.Trace,
 		Traces:  traces,
 	})
 	if err != nil {
-		return cpu.Report{}, false, err
+		return JobResult{}, err
 	}
-	return resp.Aggregate, resp.TraceHits > 0, nil
+	return JobResult{Report: resp.Aggregate, TraceHit: resp.TraceHits > 0, Cost: resp.Cost}, nil
 }

@@ -58,9 +58,9 @@ func TestJobHashCanonical(t *testing.T) {
 func stubEngine(t *testing.T, o Options, compute func(Job) (cpu.Report, error)) *Engine {
 	t.Helper()
 	e := New(o)
-	e.compute = func(j Job) (cpu.Report, bool, error) {
+	e.compute = func(_ context.Context, j Job) (JobResult, error) {
 		rep, err := compute(j)
-		return rep, false, err
+		return JobResult{Report: rep}, err
 	}
 	t.Cleanup(e.Close)
 	return e
@@ -212,10 +212,11 @@ func TestEngineRealCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := j.run(nil)
+	wantRes, err := j.run(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	want := wantRes.Report
 	if got != want {
 		t.Errorf("scheduled cell = %+v, serial cell = %+v", got, want)
 	}

@@ -12,6 +12,7 @@ import (
 	"bioperf5/internal/core"
 	"bioperf5/internal/harness"
 	"bioperf5/internal/kernels"
+	"bioperf5/internal/telemetry"
 )
 
 // Request-size guardrails.  They bound resource consumption per
@@ -57,7 +58,12 @@ type CellResponse struct {
 	Key         string              `json:"key"`
 	Coalesced   int                 `json:"coalesced"`
 	TraceHit    bool                `json:"trace_hit"`
-	Stats       harness.KernelStats `json:"stats"`
+	// Cost is the cell's per-stage wall-time breakdown (queue wait,
+	// compile, capture, replay, cache I/O).  Coalesced seeds contribute
+	// nothing — their work is charged to the submission that enqueued it
+	// — so a fully memoized cell reports an all-zero (omitted) cost.
+	Cost  telemetry.StageCost `json:"cost"`
+	Stats harness.KernelStats `json:"stats"`
 }
 
 // cellSpec is a validated, canonicalized cell: the exact coordinates
@@ -185,6 +191,7 @@ func (s *Server) runCell(cfg harness.Config, sp cellSpec) (*CellResponse, error)
 		Key:         out.Key,
 		Coalesced:   out.Coalesced,
 		TraceHit:    out.TraceHit,
+		Cost:        out.Cost,
 		Stats:       out.Stats,
 	}, nil
 }
@@ -208,7 +215,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	if !s.acquire(1) {
+	if !s.admit(ctx, 1) {
 		s.saturated(w)
 		return
 	}
@@ -272,7 +279,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	if !s.acquire(len(specs)) {
+	if !s.admit(ctx, len(specs)) {
 		s.saturated(w)
 		return
 	}

@@ -13,10 +13,11 @@ import (
 // exposition format (version 0.0.4).  Metric families are emitted in
 // sorted name order so scrapes diff cleanly; dot-separated registry
 // names become underscore-separated Prometheus names ("sched.jobs
-// .computed" -> "sched_jobs_computed").  Histograms are translated
-// from the registry's per-bucket counts to Prometheus' cumulative
-// _bucket/_sum/_count convention; labeled counters become one series
-// per label value.
+// .computed" -> "sched_jobs_computed") with a # HELP line carrying the
+// original dotted name, so a dashboard author can find the metric in
+// the registry.  Histograms are translated from the registry's
+// per-bucket counts to Prometheus' cumulative _bucket/_sum/_count
+// convention; labeled counters become one series per label value.
 func writePrometheus(w io.Writer, snap telemetry.Snapshot) {
 	names := make([]string, 0, len(snap.Counters))
 	for name := range snap.Counters {
@@ -25,7 +26,8 @@ func writePrometheus(w io.Writer, snap telemetry.Snapshot) {
 	sort.Strings(names)
 	for _, name := range names {
 		n := promName(name)
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, snap.Counters[name])
+		promHeader(w, n, name, "counter")
+		fmt.Fprintf(w, "%s %d\n", n, snap.Counters[name])
 	}
 
 	names = names[:0]
@@ -35,7 +37,8 @@ func writePrometheus(w io.Writer, snap telemetry.Snapshot) {
 	sort.Strings(names)
 	for _, name := range names {
 		n := promName(name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", n, n, snap.Gauges[name])
+		promHeader(w, n, name, "gauge")
+		fmt.Fprintf(w, "%s %v\n", n, snap.Gauges[name])
 	}
 
 	names = names[:0]
@@ -46,7 +49,7 @@ func writePrometheus(w io.Writer, snap telemetry.Snapshot) {
 	for _, name := range names {
 		h := snap.Histograms[name]
 		n := promName(name)
-		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		promHeader(w, n, name, "histogram")
 		var cum uint64
 		for _, b := range h.Buckets {
 			cum += b.Count
@@ -64,11 +67,19 @@ func writePrometheus(w io.Writer, snap telemetry.Snapshot) {
 	sort.Strings(names)
 	for _, name := range names {
 		n := promName(name)
-		fmt.Fprintf(w, "# TYPE %s counter\n", n)
+		promHeader(w, n, name, "counter")
 		for _, lc := range snap.Labeled[name] {
-			fmt.Fprintf(w, "%s{label=%q} %d\n", n, promLabel(lc.Label), lc.Count)
+			fmt.Fprintf(w, "%s{label=\"%s\"} %d\n", n, promLabel(lc.Label), lc.Count)
 		}
 	}
+}
+
+// promHeader writes the # HELP and # TYPE comment pair that opens a
+// metric family.  The help text is the registry's dotted metric name —
+// the stable identifier to grep for in this codebase.
+func promHeader(w io.Writer, prom, registry, kind string) {
+	fmt.Fprintf(w, "# HELP %s Registry metric %s.\n", prom, promHelp(registry))
+	fmt.Fprintf(w, "# TYPE %s %s\n", prom, kind)
 }
 
 // promName maps a registry metric name onto the Prometheus grammar:
@@ -88,10 +99,34 @@ func promName(name string) string {
 	return b.String()
 }
 
-// promLabel escapes a label value per the exposition format (the %q
-// verb already escapes backslashes and quotes; newlines become \n
-// through the same path, so this is just a normalization pass for
-// non-printable input).
+// promLabel escapes a label value per the exposition format: inside
+// the double quotes of a label, backslash, the double quote itself,
+// and line feeds must be escaped — and only those; every other byte is
+// passed through raw.  %q is NOT equivalent: it escapes Go syntax
+// (tabs, non-ASCII) that the exposition format wants verbatim, which
+// corrupts label values containing, e.g., kernel names with UTF-8.
 func promLabel(v string) string {
-	return strings.ToValidUTF8(v, "_")
+	v = strings.ToValidUTF8(v, "_")
+	var b strings.Builder
+	b.Grow(len(v))
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promHelp escapes help text: the exposition format requires \\ and
+// \n escapes there (quotes are fine raw — help text is not quoted).
+func promHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
 }

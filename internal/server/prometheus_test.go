@@ -25,24 +25,102 @@ func TestWritePrometheusGolden(t *testing.T) {
 	writePrometheus(&b, reg.Snapshot(0))
 	got := b.String()
 	want := strings.Join([]string{
+		"# HELP sched_jobs_computed Registry metric sched.jobs.computed.",
 		"# TYPE sched_jobs_computed counter",
 		"sched_jobs_computed 7",
+		"# HELP server_requests Registry metric server.requests.",
 		"# TYPE server_requests counter",
 		"server_requests 3",
+		"# HELP server_cells_inflight Registry metric server.cells.inflight.",
 		"# TYPE server_cells_inflight gauge",
 		"server_cells_inflight 2",
+		"# HELP server_request_latency_us Registry metric server.request.latency_us.",
 		"# TYPE server_request_latency_us histogram",
 		`server_request_latency_us_bucket{le="10"} 2`,
 		`server_request_latency_us_bucket{le="100"} 3`,
 		`server_request_latency_us_bucket{le="+Inf"} 4`,
 		"server_request_latency_us_sum 5060",
 		"server_request_latency_us_count 4",
+		"# HELP profile_calls Registry metric profile.calls.",
 		"# TYPE profile_calls counter",
 		`profile_calls{label="dp_loop"} 11`,
 		"",
 	}, "\n")
 	if got != want {
 		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusHistogramEdges covers the degenerate histogram
+// shapes: a registered histogram nobody observed must still expose a
+// complete (all-zero) family, and observations landing entirely above
+// the last bound must appear only in the +Inf bucket — with _count and
+// _sum still accounting for them.
+func TestWritePrometheusHistogramEdges(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		reg := telemetry.NewRegistry()
+		reg.Histogram("idle.us", []uint64{10, 100})
+		var b strings.Builder
+		writePrometheus(&b, reg.Snapshot(0))
+		want := strings.Join([]string{
+			"# HELP idle_us Registry metric idle.us.",
+			"# TYPE idle_us histogram",
+			`idle_us_bucket{le="+Inf"} 0`,
+			"idle_us_sum 0",
+			"idle_us_count 0",
+			"",
+		}, "\n")
+		if got := b.String(); got != want {
+			t.Errorf("empty histogram exposition:\ngot:\n%s\nwant:\n%s", got, want)
+		}
+	})
+	t.Run("overflow-only", func(t *testing.T) {
+		reg := telemetry.NewRegistry()
+		h := reg.Histogram("spike.us", []uint64{10, 100})
+		h.Observe(1_000)
+		h.Observe(2_000)
+		var b strings.Builder
+		writePrometheus(&b, reg.Snapshot(0))
+		want := strings.Join([]string{
+			"# HELP spike_us Registry metric spike.us.",
+			"# TYPE spike_us histogram",
+			`spike_us_bucket{le="+Inf"} 2`,
+			"spike_us_sum 3000",
+			"spike_us_count 2",
+			"",
+		}, "\n")
+		if got := b.String(); got != want {
+			t.Errorf("overflow-only histogram exposition:\ngot:\n%s\nwant:\n%s", got, want)
+		}
+	})
+}
+
+// TestWritePrometheusLabelEscaping pins the exposition-format escape
+// rules for label values: backslash, double quote, and newline are
+// escaped; everything else (tabs, UTF-8) passes through raw — %q-style
+// Go escaping would corrupt both.
+func TestWritePrometheusLabelEscaping(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Labeled("profile.calls").Add("say \"hi\"", 1)
+	reg.Labeled("profile.calls").Add(`dir\file`, 2)
+	reg.Labeled("profile.calls").Add("two\nlines", 3)
+	reg.Labeled("profile.calls").Add("tab\tand-héllo", 4)
+
+	var b strings.Builder
+	writePrometheus(&b, reg.Snapshot(0))
+	got := b.String()
+	for _, want := range []string{
+		`profile_calls{label="say \"hi\""} 1`,
+		`profile_calls{label="dir\\file"} 2`,
+		`profile_calls{label="two\nlines"} 3`,
+		"profile_calls{label=\"tab\tand-héllo\"} 4",
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("missing series %q in:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "\n\n") != 0 {
+		t.Errorf("blank lines in exposition:\n%s", got)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -65,6 +66,17 @@ type Options struct {
 	// distinct functional execution once, replay it for every timing
 	// variation).  Responses are bit-identical under every policy.
 	DefaultTrace core.TracePolicy
+	// Tracer, when non-nil, records a hierarchical span per request —
+	// handler, admission, and every engine/simulation stage beneath it
+	// — exportable as JSONL or a Chrome trace-event file.  Nil (the
+	// default) keeps the request path allocation-free: the
+	// instrumentation's no-op form costs nothing measurable.
+	Tracer *telemetry.Tracer
+	// EnablePprof mounts the net/http/pprof handlers under
+	// /debug/pprof/ so the capture hot loop can be profiled live.
+	// Off by default: the endpoints expose stacks and heap contents,
+	// which is diagnostics, not API surface.
+	EnablePprof bool
 }
 
 // Server is the HTTP layer over one sched.Engine.  It implements
@@ -132,8 +144,23 @@ func New(o Options) *Server {
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("POST /v1/cells", s.handleCell)
 	s.mux.HandleFunc("POST /v1/cells:batch", s.handleBatch)
+	if o.EnablePprof {
+		// Registered explicitly: the server owns its mux, so the
+		// side-effect registrations on http.DefaultServeMux from
+		// importing net/http/pprof never reach the API surface unless
+		// asked for.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
+
+// Tracer returns the server's span tracer, or nil when spans are
+// disabled.
+func (s *Server) Tracer() *telemetry.Tracer { return s.opts.Tracer }
 
 // Registry returns the registry the server (and its engine) publish
 // into — the data behind /metrics.
@@ -157,6 +184,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		s.hLatency.Observe(uint64(time.Since(start) / time.Microsecond))
 	}()
+	if s.opts.Tracer != nil {
+		// Only when spans are on: the nil-Tracer path must not touch the
+		// request context at all, so the common case stays alloc-free.
+		ctx, sp := telemetry.StartSpan(
+			telemetry.WithTracer(r.Context(), s.opts.Tracer), telemetry.StageRequest)
+		sp.Attr("method", r.Method)
+		sp.Attr("path", r.URL.Path)
+		defer sp.End()
+		r = r.WithContext(ctx)
+	}
 	if s.draining.Load() {
 		switch r.URL.Path {
 		case "/healthz", "/readyz", "/metrics":
@@ -216,7 +253,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	// A whole experiment is admitted as one unit of work: its cells
 	// share the engine's worker pool with everything else anyway, and
 	// charging per-cell would let one fig6 request starve the API.
-	if !s.acquire(1) {
+	if !s.admit(ctx, 1) {
 		s.saturated(w)
 		return
 	}
@@ -230,6 +267,17 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	rep.WriteJSON(w)
+}
+
+// admit wraps acquire in a serve.admission span so saturation shows up
+// in a trace exactly where the 429 was decided.
+func (s *Server) admit(ctx context.Context, n int) bool {
+	_, sp := telemetry.StartSpan(ctx, telemetry.StageAdmission)
+	ok := s.acquire(n)
+	sp.AttrBool("admitted", ok)
+	sp.AttrInt("cells", int64(n))
+	sp.End()
+	return ok
 }
 
 // acquire takes n admission tokens without blocking; either all n are

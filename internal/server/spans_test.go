@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bioperf5/internal/sched"
+	"bioperf5/internal/telemetry"
+)
+
+// TestServerSpans wires a tracer into the server and asserts one
+// request yields the full span hierarchy: the handler root, the
+// admission decision beneath it, and the engine/simulation stages the
+// cell passed through — all parented (directly or transitively) under
+// the request span.
+func TestServerSpans(t *testing.T) {
+	tr := telemetry.NewTracer(0, nil)
+	s, _ := newTestServer(t, sched.Options{Workers: 2}, Options{Tracer: tr})
+	if w := postCell(s, `{"app":"fasta","seeds":[1]}`, ""); w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+
+	spans := tr.Spans()
+	byName := map[string][]telemetry.SpanData{}
+	byID := map[uint64]telemetry.SpanData{}
+	for _, d := range spans {
+		byName[d.Name] = append(byName[d.Name], d)
+		byID[d.ID] = d
+	}
+	for _, want := range []string{
+		telemetry.StageRequest, telemetry.StageAdmission,
+		telemetry.StageQueue, telemetry.StageExecute,
+	} {
+		if len(byName[want]) == 0 {
+			t.Errorf("no %q span (have %d spans)", want, len(spans))
+		}
+	}
+	if t.Failed() {
+		return
+	}
+	req := byName[telemetry.StageRequest][0]
+	if req.Parent != 0 {
+		t.Errorf("request span has parent %d, want root", req.Parent)
+	}
+	// Every span in the trace must chain back to the request root.
+	for _, d := range spans {
+		cur := d
+		for cur.Parent != 0 {
+			next, ok := byID[cur.Parent]
+			if !ok {
+				t.Fatalf("span %q (%d) has dangling parent %d", d.Name, d.ID, cur.Parent)
+			}
+			cur = next
+		}
+		if cur.ID != req.ID {
+			t.Errorf("span %q roots at %d, not the request span %d", d.Name, cur.ID, req.ID)
+		}
+	}
+	if byName[telemetry.StageAdmission][0].Parent != req.ID {
+		t.Error("admission span not a direct child of the request span")
+	}
+}
+
+// TestServerSpansCostInResponse asserts the per-cell cost breakdown
+// rides the API response: a cold cell reports a non-zero total whose
+// stages are the ones the engine actually ran.
+func TestServerSpansCostInResponse(t *testing.T) {
+	s, _ := newTestServer(t, sched.Options{Workers: 2}, Options{})
+	w := postCell(s, `{"app":"fasta","seeds":[1]}`, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	var resp CellResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cost.TotalNS <= 0 {
+		t.Fatalf("cold cell reported no cost: %+v", resp.Cost)
+	}
+	if resp.Cost.CaptureNS == 0 && resp.Cost.SimNS == 0 {
+		t.Errorf("cold cell attributed no simulation work: %+v", resp.Cost)
+	}
+
+	// The same cell again coalesces onto the memoized result: zero cost,
+	// attributed once, to the first request.
+	w = postCell(s, `{"app":"fasta","seeds":[1]}`, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("warm status = %d, body %s", w.Code, w.Body)
+	}
+	var warm CellResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cost.IsZero() {
+		t.Errorf("memoized cell re-attributed cost: %+v", warm.Cost)
+	}
+}
+
+// TestPprofGated asserts the pprof surface exists only when asked for:
+// diagnostics endpoints must not leak into the default API.
+func TestPprofGated(t *testing.T) {
+	off, _ := newTestServer(t, sched.Options{Workers: 1}, Options{})
+	if w := get(off, "/debug/pprof/"); w.Code != http.StatusNotFound {
+		t.Errorf("pprof reachable without EnablePprof: %d", w.Code)
+	}
+	on, _ := newTestServer(t, sched.Options{Workers: 1}, Options{EnablePprof: true})
+	w := get(on, "/debug/pprof/")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "goroutine") {
+		t.Errorf("pprof index: status %d, body %.80s", w.Code, w.Body)
+	}
+	if w := get(on, "/debug/pprof/cmdline"); w.Code != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d", w.Code)
+	}
+}
+
+// BenchmarkServeCellCached measures the steady-state request path — a
+// fully memoized cell — with spans disabled (the default Options).
+// This is the configuration the no-op instrumentation contract is
+// judged on: the tracing hooks threaded through the handler, engine,
+// and simulator must not add allocations here.
+func BenchmarkServeCellCached(b *testing.B) {
+	eng := sched.New(sched.Options{Workers: 2})
+	defer eng.Close()
+	s := New(Options{Engine: eng})
+	const body = `{"app":"fasta","seeds":[1]}`
+	warm := httptest.NewRequest("POST", "/v1/cells", strings.NewReader(body))
+	warmW := httptest.NewRecorder()
+	s.ServeHTTP(warmW, warm)
+	if warmW.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", warmW.Code, warmW.Body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/cells", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanHierarchy checks parent/child linkage through the context:
+// a child started under a parent's context records the parent's ID.
+func TestSpanHierarchy(t *testing.T) {
+	tr := NewTracer(0, nil)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx1, root := StartSpan(ctx, StageExecute)
+	root.Attr("app", "Fasta")
+	root.AttrInt("seed", 42)
+	root.AttrBool("cold", true)
+	_, child := StartSpan(ctx1, StageCapture)
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// finish order: child first
+	if spans[0].Name != StageCapture || spans[1].Name != StageExecute {
+		t.Fatalf("unexpected names: %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Errorf("child parent = %d, want root ID %d", spans[0].Parent, spans[1].ID)
+	}
+	if spans[1].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", spans[1].Parent)
+	}
+	if len(spans[1].Attrs) != 3 {
+		t.Fatalf("root attrs = %d, want 3", len(spans[1].Attrs))
+	}
+	if spans[1].Attrs[1].Int != 42 || spans[1].Attrs[1].Kind != AttrInt {
+		t.Errorf("seed attr = %+v", spans[1].Attrs[1])
+	}
+	if spans[0].DurNS < 0 || spans[1].DurNS < spans[0].DurNS {
+		t.Errorf("durations not nested: child %d, root %d", spans[0].DurNS, spans[1].DurNS)
+	}
+}
+
+// TestSpanDisabledAllocFree is the hot-path contract: with no tracer
+// in the context, StartSpan + attrs + End allocate nothing.  This is
+// what lets instrumentation live permanently on the serve cached path.
+func TestSpanDisabledAllocFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c2, sp := StartSpan(ctx, StageExecute)
+		sp.Attr("app", "Fasta")
+		sp.AttrInt("seed", 1)
+		sp.AttrBool("cold", false)
+		sp.End()
+		if tr := TracerFrom(c2); tr != nil {
+			t.Fatal("tracer appeared from nowhere")
+		}
+		var none *Tracer
+		none.Record(c2, StageQueue, time.Time{}, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled span path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestSpanConcurrent hammers one tracer from many goroutines; run
+// under -race this is the data-race gate for the span subsystem.
+func TestSpanConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(0, reg)
+	base := WithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, sp := StartSpan(base, StageExecute)
+				sp.AttrInt("goroutine", int64(g))
+				_, inner := StartSpan(ctx, StageReplay)
+				inner.End()
+				tr.Record(ctx, StageQueue, time.Now(), time.Microsecond)
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 8*200*3 {
+		t.Errorf("got %d spans, want %d", got, 8*200*3)
+	}
+	// IDs must be unique.
+	seen := make(map[uint64]bool)
+	for _, d := range tr.Spans() {
+		if seen[d.ID] {
+			t.Fatalf("duplicate span ID %d", d.ID)
+		}
+		seen[d.ID] = true
+	}
+	// The registry got a histogram per stage.
+	snap := reg.Snapshot(0)
+	for _, name := range []string{"span." + StageExecute + ".us", "span." + StageReplay + ".us", "span." + StageQueue + ".us"} {
+		if _, ok := snap.Histograms[name]; !ok {
+			t.Errorf("missing histogram %q", name)
+		}
+	}
+}
+
+// TestSpanCapacityBound: past the capacity the tracer drops and counts
+// instead of growing without bound.
+func TestSpanCapacityBound(t *testing.T) {
+	tr := NewTracer(4, nil)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, sp := StartSpan(ctx, StageQueue)
+		sp.End()
+	}
+	if tr.Len() != 4 {
+		t.Errorf("retained %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped %d, want 6", tr.Dropped())
+	}
+}
+
+// TestSpanJSONLRoundTrip: WriteJSONL output parses back via
+// ReadSpansJSONL with IDs, names, times and typed attrs intact.
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(0, nil)
+	ctx := WithTracer(context.Background(), tr)
+	c1, root := StartSpan(ctx, StageSweep)
+	_, child := StartSpan(c1, StageCapture)
+	child.Attr("app", `Fa"st\a`)
+	child.AttrInt("bytes", 1<<20)
+	child.AttrBool("hit", false)
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpansJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Spans()
+	if len(got) != len(want) {
+		t.Fatalf("round trip: %d spans, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.ID != w.ID || g.Parent != w.Parent || g.Name != w.Name ||
+			g.StartNS != w.StartNS || g.DurNS != w.DurNS {
+			t.Errorf("span %d: got %+v, want %+v", i, g, w)
+		}
+		if len(g.Attrs) != len(w.Attrs) {
+			t.Fatalf("span %d attrs: %d vs %d", i, len(g.Attrs), len(w.Attrs))
+		}
+		for j := range w.Attrs {
+			if g.Attrs[j] != w.Attrs[j] {
+				t.Errorf("span %d attr %d: got %+v, want %+v", i, j, g.Attrs[j], w.Attrs[j])
+			}
+		}
+	}
+
+	// Malformed input is rejected with a line number.
+	if _, err := ReadSpansJSONL(strings.NewReader("{\"id\":1}\n")); err == nil {
+		t.Error("nameless span accepted")
+	}
+}
+
+// TestChromeTraceExport checks the trace-event envelope Perfetto
+// expects: a traceEvents array of ph:"X" events with µs timestamps,
+// children placed on their root span's track.
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(0, nil)
+	ctx := WithTracer(context.Background(), tr)
+	c1, root := StartSpan(ctx, StageExecute)
+	_, child := StartSpan(c1, StageCapture)
+	child.Attr("app", "Blast")
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  uint64            `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid trace-event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	rootID := tr.Spans()[1].ID
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.PID != 1 {
+			t.Errorf("event %q pid = %d, want 1", ev.Name, ev.PID)
+		}
+		if ev.TID != rootID {
+			t.Errorf("event %q tid = %d, want root track %d", ev.Name, ev.TID, rootID)
+		}
+	}
+	if doc.TraceEvents[0].Args["app"] != "Blast" {
+		t.Errorf("child args = %v", doc.TraceEvents[0].Args)
+	}
+}
+
+// TestTracerRecord: retroactive spans land under the current parent
+// with the caller-supplied interval.
+func TestTracerRecord(t *testing.T) {
+	tr := NewTracer(0, nil)
+	ctx := WithTracer(context.Background(), tr)
+	c1, root := StartSpan(ctx, StageExecute)
+	start := time.Now().Add(-5 * time.Millisecond)
+	tr.Record(c1, StageQueue, start, 5*time.Millisecond)
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	q := spans[0]
+	if q.Name != StageQueue {
+		t.Fatalf("first span %q, want queue", q.Name)
+	}
+	if q.Parent != spans[1].ID {
+		t.Errorf("queue parent = %d, want %d", q.Parent, spans[1].ID)
+	}
+	if q.DurNS != (5 * time.Millisecond).Nanoseconds() {
+		t.Errorf("queue dur = %d", q.DurNS)
+	}
+}
+
+// TestStageCost covers Add accumulation, Dominant selection and the
+// descending Stages order the reports rely on.
+func TestStageCost(t *testing.T) {
+	var c StageCost
+	if !c.IsZero() || c.Dominant() != "" {
+		t.Fatalf("zero cost misbehaves: %+v", c)
+	}
+	c.Add(StageCost{CaptureNS: 100, ReplayNS: 40, TotalNS: 150})
+	c.Add(StageCost{CaptureNS: 50, QueueNS: 10, TotalNS: 70})
+	if c.CaptureNS != 150 || c.TotalNS != 220 {
+		t.Errorf("add: %+v", c)
+	}
+	if got := c.Dominant(); got != StageCapture {
+		t.Errorf("dominant = %q, want %q", got, StageCapture)
+	}
+	st := c.Stages()
+	if st[0].Name != StageCapture || st[1].Name != StageReplay || st[2].Name != StageQueue {
+		t.Errorf("stage order: %+v", st)
+	}
+	for i := 1; i < len(st); i++ {
+		if st[i].NS > st[i-1].NS {
+			t.Errorf("stages not descending at %d: %+v", i, st)
+		}
+	}
+}
+
+// BenchmarkSpanDisabled documents the cost of instrumented code with
+// tracing off — the number that must stay at ~0 allocs.
+func BenchmarkSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, StageExecute)
+		sp.AttrInt("seed", int64(i))
+		sp.End()
+	}
+}
+
+// BenchmarkSpanEnabled is the enabled-path counterpart for comparison.
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTracer(1<<20, nil)
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, StageExecute)
+		sp.AttrInt("seed", int64(i))
+		sp.End()
+	}
+	_ = fmt.Sprint(tr.Len())
+}

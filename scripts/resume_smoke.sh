@@ -25,6 +25,7 @@ import json, sys
 m = json.load(open(sys.argv[1]))
 m.pop("elapsed_ms", None)
 m.pop("scheduler", None)
+m.pop("profile", None)
 print(json.dumps(m, sort_keys=True, indent=1))
 PY
 }

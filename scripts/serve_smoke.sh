@@ -3,7 +3,11 @@
 # and shut it down with SIGTERM.  The gates: /readyz comes up, a single
 # cell and a streamed batch both succeed, the experiments endpoint is
 # byte-identical to `bioperf5 run -json`, /metrics exposes the server.*
-# family, and SIGTERM drains cleanly (exit 0, drain message on stderr).
+# family plus the span.<stage>.us histograms, the -pprof flag mounts
+# live profiling, and SIGTERM drains cleanly (exit 0, drain message on
+# stderr) while flushing the request span log.  A follow-up sweep with
+# -spans must emit a valid spans.jsonl + Perfetto-loadable trace.json
+# (validated with jq and round-tripped through `bioperf5 spans`).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,8 +24,9 @@ trap cleanup EXIT
 
 go build -o "$work/bioperf5" ./cmd/bioperf5
 
-echo "== start server"
+echo "== start server (pprof + request spans on)"
 "$work/bioperf5" serve -addr "127.0.0.1:$port" -cache-dir "$work/cache" \
+  -pprof -spans "$work/srv-spans" \
   2> "$work/serve.stderr" &
 pid=$!
 
@@ -75,18 +80,28 @@ if ! cmp -s "$work/fig3.http.json" "$work/fig3.cli.json"; then
   exit 1
 fi
 
-echo "== /metrics exposes server.* and sched.* families"
+echo "== /metrics exposes server.*, sched.* and span.* families"
 curl -fsS "$base/metrics" > "$work/metrics.txt"
 for want in \
+  "# HELP server_requests Registry metric server.requests." \
   "# TYPE server_requests counter" \
   "server_cells_admitted" \
   "server_request_latency_us_bucket" \
-  "sched_jobs_computed"; do
+  "sched_jobs_computed" \
+  "span_serve_request_us_count" \
+  "span_sched_execute_us_count"; do
   if ! grep -q "$want" "$work/metrics.txt"; then
     echo "FAIL: /metrics missing \"$want\"" >&2
     exit 1
   fi
 done
+
+echo "== pprof surface is mounted (and serves a real profile index)"
+curl -fsS "$base/debug/pprof/" > "$work/pprof-index.html"
+grep -q goroutine "$work/pprof-index.html"
+curl -fsS "$base/debug/pprof/cmdline" > /dev/null
+curl -fsS "$base/debug/pprof/heap?debug=1" > "$work/pprof-heap.txt"
+grep -q "heap profile" "$work/pprof-heap.txt"
 
 echo "== SIGTERM drains cleanly"
 kill -TERM "$pid"
@@ -104,4 +119,46 @@ if ! grep -q "drained cleanly" "$work/serve.stderr"; then
   exit 1
 fi
 
-echo "PASS: serve smoke — cell, batch, byte-identical experiments, metrics, clean drain"
+echo "== server flushed its request span log at shutdown"
+if ! grep -q "wrote .* spans to" "$work/serve.stderr"; then
+  echo "FAIL: no span-flush message on stderr" >&2
+  cat "$work/serve.stderr" >&2
+  exit 1
+fi
+jq -e -s 'length > 0 and (map(select(.name == "serve.request")) | length) >= 5
+          and all(.name != null and .dur_ns >= 0)' \
+  "$work/srv-spans/spans.jsonl" > /dev/null
+jq -e '.traceEvents | length > 0 and all(.ph == "X")' \
+  "$work/srv-spans/trace.json" > /dev/null
+
+echo "== sweep -spans emits a loadable span log + Perfetto trace"
+"$work/bioperf5" sweep -apps Fasta -fxus 2,3 -btac off -variants original \
+  -seeds 1 -workers 2 -spans "$work/sweep-spans" > "$work/sweep.out"
+if ! grep -q "dominant stage:" "$work/sweep.out"; then
+  echo "FAIL: sweep summary line has no dominant stage" >&2
+  cat "$work/sweep.out" >&2
+  exit 1
+fi
+# jq gate: every span line is named, durations are sane, the lifecycle
+# stages are present, and exactly one sweep root exists.
+jq -e -s '
+  length > 0
+  and all(.name != null and .dur_ns >= 0)
+  and ([.[] | select(.name == "sweep")] | length) == 1
+  and ([.[] | select(.name == "sched.execute")] | length) > 0
+  and ([.[] | select(.name == "trace.capture")] | length) > 0' \
+  "$work/sweep-spans/spans.jsonl" > /dev/null
+# The trace-event file is one JSON object Perfetto can load: complete
+# ("X") events with µs timestamps, one per span.
+spans_n=$(wc -l < "$work/sweep-spans/spans.jsonl")
+jq -e --argjson n "$spans_n" \
+  '.traceEvents | length == $n and all(.ph == "X" and .pid == 1)' \
+  "$work/sweep-spans/trace.json" > /dev/null
+# Go round trip: `bioperf5 spans` re-parses the JSONL through
+# telemetry.ReadSpansJSONL and re-exports the Chrome form.
+"$work/bioperf5" spans -chrome "$work/sweep-spans/trace2.json" \
+  "$work/sweep-spans/spans.jsonl" > "$work/spans.report"
+grep -q "trace.capture" "$work/spans.report"
+jq -e '.traceEvents | length > 0' "$work/sweep-spans/trace2.json" > /dev/null
+
+echo "PASS: serve smoke — cell, batch, byte-identical experiments, metrics, pprof, spans, clean drain"
