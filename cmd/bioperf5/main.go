@@ -7,11 +7,12 @@
 //	bioperf5 list
 //	bioperf5 run <experiment>|all [-scale N] [-seeds a,b,c] [-trace P] [-json]
 //	bioperf5 sweep [-fxus 2,3,4] [-btac off,8] [-variants v,...] [-apps a,...]
-//	               [-workers N] [-cache-dir DIR] [-trace P] [-grid] [-json]
-//	               [-spans DIR] [-cpuprofile FILE] [-memprofile FILE]
+//	               [-workers N|host1:port,host2:port] [-cache-dir DIR] [-trace P]
+//	               [-grid] [-json] [-spans DIR] [-cpuprofile FILE] [-memprofile FILE]
 //	bioperf5 serve [-addr HOST:PORT] [-workers N] [-cache-dir DIR] [-trace P]
-//	               [-max-inflight N] [-request-timeout DUR] [-drain-timeout DUR]
-//	               [-pprof] [-spans DIR]
+//	               [-cache-upstream URL] [-max-inflight N] [-request-timeout DUR]
+//	               [-drain-timeout DUR] [-pprof] [-spans DIR]
+//	bioperf5 version [-json]
 //	bioperf5 spans <spans.jsonl> [-json] [-chrome FILE]
 //	bioperf5 trace <Blast|Clustalw|Fasta|Hmmer> <variant> [-scale N] [-seed N]
 //	bioperf5 stats [application] [-scale N] [-seed N] [-json]
@@ -37,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"bioperf5/internal/cluster"
 	"bioperf5/internal/core"
 	"bioperf5/internal/cpu"
 	"bioperf5/internal/fault"
@@ -63,7 +65,11 @@ commands:
                            run on the parallel cache-aware fault-tolerant
                            scheduler
                            (-fxus 2,3,4; -btac off,8; -variants original,combination;
-                           -apps all; -scale N; -seeds a,b,c; -workers N;
+                           -apps all; -scale N; -seeds a,b,c;
+                           -workers N local pool size, or a comma-separated
+                           list of 'bioperf5 serve' URLs to shard the sweep
+                           across remote workers — the merged manifest is
+                           byte-identical to a single-node run;
                            -cache-dir DIR persists results across runs;
                            -retries N per-cell retry budget; -cell-timeout DUR
                            per-cell deadline; -resume DIR keeps cache + journal +
@@ -81,6 +87,8 @@ commands:
                            serves a paper experiment byte-identical to
                            'run <id> -json', plus /healthz /readyz /metrics
                            (-addr HOST:PORT; -workers N; -cache-dir DIR;
+                           -cache-upstream URL shares results and traces with
+                           a hub server via GET/PUT /v1/cache and /v1/traces;
                            -trace P default trace policy for cells without a
                            "trace" field; -retries N; -cell-timeout DUR;
                            -max-inflight N
@@ -104,6 +112,8 @@ commands:
   disasm <application> <variant>
                            show the compiled DP kernel for a predication variant
   variants                 list predication variants
+  version                  print the binary's build identity and wire schema
+                           (-json; GET /v1/version serves the same document)
 
 experiment ids accept short aliases: t1, t2, f1..f6.
 `)
@@ -139,6 +149,8 @@ func main() {
 		err = cmdDisasm(os.Args[2:])
 	case "variants":
 		err = cmdVariants()
+	case "version":
+		err = cmdVersion(os.Args[2:])
 	default:
 		usage()
 	}
@@ -261,9 +273,9 @@ func cmdSweep(args []string) error {
 	btacFlag := fs.String("btac", "off,8", "comma-separated BTAC entry counts ('off' = none)")
 	variantsFlag := fs.String("variants", "original,combination", "comma-separated predication variants")
 	appsFlag := fs.String("apps", "all", "comma-separated applications, or 'all'")
-	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	workersFlag := fs.String("workers", "", "local worker pool size (default GOMAXPROCS), or a comma-separated list of remote `bioperf5 serve` URLs to run the sweep distributed")
 	cacheDir := fs.String("cache-dir", "", "content-addressed on-disk result cache directory")
-	retries := fs.Int("retries", 2, "per-cell retry budget for transient failures")
+	retries := fs.Int("retries", 2, "per-cell retry budget for transient failures (with remote workers: the per-dispatch HTTP retry budget)")
 	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell simulation deadline, e.g. 30s (0 = none)")
 	resume := fs.String("resume", "", "sweep state directory (disk cache + completion journal + manifest); re-running against it resumes only unfinished cells")
 	grid := fs.Bool("grid", false, "print every grid point, not just the best per application")
@@ -281,26 +293,49 @@ func cmdSweep(args []string) error {
 	if *cellTimeout < 0 {
 		return fmt.Errorf("-cell-timeout: must be >= 0, got %v", *cellTimeout)
 	}
+	pool, hosts, err := parseWorkersFlag(*workersFlag)
+	if err != nil {
+		return err
+	}
+	if len(hosts) > 0 && *cacheDir != "" {
+		return fmt.Errorf("sweep: -cache-dir is local-engine state; with remote -workers run `serve -cache-dir` on a hub and point the workers at it with -cache-upstream")
+	}
 	dir := *cacheDir
 	var journal *sched.Journal
+	var cjournal *cluster.Journal
 	if *resume != "" {
 		if *cacheDir != "" {
 			return fmt.Errorf("-resume and -cache-dir are mutually exclusive: -resume DIR already keeps the result cache (plus journal.jsonl and manifest.json) under DIR")
 		}
-		dir = *resume
-		journal, err = sched.OpenJournal(filepath.Join(*resume, "journal.jsonl"))
-		if err != nil {
-			return fmt.Errorf("-resume: %w", err)
+		if len(hosts) > 0 {
+			// The coordinator has no local cache, so its journal carries
+			// full results; the manifest still lands at DIR/manifest.json.
+			cjournal, err = cluster.OpenJournal(filepath.Join(*resume, "journal.jsonl"))
+			if err != nil {
+				return fmt.Errorf("-resume: %w", err)
+			}
+			defer cjournal.Close()
+		} else {
+			dir = *resume
+			journal, err = sched.OpenJournal(filepath.Join(*resume, "journal.jsonl"))
+			if err != nil {
+				return fmt.Errorf("-resume: %w", err)
+			}
+			defer journal.Close()
 		}
-		defer journal.Close()
 	}
 	injector, err := fault.FromEnv()
 	if err != nil {
 		return err
 	}
 	if injector != nil {
-		fmt.Fprintf(os.Stderr, "bioperf5: fault injection enabled (%s=%s)\n",
-			fault.EnvVar, os.Getenv(fault.EnvVar))
+		if len(hosts) > 0 {
+			fmt.Fprintf(os.Stderr, "bioperf5: %s targets the local engine; ignored with remote -workers (set it on the workers instead)\n", fault.EnvVar)
+			injector = nil
+		} else {
+			fmt.Fprintf(os.Stderr, "bioperf5: fault injection enabled (%s=%s)\n",
+				fault.EnvVar, os.Getenv(fault.EnvVar))
+		}
 	}
 	fxus, err := parseIntList("fxus", *fxusFlag, false)
 	if err != nil {
@@ -325,27 +360,35 @@ func cmdSweep(args []string) error {
 			apps = append(apps, strings.TrimSpace(a))
 		}
 	}
-	eng := sched.New(sched.Options{
-		Workers:     *workers,
-		CacheDir:    dir,
-		Retries:     *retries,
-		CellTimeout: *cellTimeout,
-		Injector:    injector,
-		Journal:     journal,
-	})
-	defer eng.Drain(context.Background())
 	// SIGINT/SIGTERM cancel pending cells instead of killing the
 	// process: the sweep degrades, the journal and cache keep what
 	// finished, and -resume picks up the rest.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cfg.Engine = eng
 	cfg.Context = ctx
+	var reg *telemetry.Registry
+	if len(hosts) > 0 {
+		// Distributed mode: no local engine — the coordinator owns its
+		// own registry for the cluster.* counters and span histograms.
+		reg = telemetry.NewRegistry()
+	} else {
+		eng := sched.New(sched.Options{
+			Workers:     pool,
+			CacheDir:    dir,
+			Retries:     *retries,
+			CellTimeout: *cellTimeout,
+			Injector:    injector,
+			Journal:     journal,
+		})
+		defer eng.Drain(context.Background())
+		cfg.Engine = eng
+		reg = eng.Registry()
+	}
 	var tracer *telemetry.Tracer
 	if *spansDir != "" {
 		// The registry hookup puts span.<stage>.us histograms in the
 		// manifest's scheduler snapshot path for free.
-		tracer = telemetry.NewTracer(0, eng.Registry())
+		tracer = telemetry.NewTracer(0, reg)
 		cfg.Context = telemetry.WithTracer(ctx, tracer)
 	}
 	if *cpuprofile != "" {
@@ -362,13 +405,25 @@ func cmdSweep(args []string) error {
 			f.Close()
 		}()
 	}
-	m, err := harness.RunSweep(harness.SweepSpec{
+	spec := harness.SweepSpec{
 		FXUs:        fxus,
 		BTACEntries: btac,
 		Variants:    variants,
 		Apps:        apps,
 		Config:      cfg,
-	})
+	}
+	var m *harness.SweepManifest
+	if len(hosts) > 0 {
+		m, err = cluster.Run(cluster.Options{
+			Workers:  hosts,
+			Spec:     spec,
+			Retries:  *retries,
+			Journal:  cjournal,
+			Registry: reg,
+		})
+	} else {
+		m, err = harness.RunSweep(spec)
+	}
 	if err != nil {
 		return err
 	}
@@ -408,25 +463,72 @@ func cmdSweep(args []string) error {
 	if tbl := m.ProfileTable(); tbl != nil {
 		fmt.Println(tbl.Render())
 	}
-	st := m.Scheduler
-	pool := fmt.Sprintf("%d workers", st.Workers)
-	if st.Workers == 1 {
-		pool = "1 worker"
-	}
-	fmt.Printf("scheduler: %d jobs on %s, %d simulated, cache hit rate %.0f%% (%d in-memory, %d disk)\n",
-		st.Submitted, pool, st.Computed, 100*st.HitRate(), st.MemoryHits, st.DiskHits)
-	if st.DiskCorrupt > 0 {
-		fmt.Printf("scheduler: %d corrupted disk cache entries detected and recomputed\n", st.DiskCorrupt)
-	}
-	if st.Retries > 0 || st.Timeouts > 0 || st.Injected > 0 {
-		fmt.Printf("scheduler: %d retries, %d cell timeouts, %d injected faults\n",
-			st.Retries, st.Timeouts, st.Injected)
-	}
-	if st.Resumed > 0 {
-		fmt.Printf("scheduler: resumed — %d completed cells skipped via the journal and cache\n", st.Resumed)
+	if cs := m.Cluster; cs != nil {
+		printClusterSummary(cs)
+	} else {
+		st := m.Scheduler
+		poolDesc := fmt.Sprintf("%d workers", st.Workers)
+		if st.Workers == 1 {
+			poolDesc = "1 worker"
+		}
+		fmt.Printf("scheduler: %d jobs on %s, %d simulated, cache hit rate %.0f%% (%d in-memory, %d disk)\n",
+			st.Submitted, poolDesc, st.Computed, 100*st.HitRate(), st.MemoryHits, st.DiskHits)
+		if st.DiskCorrupt > 0 {
+			fmt.Printf("scheduler: %d corrupted disk cache entries detected and recomputed\n", st.DiskCorrupt)
+		}
+		if st.Retries > 0 || st.Timeouts > 0 || st.Injected > 0 {
+			fmt.Printf("scheduler: %d retries, %d cell timeouts, %d injected faults\n",
+				st.Retries, st.Timeouts, st.Injected)
+		}
+		if st.Resumed > 0 {
+			fmt.Printf("scheduler: resumed — %d completed cells skipped via the journal and cache\n", st.Resumed)
+		}
 	}
 	fmt.Println(sweepElapsedLine(m))
 	return sweepDegradedSummary(m)
+}
+
+// printClusterSummary renders the distributed fabric's closing lines:
+// how the fleet behaved, and what fraction of cells were served
+// without fresh simulation (worker trace/cache hits plus cells
+// replayed from the coordinator journal).
+func printClusterSummary(cs *harness.ClusterStats) {
+	fmt.Printf("cluster: %d cells on %d workers — %d completed, %d failed, %d resumed from journal\n",
+		cs.Cells, cs.Workers, cs.Completed, cs.FailedCells, cs.Resumed)
+	fmt.Printf("cluster: %d dispatches in %d batches (%d stolen, %d re-dispatched, %d duplicate results dropped, %d HTTP retries)\n",
+		cs.Dispatched, cs.Batches, cs.Stolen, cs.Redispatched, cs.Duplicates, cs.Retries)
+	if cs.Cells > 0 {
+		fmt.Printf("cluster: cache hit rate %.0f%% (%d trace/cache-served + %d journal-resumed of %d cells)\n",
+			100*float64(cs.CacheHits+cs.Resumed)/float64(cs.Cells),
+			cs.CacheHits, cs.Resumed, cs.Cells)
+	}
+	if cs.WorkersLost > 0 {
+		fmt.Printf("cluster: %d worker(s) lost mid-sweep; their shards were redistributed\n", cs.WorkersLost)
+	}
+}
+
+// parseWorkersFlag reads -workers as either a local pool size ("8") or
+// a comma-separated list of remote worker URLs ("host:8077,host2:8077").
+func parseWorkersFlag(s string) (pool int, hosts []string, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil, nil
+	}
+	if n, aerr := strconv.Atoi(s); aerr == nil {
+		if n < 0 {
+			return 0, nil, fmt.Errorf("-workers: pool size must be >= 0, got %d", n)
+		}
+		return n, nil, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			hosts = append(hosts, part)
+		}
+	}
+	if len(hosts) == 0 {
+		return 0, nil, fmt.Errorf("-workers: want a pool size or a comma-separated worker list, got %q", s)
+	}
+	return 0, hosts, nil
 }
 
 // sweepElapsedLine renders the closing wall-clock summary.  When the
@@ -523,6 +625,7 @@ func cmdServe(args []string) error {
 	cacheDir := fs.String("cache-dir", "", "content-addressed on-disk result cache directory")
 	retries := fs.Int("retries", 2, "per-cell retry budget for transient failures")
 	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell simulation deadline, e.g. 30s (0 = none)")
+	cacheUpstream := fs.String("cache-upstream", "", "base URL of a shared cache hub; result-cache and trace misses probe its /v1/cache and /v1/traces endpoints and fresh entries are pushed back")
 	maxInflight := fs.Int("max-inflight", 0, "admission bound on in-flight cells (0 = 4x GOMAXPROCS)")
 	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "default per-request deadline; clients override with ?timeout= (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget after SIGTERM")
@@ -547,11 +650,12 @@ func cmdServe(args []string) error {
 		return err
 	}
 	eng := sched.New(sched.Options{
-		Workers:     *workers,
-		CacheDir:    *cacheDir,
-		Retries:     *retries,
-		CellTimeout: *cellTimeout,
-		Injector:    injector,
+		Workers:       *workers,
+		CacheDir:      *cacheDir,
+		CacheUpstream: *cacheUpstream,
+		Retries:       *retries,
+		CellTimeout:   *cellTimeout,
+		Injector:      injector,
 	})
 	var tracer *telemetry.Tracer
 	if *spansDir != "" {
@@ -885,6 +989,36 @@ func cmdDisasm(args []string) error {
 func cmdVariants() error {
 	for v := kernels.Branchy; v < kernels.NumVariants; v++ {
 		fmt.Println(v.String())
+	}
+	return nil
+}
+
+// cmdVersion prints the binary's build identity and wire schema — the
+// same document GET /v1/version serves, which the cluster coordinator
+// handshakes on before dispatching work.
+func cmdVersion(args []string) error {
+	fs := flag.NewFlagSet("version", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit JSON (the exact GET /v1/version body)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	v := server.BuildVersion()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+	fmt.Printf("bioperf5 %s\n", v.Version)
+	fmt.Printf("schema:   %s\n", v.Schema)
+	if v.GoVersion != "" {
+		fmt.Printf("go:       %s\n", v.GoVersion)
+	}
+	if v.Revision != "" {
+		dirty := ""
+		if v.Modified {
+			dirty = " (modified)"
+		}
+		fmt.Printf("revision: %s%s\n", v.Revision, dirty)
 	}
 	return nil
 }

@@ -1,0 +1,45 @@
+// Package buildinfo reports what binary this is: the module version
+// and VCS state Go baked into the build.  It backs `bioperf5 version`
+// and GET /v1/version — the version/schema skew guard the cluster
+// coordinator uses to refuse mixing incompatible fleets.
+package buildinfo
+
+import "runtime/debug"
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Version is the main module's version ("(devel)" for a plain
+	// `go build`, a semver tag when built from a released module).
+	Version string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Revision is the VCS commit hash, when the build embedded one.
+	Revision string
+	// Modified reports uncommitted changes at build time.
+	Modified bool
+}
+
+// Read extracts the build identity from the binary's embedded build
+// information.  Every field degrades gracefully when the build carries
+// no metadata (tests, stripped builds): Version falls back to
+// "unknown".
+func Read() Info {
+	info := Info{Version: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	info.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"bioperf5/internal/server"
+)
+
+// Client speaks the bioperf5 serve API to one worker: readiness
+// probes, the version handshake, and streamed cell batches.  Dispatch
+// is retried on transport errors and on 429/503 — the worker's
+// admission control saying "not now" — honoring the server's
+// Retry-After hint with a cap, falling back to exponential backoff
+// when no hint arrives.  Anything else (4xx validation errors, a
+// mid-stream decode failure) is returned to the coordinator, which
+// owns the decision to requeue or fail.
+type Client struct {
+	// Base is the worker's base URL, e.g. "http://host:8080".
+	Base string
+	// HTTP is the transport; nil means a client with no overall
+	// timeout (batches are bounded by the request context instead, so
+	// a long cold sweep is not cut off mid-stream).
+	HTTP *http.Client
+	// Retries bounds dispatch re-attempts after a transport error or
+	// 429/503; values < 0 mean 0, the zero value means 4.
+	Retries int
+	// RetryBackoff is the base of the exponential backoff used when
+	// the server sends no Retry-After hint; the zero value means
+	// 250ms.
+	RetryBackoff time.Duration
+	// MaxRetryAfter caps every retry delay, hinted or computed, so a
+	// confused server cannot park the fleet; the zero value means 15s.
+	MaxRetryAfter time.Duration
+	// OnRetry, when non-nil, observes every retry delay — the
+	// coordinator counts them into cluster stats.
+	OnRetry func(delay time.Duration)
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{}
+}
+
+func (c *Client) retries() int {
+	if c.Retries < 0 {
+		return 0
+	}
+	if c.Retries == 0 {
+		return 4
+	}
+	return c.Retries
+}
+
+// Ready probes GET /readyz; nil means the worker is accepting work.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("worker %s not ready: %s", c.Base, resp.Status)
+	}
+	return nil
+}
+
+// Version fetches GET /v1/version — the schema handshake the
+// coordinator requires before dispatching any work.
+func (c *Client) Version(ctx context.Context) (server.VersionInfo, error) {
+	var v server.VersionInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/version", nil)
+	if err != nil {
+		return v, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return v, fmt.Errorf("worker %s: GET /v1/version: %s", c.Base, resp.Status)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&v); err != nil {
+		return v, fmt.Errorf("worker %s: bad version response: %w", c.Base, err)
+	}
+	return v, nil
+}
+
+// Batch POSTs cells to /v1/cells:batch and streams the JSONL response,
+// calling onItem for every line as it arrives.  Retries happen only
+// before the stream starts (transport failure, 429/503); once items
+// are flowing, an error is returned as-is and the coordinator requeues
+// whatever never arrived — re-delivered items are harmless under its
+// first-result-wins dedup.
+func (c *Client) Batch(ctx context.Context, cells []server.CellRequest, onItem func(server.BatchItem)) error {
+	body, err := json.Marshal(server.BatchRequest{Cells: cells})
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.Base+"/v1/cells:batch", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.http().Do(req)
+		if err != nil {
+			if attempt >= c.retries() || ctx.Err() != nil {
+				return fmt.Errorf("worker %s: %w", c.Base, err)
+			}
+			if err := c.sleep(ctx, c.retryDelay(attempt, nil)); err != nil {
+				return err
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			delay := c.retryDelay(attempt, resp)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if attempt >= c.retries() {
+				return fmt.Errorf("worker %s: %s after %d attempts", c.Base, resp.Status, attempt+1)
+			}
+			if err := c.sleep(ctx, delay); err != nil {
+				return err
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg := readError(resp.Body)
+			resp.Body.Close()
+			return fmt.Errorf("worker %s: POST /v1/cells:batch: %s: %s", c.Base, resp.Status, msg)
+		}
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var item server.BatchItem
+			if err := dec.Decode(&item); err == io.EOF {
+				resp.Body.Close()
+				return nil
+			} else if err != nil {
+				resp.Body.Close()
+				return fmt.Errorf("worker %s: batch stream: %w", c.Base, err)
+			}
+			onItem(item)
+		}
+	}
+}
+
+// retryDelay picks the wait before the next dispatch attempt: the
+// server's Retry-After hint when it sent one (it knows its own queue),
+// else exponential backoff from RetryBackoff — both capped at
+// MaxRetryAfter.
+func (c *Client) retryDelay(attempt int, resp *http.Response) time.Duration {
+	max := c.MaxRetryAfter
+	if max <= 0 {
+		max = 15 * time.Second
+	}
+	var d time.Duration
+	if resp != nil {
+		if secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); err == nil && secs > 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	if d == 0 {
+		base := c.RetryBackoff
+		if base <= 0 {
+			base = 250 * time.Millisecond
+		}
+		if attempt > 6 {
+			attempt = 6 // past here the cap decides anyway
+		}
+		d = base << uint(attempt)
+	}
+	if d > max {
+		d = max
+	}
+	if c.OnRetry != nil {
+		c.OnRetry(d)
+	}
+	return d
+}
+
+// sleep waits for d or the context, whichever ends first.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// readError extracts the message from an API error body, falling back
+// to the raw bytes for non-JSON answers.
+func readError(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(b))
+}

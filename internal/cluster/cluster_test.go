@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bioperf5/internal/harness"
+	"bioperf5/internal/sched"
+	"bioperf5/internal/server"
+)
+
+// testSpec is a small but non-trivial sweep: 8 grid points plus one
+// baseline, where the baseline coincides with the branchy/2-FXU/no-BTAC
+// point — exercising the cell dedup the local engine gets from
+// coalescing.
+func testSpec(eng *sched.Engine) harness.SweepSpec {
+	return harness.SweepSpec{
+		FXUs:        []int{2, 3},
+		BTACEntries: []int{0, 8},
+		Apps:        []string{"Blast"},
+		Config: harness.Config{
+			Scale: 1, Seeds: []int64{1, 2}, Engine: eng,
+			Context: context.Background(),
+		},
+	}
+}
+
+// singleNode runs the reference sweep locally.
+func singleNode(t *testing.T) *harness.SweepManifest {
+	t.Helper()
+	eng := sched.New(sched.Options{Workers: 2})
+	defer eng.Close()
+	m, err := harness.RunSweep(testSpec(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// canonManifest strips the operational fields — wall time, scheduler
+// and cluster counters, the stage profile — leaving exactly the bytes
+// that must match between a local and a distributed run.
+func canonManifest(t *testing.T, m *harness.SweepManifest) string {
+	t.Helper()
+	clone := *m
+	clone.ElapsedMS = 0
+	clone.Scheduler = sched.Stats{}
+	clone.Cluster = nil
+	clone.Profile = nil
+	b, err := json.MarshalIndent(&clone, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// newWorker spins up one real bioperf5 serve worker.
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := sched.New(sched.Options{Workers: 2})
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(server.New(server.Options{Engine: eng}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ref := singleNode(t)
+	w1, w2 := newWorker(t), newWorker(t)
+	m, err := Run(Options{
+		Workers: []string{w1.URL, w2.URL},
+		Spec:    testSpec(nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonManifest(t, m), canonManifest(t, ref); got != want {
+		t.Errorf("distributed manifest differs from single-node:\n--- distributed\n%s\n--- single-node\n%s", got, want)
+	}
+	cs := m.Cluster
+	if cs == nil {
+		t.Fatal("distributed manifest carries no cluster stats")
+	}
+	if cs.Workers != 2 || cs.Completed != cs.Cells || cs.FailedCells != 0 {
+		t.Errorf("cluster stats: %+v", cs)
+	}
+	if cs.Cells >= uint64(len(m.Points)+1) {
+		t.Errorf("expected the coincident baseline to dedup: %d cells for %d points", cs.Cells, len(m.Points))
+	}
+}
+
+// killingHandler proxies to a real worker but aborts every batch after
+// the first — the mid-sweep SIGKILL stand-in.
+type killingHandler struct {
+	h         http.Handler
+	mu        sync.Mutex
+	batches   int
+	killAfter int
+}
+
+func (k *killingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "cells:batch") {
+		k.mu.Lock()
+		k.batches++
+		n := k.batches
+		k.mu.Unlock()
+		if n > k.killAfter {
+			panic(http.ErrAbortHandler)
+		}
+	}
+	k.h.ServeHTTP(w, r)
+}
+
+func TestWorkerDeathMidSweepIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ref := singleNode(t)
+	healthy := newWorker(t)
+	eng := sched.New(sched.Options{Workers: 2})
+	t.Cleanup(eng.Close)
+	dying := httptest.NewServer(&killingHandler{
+		h:         server.New(server.Options{Engine: eng}),
+		killAfter: 1,
+	})
+	t.Cleanup(dying.Close)
+	m, err := Run(Options{
+		Workers:   []string{healthy.URL, dying.URL},
+		Spec:      testSpec(nil),
+		BatchSize: 2,
+		Retries:   -1, // fail a dead worker fast instead of backing off
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonManifest(t, m), canonManifest(t, ref); got != want {
+		t.Errorf("post-death manifest differs from single-node:\n--- distributed\n%s\n--- single-node\n%s", got, want)
+	}
+	cs := m.Cluster
+	if cs.WorkersLost != 1 {
+		t.Errorf("WorkersLost = %d, want 1 (stats: %+v)", cs.WorkersLost, cs)
+	}
+	if cs.FailedCells != 0 || cs.Completed != cs.Cells {
+		t.Errorf("survivor should finish every cell: %+v", cs)
+	}
+}
+
+func TestAllWorkersDeadDegradesPerCell(t *testing.T) {
+	eng := sched.New(sched.Options{Workers: 1})
+	t.Cleanup(eng.Close)
+	dying := httptest.NewServer(&killingHandler{
+		h: server.New(server.Options{Engine: eng}), // killAfter 0: every batch aborts
+	})
+	t.Cleanup(dying.Close)
+	m, err := Run(Options{
+		Workers: []string{dying.URL},
+		Spec:    testSpec(nil),
+		Retries: -1,
+	})
+	if err != nil {
+		t.Fatal(err) // degraded, not fatal: the manifest must still ship
+	}
+	if m.Degraded != len(m.Points) {
+		t.Fatalf("Degraded = %d, want all %d points", m.Degraded, len(m.Points))
+	}
+	for _, p := range m.Points {
+		if p.Status == harness.StatusOK {
+			t.Fatalf("point %s unexpectedly ok", p.Key)
+		}
+		if p.Error == "" {
+			t.Fatalf("degraded point %s carries no error", p.Key)
+		}
+	}
+	// The baseline failed with it, so points degrade to skipped with
+	// the no-replacement reason in the baseline error.
+	if !strings.Contains(m.Points[0].Error, "no live replacement") {
+		t.Errorf("error should name the cause, got %q", m.Points[0].Error)
+	}
+	if m.Cluster.WorkersLost != 1 || m.Cluster.Completed != 0 {
+		t.Errorf("cluster stats: %+v", m.Cluster)
+	}
+}
+
+func TestCoordinatorResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.jsonl")
+	j, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWorker(t)
+	first, err := Run(Options{Workers: []string{w.URL}, Spec: testSpec(nil), Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if first.Cluster.Completed == 0 {
+		t.Fatal("first run completed nothing")
+	}
+
+	// Second run: same journal, but a worker that can only handshake —
+	// every batch would abort.  If resume works, none is sent.
+	j2, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	eng := sched.New(sched.Options{Workers: 1})
+	t.Cleanup(eng.Close)
+	broken := httptest.NewServer(&killingHandler{h: server.New(server.Options{Engine: eng})})
+	t.Cleanup(broken.Close)
+	second, err := Run(Options{Workers: []string{broken.URL}, Spec: testSpec(nil), Journal: j2, Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonManifest(t, second), canonManifest(t, first); got != want {
+		t.Errorf("resumed manifest differs:\n--- resumed\n%s\n--- first\n%s", got, want)
+	}
+	cs := second.Cluster
+	if cs.Resumed != cs.Cells || cs.Batches != 0 || cs.Dispatched != 0 {
+		t.Errorf("resume should serve every cell from the journal: %+v", cs)
+	}
+}
+
+func TestVersionGuardRefusesSchemaSkew(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"schema": "bioperf5/v999", "version": "unknown"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	_, err := Run(Options{Workers: []string{ts.URL}, Spec: testSpec(nil)})
+	if err == nil || !strings.Contains(err.Error(), "refusing to mix") {
+		t.Fatalf("want a schema-refusal error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "bioperf5/v999") {
+		t.Errorf("error should name the worker's schema: %v", err)
+	}
+}
+
+func TestVersionGuardRefusesUnreachableWorker(t *testing.T) {
+	_, err := Run(Options{
+		Workers: []string{"127.0.0.1:1"}, // nothing listens on port 1
+		Spec:    testSpec(nil),
+	})
+	if err == nil || !strings.Contains(err.Error(), "handshake") {
+		t.Fatalf("want a handshake error, got %v", err)
+	}
+}
+
+func TestClientRetryDelay(t *testing.T) {
+	cli := &Client{}
+	resp := func(retryAfter string) *http.Response {
+		h := http.Header{}
+		if retryAfter != "" {
+			h.Set("Retry-After", retryAfter)
+		}
+		return &http.Response{Header: h}
+	}
+	if d := cli.retryDelay(0, resp("7")); d != 7*time.Second {
+		t.Errorf("hinted delay = %v, want 7s", d)
+	}
+	if d := cli.retryDelay(0, resp("120")); d != 15*time.Second {
+		t.Errorf("hint should cap at MaxRetryAfter default 15s, got %v", d)
+	}
+	if d := cli.retryDelay(2, nil); d != time.Second {
+		t.Errorf("backoff attempt 2 = %v, want 250ms<<2 = 1s", d)
+	}
+	if d := cli.retryDelay(30, nil); d != 15*time.Second {
+		t.Errorf("deep backoff should cap, got %v", d)
+	}
+	capped := &Client{MaxRetryAfter: 10 * time.Millisecond}
+	if d := capped.retryDelay(0, resp("7")); d != 10*time.Millisecond {
+		t.Errorf("explicit cap should win over hint, got %v", d)
+	}
+}
+
+func TestClientHonorsRetryAfterOn429(t *testing.T) {
+	var mu sync.Mutex
+	rejections := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cells:batch", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		rejections++
+		first := rejections == 1
+		mu.Unlock()
+		if first {
+			w.Header().Set("Retry-After", "30")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		json.NewEncoder(w).Encode(server.BatchItem{Schema: harness.SchemaVersion, Index: 0, Status: "error", Error: "stub"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	var delays []time.Duration
+	cli := &Client{
+		Base:          ts.URL,
+		MaxRetryAfter: 20 * time.Millisecond, // keep the test fast: the 30s hint is capped
+		OnRetry:       func(d time.Duration) { delays = append(delays, d) },
+	}
+	var items []server.BatchItem
+	err := cli.Batch(context.Background(), []server.CellRequest{{App: "Blast"}},
+		func(it server.BatchItem) { items = append(items, it) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delays) != 1 || delays[0] != 20*time.Millisecond {
+		t.Errorf("delays = %v, want one capped 20ms wait", delays)
+	}
+	if len(items) != 1 || items[0].Error != "stub" {
+		t.Errorf("items = %+v", items)
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Key: "k1", Status: harness.StatusOK}
+	if err := j.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Tear the tail: a half-written record from a crash.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"k2","sta`)
+	f.Close()
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, ok := j2.Lookup("k1"); !ok {
+		t.Error("intact record lost")
+	}
+	if _, ok := j2.Lookup("k2"); ok {
+		t.Error("torn record trusted")
+	}
+	if err := j2.Append(Record{Key: "k3", Status: harness.StatusOK}); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Len() != 2 {
+		t.Errorf("Len = %d, want k1 + k3", j3.Len())
+	}
+}

@@ -144,13 +144,37 @@ type SweepManifest struct {
 		Variants    []string `json:"variants"`
 		Apps        []string `json:"apps"`
 	} `json:"spec"`
-	Config    Config        `json:"config"`
-	Points    []SweepPoint  `json:"points"`
-	Best      []SweepBest   `json:"best"`     // per app, paper order; degraded cells never win
-	Degraded  int           `json:"degraded"` // cells with Status != ok
-	Scheduler sched.Stats   `json:"scheduler"`
+	Config    Config       `json:"config"`
+	Points    []SweepPoint `json:"points"`
+	Best      []SweepBest  `json:"best"`     // per app, paper order; degraded cells never win
+	Degraded  int          `json:"degraded"` // cells with Status != ok
+	Scheduler sched.Stats  `json:"scheduler"`
+	// Cluster records the distributed fabric's operational counters
+	// when the manifest was produced by a coordinator.  Like Scheduler,
+	// Profile and ElapsedMS it is operational state, stripped by every
+	// determinism comparison.
+	Cluster   *ClusterStats `json:"cluster,omitempty"`
 	Profile   *SweepProfile `json:"profile,omitempty"` // timing; excluded from determinism comparisons
 	ElapsedMS int64         `json:"elapsed_ms"`        // timing; excluded from determinism comparisons
+}
+
+// ClusterStats is the coordinator's view of one distributed sweep: how
+// the fabric behaved, not what it computed.  It lives here (not in
+// internal/cluster) because the manifest owns its own schema.
+type ClusterStats struct {
+	Workers      int    `json:"workers"`      // fleet size at start
+	WorkersLost  uint64 `json:"workers_lost"` // workers declared dead mid-run
+	Cells        uint64 `json:"cells"`        // distinct content-addressed cells
+	Dispatched   uint64 `json:"dispatched"`   // dispatch attempts (incl. steals and re-dispatches)
+	Completed    uint64 `json:"completed"`    // cells that returned ok
+	FailedCells  uint64 `json:"failed_cells"` // cells that exhausted the fleet
+	Stolen       uint64 `json:"stolen"`       // cells stolen from another shard's queue
+	Redispatched uint64 `json:"redispatched"` // straggler cells re-sent to a second worker
+	Duplicates   uint64 `json:"duplicates"`   // late results dropped by first-result-wins
+	Resumed      uint64 `json:"resumed"`      // cells served by the coordinator journal
+	CacheHits    uint64 `json:"cache_hits"`   // cells served without a fresh functional capture
+	Batches      uint64 `json:"batches"`      // batch requests issued
+	Retries      uint64 `json:"http_retries"` // HTTP dispatches repeated after 429/503/transport errors
 }
 
 // SweepProfile is the sweep's "where did the time go" attribution:
@@ -247,28 +271,100 @@ func cellKey(jobs []sched.Job) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// RunSweep evaluates the full grid.  Every cell — plus each
-// application's POWER5 baseline, used to normalize IPC — is submitted
-// to the scheduler up front, so the whole sweep is bounded by the
-// worker pool, and grid points that coincide with the baseline (or
-// with each other across re-runs) are served from the cache.
-func RunSweep(sp SweepSpec) (*SweepManifest, error) {
+// PlanCell is one planned unit of a sweep: an application baseline or
+// a grid point, with its canonical setup and content key.  The plan
+// fixes identity and order; execution — local engine or remote worker
+// — only fills in results.
+type PlanCell struct {
+	App         string
+	Variant     kernels.Variant
+	FXUs        int
+	BTACEntries int
+	Baseline    bool // an IPC-normalizing baseline, not a grid point
+	Setup       core.Setup
+	Key         string // content hash over the cell's per-seed job hashes
+}
+
+// SweepPlan is the deterministic expansion of a SweepSpec: the
+// normalized spec, one baseline cell per application, and the full
+// grid in manifest order.  It is what a distributed coordinator shards
+// and what Manifest assembles, so a remote sweep and a local one agree
+// on every key and every byte.
+type SweepPlan struct {
+	Spec      SweepSpec
+	Baselines []PlanCell // one per application, spec order
+	Points    []PlanCell // the grid, manifest order
+}
+
+// PlanSweep validates and expands a sweep specification.
+func PlanSweep(sp SweepSpec) (*SweepPlan, error) {
 	sp, err := sp.normalize()
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	cfg := sp.Config
-	// The whole-sweep root span: with a tracer in the context every
-	// cell's spans nest under it, so the exported trace renders the
-	// sweep as one tree.
-	sweepCtx, sweepSpan := telemetry.StartSpan(cfg.Context, telemetry.StageSweep)
-	if sweepSpan != nil {
-		cfg.Context = sweepCtx
-		defer sweepSpan.End()
+	plan := &SweepPlan{Spec: sp}
+	for _, app := range sp.Apps {
+		s := core.Baseline()
+		plan.Baselines = append(plan.Baselines, PlanCell{
+			App: app, Variant: s.Variant,
+			FXUs: s.CPU.NumFXU, BTACEntries: 0,
+			Baseline: true, Setup: s,
+			Key: cellKey(cellJobs(app, s, sp.Config)),
+		})
 	}
+	for _, app := range sp.Apps {
+		for _, v := range sp.Variants {
+			for _, fxus := range sp.FXUs {
+				for _, entries := range sp.BTACEntries {
+					s := SetupFor(v, fxus, entries)
+					plan.Points = append(plan.Points, PlanCell{
+						App: app, Variant: v, FXUs: fxus, BTACEntries: entries,
+						Setup: s,
+						Key:   cellKey(cellJobs(app, s, sp.Config)),
+					})
+				}
+			}
+		}
+	}
+	return plan, nil
+}
 
-	m := &SweepManifest{Schema: SchemaVersion, Config: cfg}
+// cellJobs expands one cell into its per-seed jobs, the unit the
+// scheduler hashes.  Trace policy is execution strategy, not identity,
+// so it is deliberately left out.
+func cellJobs(app string, s core.Setup, cfg Config) []sched.Job {
+	var jobs []sched.Job
+	for _, seed := range cfg.Seeds {
+		jobs = append(jobs, sched.Job{
+			App: app, Variant: s.Variant, CPU: s.CPU,
+			Seed: seed, Scale: cfg.Scale,
+		})
+	}
+	return jobs
+}
+
+// CellResult is the outcome of one planned cell, however it was
+// executed.  Detail carries the per-seed reports (nil unless Status is
+// ok); Cost is the cell's stage breakdown under exactly-once
+// attribution — a coalesced or deduplicated cell reports zero.
+type CellResult struct {
+	Detail *core.Detail
+	Cost   telemetry.StageCost
+	Status string // StatusOK, StatusFailed or StatusTimeout
+	Err    string // failure detail when Status != StatusOK
+}
+
+// Manifest assembles the sweep manifest from per-cell outcomes in plan
+// order: baselines[i] answers plan.Baselines[i] and points[i] answers
+// plan.Points[i].  Status mapping, skipped-app propagation, IPC
+// normalization, best-per-app selection and the stage profile all live
+// here — the single assembly path behind both the local RunSweep and
+// the cluster coordinator, which is what makes a distributed manifest
+// byte-identical to a single-node one.  Scheduler, Cluster and
+// ElapsedMS are left for the caller.
+func (plan *SweepPlan) Manifest(baselines, points []CellResult) *SweepManifest {
+	sp := plan.Spec
+	m := &SweepManifest{Schema: SchemaVersion, Config: sp.Config}
 	m.Spec.FXUs = sp.FXUs
 	m.Spec.BTACEntries = sp.BTACEntries
 	for _, v := range sp.Variants {
@@ -276,70 +372,34 @@ func RunSweep(sp SweepSpec) (*SweepManifest, error) {
 	}
 	m.Spec.Apps = sp.Apps
 
-	// Submit phase: baselines first (they normalize every point), then
-	// the grid in manifest order.
-	type pendingPoint struct {
-		point SweepPoint
-		setup core.Setup
-		cell  *pending
-	}
-	baselines := make(map[string]*pending, len(sp.Apps))
-	for _, app := range sp.Apps {
-		k, _ := kernels.ByApp(app)
-		baselines[app] = cfg.submitCell(k, core.Baseline())
-	}
-	var pendings []pendingPoint
-	for _, app := range sp.Apps {
-		k, _ := kernels.ByApp(app)
-		for _, v := range sp.Variants {
-			for _, fxus := range sp.FXUs {
-				for _, entries := range sp.BTACEntries {
-					s := SetupFor(v, fxus, entries)
-					var jobs []sched.Job
-					for _, seed := range cfg.Seeds {
-						jobs = append(jobs, sched.Job{
-							App: app, Variant: v, CPU: s.CPU,
-							Seed: seed, Scale: cfg.Scale,
-						})
-					}
-					pendings = append(pendings, pendingPoint{
-						point: SweepPoint{
-							App:         app,
-							Variant:     v.String(),
-							FXUs:        fxus,
-							BTACEntries: entries,
-							Key:         cellKey(jobs),
-						},
-						setup: s,
-						cell:  cfg.submitCell(k, s),
-					})
-				}
-			}
-		}
-	}
-
-	// Collect phase, in submission order.  A failed cell degrades that
-	// cell (or, for a baseline, skips its application's cells) instead
-	// of aborting the sweep: the manifest reports exactly which cells
-	// are missing, and a re-run against the same cache retries only
-	// those.
+	// A failed cell degrades that cell (or, for a baseline, skips its
+	// application's cells) instead of aborting the sweep: the manifest
+	// reports exactly which cells are missing, and a re-run against the
+	// same cache retries only those.
 	profile := &SweepProfile{}
 	baseWork := make(map[string]cpu.Counters, len(sp.Apps))
 	baseErr := make(map[string]string, len(sp.Apps))
-	for _, app := range sp.Apps {
-		ctr, err := baselines[app].counters()
-		if err != nil {
-			baseErr[app] = fmt.Sprintf("baseline failed: %v", err)
+	for i, pc := range plan.Baselines {
+		r := baselines[i]
+		if r.Status != StatusOK || r.Detail == nil {
+			baseErr[pc.App] = fmt.Sprintf("baseline failed: %s", r.Err)
 			continue
 		}
-		baseWork[app] = ctr
+		baseWork[pc.App] = r.Detail.Aggregate.Counters
 		// Baseline cells are real work too; they count toward the
 		// aggregate attribution even though they are not grid points.
-		profile.Aggregate.Add(baselines[app].cost())
+		profile.Aggregate.Add(r.Cost)
 	}
 	best := make(map[string]*SweepBest, len(sp.Apps))
-	for _, pp := range pendings {
-		p := pp.point
+	for i, pc := range plan.Points {
+		r := points[i]
+		p := SweepPoint{
+			App:         pc.App,
+			Variant:     pc.Variant.String(),
+			FXUs:        pc.FXUs,
+			BTACEntries: pc.BTACEntries,
+			Key:         pc.Key,
+		}
 		if msg, degraded := baseErr[p.App]; degraded {
 			p.Status = StatusSkipped
 			p.Error = msg
@@ -347,25 +407,23 @@ func RunSweep(sp SweepSpec) (*SweepManifest, error) {
 			m.Degraded++
 			continue
 		}
-		det, err := pp.cell.detail()
-		if err != nil {
-			p.Status = StatusFailed
-			if errors.Is(err, sched.ErrCellTimeout) {
-				p.Status = StatusTimeout
+		if r.Status != StatusOK || r.Detail == nil {
+			p.Status = r.Status
+			if p.Status == "" || p.Status == StatusOK {
+				p.Status = StatusFailed
 			}
-			p.Error = err.Error()
+			p.Error = r.Err
 			m.Points = append(m.Points, p)
 			m.Degraded++
 			continue
 		}
-		k, _ := kernels.ByApp(pp.point.App)
+		k, _ := kernels.ByApp(pc.App)
 		p.Status = StatusOK
-		cost := pp.cell.cost()
-		profile.Points = append(profile.Points, PointCost{Key: p.Key, Cost: cost})
-		profile.Aggregate.Add(cost)
-		p.Stats = packKernelStats(k, pp.setup, det)
+		profile.Points = append(profile.Points, PointCost{Key: p.Key, Cost: r.Cost})
+		profile.Aggregate.Add(r.Cost)
+		p.Stats = packKernelStats(k, pc.Setup, r.Detail)
 		base := baseWork[p.App]
-		p.NormIPC = normIPC(base, det.Aggregate.Counters)
+		p.NormIPC = normIPC(base, r.Detail.Aggregate.Counters)
 		if ipc := base.IPC(); ipc > 0 {
 			p.Improvement = (p.NormIPC - ipc) / ipc
 		}
@@ -386,6 +444,61 @@ func RunSweep(sp SweepSpec) (*SweepManifest, error) {
 	profile.Stages = profile.Aggregate.Stages()
 	profile.Dominant = profile.Aggregate.Dominant()
 	m.Profile = profile
+	return m
+}
+
+// RunSweep evaluates the full grid locally.  Every cell — plus each
+// application's POWER5 baseline, used to normalize IPC — is submitted
+// to the scheduler up front, so the whole sweep is bounded by the
+// worker pool, and grid points that coincide with the baseline (or
+// with each other across re-runs) are served from the cache.
+func RunSweep(sp SweepSpec) (*SweepManifest, error) {
+	plan, err := PlanSweep(sp)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	cfg := plan.Spec.Config
+	// The whole-sweep root span: with a tracer in the context every
+	// cell's spans nest under it, so the exported trace renders the
+	// sweep as one tree.
+	sweepCtx, sweepSpan := telemetry.StartSpan(cfg.Context, telemetry.StageSweep)
+	if sweepSpan != nil {
+		cfg.Context = sweepCtx
+		defer sweepSpan.End()
+	}
+
+	// Submit phase: baselines first (they normalize every point), then
+	// the grid in manifest order.
+	submit := func(cells []PlanCell) []*pending {
+		out := make([]*pending, len(cells))
+		for i, pc := range cells {
+			k, _ := kernels.ByApp(pc.App)
+			out[i] = cfg.submitCell(k, pc.Setup)
+		}
+		return out
+	}
+	basePend := submit(plan.Baselines)
+	pointPend := submit(plan.Points)
+
+	// Collect phase, in submission order.
+	collect := func(pends []*pending) []CellResult {
+		out := make([]CellResult, len(pends))
+		for i, cell := range pends {
+			det, err := cell.detail()
+			if err != nil {
+				st := StatusFailed
+				if errors.Is(err, sched.ErrCellTimeout) {
+					st = StatusTimeout
+				}
+				out[i] = CellResult{Status: st, Err: err.Error()}
+				continue
+			}
+			out[i] = CellResult{Detail: det, Cost: cell.cost(), Status: StatusOK}
+		}
+		return out
+	}
+	m := plan.Manifest(collect(basePend), collect(pointPend))
 	m.Scheduler = cfg.engine().Stats()
 	m.ElapsedMS = time.Since(start).Milliseconds()
 	return m, nil

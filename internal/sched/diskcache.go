@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 
@@ -40,6 +41,40 @@ func resultSum(rep cpu.Report) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// encodeEntry serializes one cache entry in the self-verifying format
+// shared by the disk tier and the /v1/cache wire protocol.
+func encodeEntry(key Key, rep cpu.Report) ([]byte, error) {
+	sum, err := resultSum(rep)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(diskEntry{Key: key, SHA256: sum, Result: rep}, "", "  ")
+}
+
+// decodeEntry parses and verifies an entry against the content hash it
+// was addressed by: it must parse, its embedded key must hash back to
+// the address, and the result must match the stored checksum.  Nothing
+// read from disk or the network is trusted past this gate.
+func decodeEntry(b []byte, hash string) (diskEntry, error) {
+	var e diskEntry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return e, fmt.Errorf("sched: cache entry: %w", err)
+	}
+	kb, err := json.Marshal(e.Key)
+	if err != nil {
+		return e, fmt.Errorf("sched: cache entry: %w", err)
+	}
+	sum := sha256.Sum256(kb)
+	if hex.EncodeToString(sum[:]) != hash {
+		return e, fmt.Errorf("sched: cache entry key does not hash to its address %s", hash)
+	}
+	got, err := resultSum(e.Result)
+	if err != nil || got != e.SHA256 {
+		return e, fmt.Errorf("sched: cache entry result checksum mismatch")
+	}
+	return e, nil
+}
+
 // load returns the cached result for hash.  ok reports a verified hit;
 // corrupt reports that a file existed but failed verification (the
 // caller recomputes and overwrites it).  A missing file is neither.
@@ -48,25 +83,24 @@ func (d *diskStore) load(hash string, want Key) (rep cpu.Report, ok, corrupt boo
 	if err != nil {
 		return cpu.Report{}, false, false
 	}
-	var e diskEntry
-	if err := json.Unmarshal(b, &e); err != nil {
-		return cpu.Report{}, false, true
-	}
-	// The stored key must hash back to the address it was filed under
-	// and match the key we are looking up.
-	kb, err := json.Marshal(e.Key)
-	if err != nil {
-		return cpu.Report{}, false, true
-	}
-	sum := sha256.Sum256(kb)
-	if hex.EncodeToString(sum[:]) != hash || e.Key != want {
-		return cpu.Report{}, false, true
-	}
-	got, err := resultSum(e.Result)
-	if err != nil || got != e.SHA256 {
+	e, err := decodeEntry(b, hash)
+	if err != nil || e.Key != want {
 		return cpu.Report{}, false, true
 	}
 	return e.Result, true, false
+}
+
+// loadRaw returns the verified encoded bytes of the entry at hash —
+// the form the /v1/cache endpoint serves.
+func (d *diskStore) loadRaw(hash string) ([]byte, bool) {
+	b, err := os.ReadFile(d.path(hash))
+	if err != nil {
+		return nil, false
+	}
+	if _, err := decodeEntry(b, hash); err != nil {
+		return nil, false
+	}
+	return b, true
 }
 
 // store persists one result.  The write goes through a temp file, an
@@ -76,15 +110,18 @@ func (d *diskStore) load(hash string, want Key) (rep cpu.Report, ok, corrupt boo
 // this keeps concurrent readers — and post-crash resumes — from ever
 // seeing one).
 func (d *diskStore) store(hash string, key Key, rep cpu.Report) error {
+	b, err := encodeEntry(key, rep)
+	if err != nil {
+		return err
+	}
+	return d.storeRaw(hash, b)
+}
+
+// storeRaw atomically persists pre-encoded entry bytes at hash.  The
+// caller has already verified them (store just built them; the cache
+// endpoint ran decodeEntry).
+func (d *diskStore) storeRaw(hash string, b []byte) error {
 	if err := os.MkdirAll(d.dir, 0o755); err != nil {
-		return err
-	}
-	sum, err := resultSum(rep)
-	if err != nil {
-		return err
-	}
-	b, err := json.MarshalIndent(diskEntry{Key: key, SHA256: sum, Result: rep}, "", "  ")
-	if err != nil {
 		return err
 	}
 	tmp, err := os.CreateTemp(d.dir, hash+".tmp*")

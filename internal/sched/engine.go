@@ -33,6 +33,14 @@ type Options struct {
 	// Entries are checksummed; corrupted files are recomputed, never
 	// trusted.
 	CacheDir string
+	// CacheUpstream, when non-empty, is the base URL of a peer bioperf5
+	// server (e.g. "http://hub:8077") whose /v1/cache and /v1/traces
+	// endpoints act as a shared remote tier: probed after a local disk
+	// miss, pushed to after a local compute or capture.  Strictly
+	// best-effort — any upstream failure degrades to a miss — and every
+	// fetched entry is re-verified against its content address before
+	// use.
+	CacheUpstream string
 	// Registry receives the engine's telemetry (sched.* metrics).  Nil
 	// gets a private registry, readable via Engine.Registry.
 	Registry *telemetry.Registry
@@ -99,6 +107,7 @@ type Engine struct {
 	opts   Options
 	reg    *telemetry.Registry
 	disk   *diskStore
+	remote *remoteCache
 	traces *trace.Store
 
 	// compute executes one job under the task's context (which carries
@@ -217,7 +226,13 @@ func New(o Options) *Engine {
 		if o.CacheDir != "" {
 			topts.Dir = filepath.Join(o.CacheDir, "traces")
 		}
+		if o.CacheUpstream != "" {
+			topts.Upstream = o.CacheUpstream
+		}
 		e.traces = trace.NewStore(topts)
+	}
+	if o.CacheUpstream != "" {
+		e.remote = newRemoteCache(o.CacheUpstream, reg)
 	}
 	e.compute = func(ctx context.Context, j Job) (JobResult, error) { return j.run(ctx, e.traces) }
 	if !o.DisableCache {
@@ -394,17 +409,42 @@ func (e *Engine) execute(ctx context.Context, t *task) (JobResult, error) {
 		return JobResult{}, fmt.Errorf("sched: job %s: %w", t.describe(), cerr)
 	}
 	var cost telemetry.StageCost
-	if e.disk != nil {
+	if e.disk != nil || e.remote != nil {
 		probeStart := time.Now()
 		_, sp := telemetry.StartSpan(ctx, telemetry.StageCacheRead)
-		cached, ok, corrupt := e.disk.load(t.hash, t.job.Key())
+		var (
+			cached      cpu.Report
+			ok, corrupt bool
+		)
+		if e.disk != nil {
+			cached, ok, corrupt = e.disk.load(t.hash, t.job.Key())
+		}
+		remoteHit := false
+		if !ok && e.remote != nil {
+			// Local miss: ask the shared remote tier before simulating.
+			// The submission context bounds the round trip so a
+			// cancelled sweep never hangs on an upstream.
+			if rep, rok := e.remote.load(t.ctx, t.hash, t.job.Key()); rok {
+				cached, ok, remoteHit = rep, true, true
+			}
+		}
 		sp.AttrBool("hit", ok)
 		sp.End()
 		cost.CacheNS += time.Since(probeStart).Nanoseconds()
 		if ok {
-			e.mDiskHits.Add(1)
+			if remoteHit {
+				// Write through to the local disk tier so the next
+				// process on this node does not repeat the round trip.
+				if e.disk != nil {
+					if err := e.disk.store(t.hash, t.job.Key(), cached); err == nil {
+						e.mDiskWrites.Add(1)
+					}
+				}
+			} else {
+				e.mDiskHits.Add(1)
+			}
 			cost.JournalNS += e.journalFinish(ctx, t.hash, true)
-			// A disk-cached result needed no fresh capture either.
+			// A cache-served result needed no fresh capture either.
 			return JobResult{Report: cached, TraceHit: true, Cost: cost}, nil
 		} else if corrupt {
 			e.mCorrupt.Add(1)
@@ -524,12 +564,20 @@ func (e *Engine) backoff(ctx context.Context, attempt int) bool {
 // visible to a later process, which must detect and heal it).  It
 // returns the nanoseconds spent on the write-back.
 func (e *Engine) persist(ctx context.Context, t *task, rep cpu.Report, attempt int) int64 {
-	if e.disk == nil {
+	if e.disk == nil && e.remote == nil {
 		return 0
 	}
 	start := time.Now()
 	_, sp := telemetry.StartSpan(ctx, telemetry.StageCacheWr)
 	defer sp.End()
+	if e.remote != nil {
+		// Share the fresh result with the fleet, best-effort: a failed
+		// push only costs the peers a recompute.
+		e.remote.store(t.ctx, t.hash, t.job.Key(), rep)
+	}
+	if e.disk == nil {
+		return time.Since(start).Nanoseconds()
+	}
 	if err := e.disk.store(t.hash, t.job.Key(), rep); err != nil {
 		// A failed write is not a job failure: the result is sound,
 		// only the cross-process cache misses next time.
@@ -583,12 +631,22 @@ type Stats struct {
 	Injected    uint64 `json:"injected_faults"` // faults injected by Options.Injector
 	Journaled   uint64 `json:"journal_appends"` // completed cells appended to the WAL
 	Resumed     uint64 `json:"journal_resumed"` // journaled cells skipped via the disk cache
+	RemoteHits  uint64 `json:"remote_hits"`     // jobs resolved by the shared remote cache tier
+	RemotePuts  uint64 `json:"remote_puts"`     // results pushed to the remote tier
+	RemoteErrs  uint64 `json:"remote_errors"`   // remote-tier round trips that failed (degraded to miss)
 	Workers     int    `json:"workers"`         // pool size
 }
 
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
+	var rh, rp, re uint64
+	if e.remote != nil {
+		rh, rp, re = e.remote.mHits.Value(), e.remote.mPuts.Value(), e.remote.mErrors.Value()
+	}
 	return Stats{
+		RemoteHits: rh,
+		RemotePuts: rp,
+		RemoteErrs: re,
 		Submitted:   e.mSubmitted.Value(),
 		Computed:    e.mComputed.Value(),
 		MemoryHits:  e.mMemHits.Value(),

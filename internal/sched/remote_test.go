@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bioperf5/internal/cpu"
+)
+
+// mapHub is a minimal in-memory /v1/cache peer: the dumb-blob contract
+// the real server implements, without the import cycle.
+func mapHub(t *testing.T) (*httptest.Server, *sync.Map) {
+	t.Helper()
+	var store sync.Map
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		if b, ok := store.Load(r.PathValue("key")); ok {
+			w.Write(b.([]byte))
+			return
+		}
+		http.Error(w, "miss", http.StatusNotFound)
+	})
+	mux.HandleFunc("PUT /v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		store.Store(r.PathValue("key"), b)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &store
+}
+
+// upstreamEngine is diskEngine plus a shared remote tier.
+func upstreamEngine(t *testing.T, dir, upstream string, compute func(Job) (cpu.Report, error)) *Engine {
+	t.Helper()
+	e := New(Options{Workers: 1, CacheDir: dir, CacheUpstream: upstream})
+	e.compute = func(_ context.Context, j Job) (JobResult, error) {
+		rep, err := compute(j)
+		return JobResult{Report: rep}, err
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestRemoteCacheShared is the fleet story: node A computes and pushes;
+// node B, with a cold local disk, is served by the hub without
+// simulating, and writes through so a third process on B's disk never
+// repeats the round trip.
+func TestRemoteCacheShared(t *testing.T) {
+	hub, store := mapHub(t)
+
+	eA := upstreamEngine(t, t.TempDir(), hub.URL, func(Job) (cpu.Report, error) { return wantReport(), nil })
+	if _, err := eA.Run(context.Background(), baseJob()); err != nil {
+		t.Fatal(err)
+	}
+	if st := eA.Stats(); st.Computed != 1 || st.RemotePuts != 1 {
+		t.Fatalf("node A stats = %+v, want 1 compute pushed upstream", st)
+	}
+	if _, ok := store.Load(baseJob().Hash()); !ok {
+		t.Fatal("push left nothing on the hub")
+	}
+
+	dirB := t.TempDir()
+	eB := upstreamEngine(t, dirB, hub.URL, func(Job) (cpu.Report, error) {
+		return cpu.Report{}, errors.New("should have been a remote hit")
+	})
+	rep, err := eB.Run(context.Background(), baseJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != wantReport() {
+		t.Errorf("remote hit returned %+v", rep)
+	}
+	if st := eB.Stats(); st.RemoteHits != 1 || st.Computed != 0 || st.DiskWrites != 1 {
+		t.Errorf("node B stats = %+v, want a remote hit written through to disk", st)
+	}
+
+	// Same node, third process, hub gone: the write-through serves it.
+	hub.Close()
+	eC := diskEngine(t, dirB, func(Job) (cpu.Report, error) {
+		return cpu.Report{}, errors.New("should have been a disk hit")
+	})
+	if _, err := eC.Run(context.Background(), baseJob()); err != nil {
+		t.Fatal(err)
+	}
+	if st := eC.Stats(); st.DiskHits != 1 {
+		t.Errorf("write-through did not stick: %+v", st)
+	}
+}
+
+// TestRemoteCacheCorruptRejected: a lying upstream costs a recompute,
+// never a wrong result.
+func TestRemoteCacheCorruptRejected(t *testing.T) {
+	hub, store := mapHub(t)
+	store.Store(baseJob().Hash(), []byte("not a cache entry"))
+	var computes atomic.Int64
+	e := upstreamEngine(t, t.TempDir(), hub.URL, func(Job) (cpu.Report, error) {
+		computes.Add(1)
+		return wantReport(), nil
+	})
+	rep, err := e.Run(context.Background(), baseJob())
+	if err != nil || rep != wantReport() {
+		t.Fatalf("run = %+v, %v", rep, err)
+	}
+	if computes.Load() != 1 {
+		t.Errorf("corrupt upstream entry served without recompute")
+	}
+	if st := e.Stats(); st.RemoteHits != 0 || st.RemoteErrs == 0 {
+		t.Errorf("stats = %+v, want the bad entry counted as a remote error", st)
+	}
+}
+
+// TestRemoteCacheKeyMismatchRejected: a valid entry parked at the wrong
+// address must not satisfy the job that address names.
+func TestRemoteCacheKeyMismatchRejected(t *testing.T) {
+	hub, store := mapHub(t)
+	other := baseJob()
+	other.Seed = 99
+	b, err := encodeEntry(baseJob().Key(), wantReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Store(other.Hash(), b)
+	var computes atomic.Int64
+	e := upstreamEngine(t, t.TempDir(), hub.URL, func(Job) (cpu.Report, error) {
+		computes.Add(1)
+		return cpu.Report{Counters: cpu.Counters{Cycles: 9}}, nil
+	})
+	rep, err := e.Run(context.Background(), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computes.Load() != 1 || rep.Counters.Cycles != 9 {
+		t.Errorf("mismatched key served from upstream: %+v (computes=%d)", rep, computes.Load())
+	}
+}
+
+// TestRemoteCacheUnreachableDegrades: a dead hub slows nothing down
+// semantically — the engine computes locally and counts the failures.
+func TestRemoteCacheUnreachableDegrades(t *testing.T) {
+	e := upstreamEngine(t, t.TempDir(), "http://127.0.0.1:1", func(Job) (cpu.Report, error) {
+		return wantReport(), nil
+	})
+	rep, err := e.Run(context.Background(), baseJob())
+	if err != nil || rep != wantReport() {
+		t.Fatalf("run = %+v, %v", rep, err)
+	}
+	if st := e.Stats(); st.Computed != 1 || st.RemoteErrs == 0 {
+		t.Errorf("stats = %+v, want a local compute with remote errors counted", st)
+	}
+}

@@ -58,8 +58,11 @@ type Options struct {
 	// MaxBatch bounds the cell count of one batch request; values < 1
 	// mean 256.
 	MaxBatch int
-	// RetryAfter is the hint sent with 429 and 503 responses; values
-	// <= 0 mean 1s.
+	// RetryAfter is the floor of the hint sent with 429 and 503
+	// responses; values <= 0 mean 1s.  The actual hint scales with
+	// observed load: mean request latency times admission occupancy,
+	// clamped to [RetryAfter, 60s], so a saturated server under slow
+	// cells tells clients to back off longer than one under fast ones.
 	RetryAfter time.Duration
 	// DefaultTrace is the trace policy applied to cells whose request
 	// carries no "trace" field; the zero value means auto (capture each
@@ -97,6 +100,13 @@ type Server struct {
 	mCoalesced *telemetry.Counter
 	gInflight  *telemetry.Gauge
 	hLatency   *telemetry.Histogram
+
+	mCacheHits   *telemetry.Counter
+	mCacheMisses *telemetry.Counter
+	mCachePuts   *telemetry.Counter
+	mTraceHits   *telemetry.Counter
+	mTraceMisses *telemetry.Counter
+	mTracePuts   *telemetry.Counter
 }
 
 // latencyBoundsUS is the request-latency bucket layout in microseconds:
@@ -137,13 +147,25 @@ func New(o Options) *Server {
 		mCoalesced: reg.Counter("server.cells.coalesced"),
 		gInflight:  reg.Gauge("server.cells.inflight"),
 		hLatency:   reg.Histogram("server.request.latency_us", latencyBoundsUS),
+
+		mCacheHits:   reg.Counter("server.cache.hits"),
+		mCacheMisses: reg.Counter("server.cache.misses"),
+		mCachePuts:   reg.Counter("server.cache.puts"),
+		mTraceHits:   reg.Counter("server.traces.hits"),
+		mTraceMisses: reg.Counter("server.traces.misses"),
+		mTracePuts:   reg.Counter("server.traces.puts"),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("POST /v1/cells", s.handleCell)
 	s.mux.HandleFunc("POST /v1/cells:batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	s.mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
+	s.mux.HandleFunc("GET /v1/traces/{key}", s.handleTraceGet)
+	s.mux.HandleFunc("PUT /v1/traces/{key}", s.handleTracePut)
 	if o.EnablePprof {
 		// Registered explicitly: the server owns its mux, so the
 		// side-effect registrations on http.DefaultServeMux from
@@ -312,11 +334,21 @@ func (s *Server) saturated(w http.ResponseWriter) {
 		"server saturated: %d cells in flight (limit %d)", len(s.sem), cap(s.sem))
 }
 
+// retryAfter derives the Retry-After hint from actual admission state
+// rather than a fixed constant: the expected time for a slot to free
+// is roughly one mean request latency, and the fuller the semaphore
+// the less likely an early retry wins the race for it.  The estimate
+// is clamped to [Options.RetryAfter, 60s] so clients never hammer a
+// cold server (no latency samples yet) and never back off absurdly
+// after one pathological request.
 func (s *Server) retryAfter(w http.ResponseWriter) {
-	secs := int(math.Ceil(s.opts.RetryAfter.Seconds()))
-	if secs < 1 {
-		secs = 1
+	floor := s.opts.RetryAfter.Seconds()
+	if floor < 1 {
+		floor = 1
 	}
+	occupancy := float64(len(s.sem)) / float64(cap(s.sem))
+	est := s.hLatency.Mean() / 1e6 * occupancy // mean is in microseconds
+	secs := int(math.Ceil(math.Min(60, math.Max(floor, est))))
 	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 }
 

@@ -1,0 +1,39 @@
+package server
+
+import (
+	"net/http"
+
+	"bioperf5/internal/buildinfo"
+	"bioperf5/internal/harness"
+)
+
+// VersionInfo is the body of GET /v1/version: the wire-schema version
+// every payload carries plus the binary's build identity.  The cluster
+// coordinator handshakes on Schema before dispatching any work — a
+// worker speaking a different schema would hash cells differently or
+// serialize results incompatibly, and must be refused, not averaged
+// in.
+type VersionInfo struct {
+	Schema    string `json:"schema"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// BuildVersion assembles the version report for this binary; the CLI
+// `bioperf5 version` prints the same struct the server serves.
+func BuildVersion() VersionInfo {
+	bi := buildinfo.Read()
+	return VersionInfo{
+		Schema:    harness.SchemaVersion,
+		Version:   bi.Version,
+		GoVersion: bi.GoVersion,
+		Revision:  bi.Revision,
+		Modified:  bi.Modified,
+	}
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, BuildVersion())
+}

@@ -33,20 +33,23 @@ import (
 // StageCost fields, span names and the `bioperf5 spans` report all use
 // this vocabulary, so one grep follows a stage across every surface.
 const (
-	StageRequest   = "serve.request"   // HTTP handler, decode to encode
-	StageAdmission = "serve.admission" // admission-semaphore acquire
-	StageQueue     = "sched.queue"     // bounded-queue wait, submit to dequeue
-	StageExecute   = "sched.execute"   // one job on a worker, dequeue to done
-	StageAttempt   = "sched.attempt"   // one simulation attempt (retries repeat it)
-	StageCompile   = "compile"         // kernel IR build + compile (memoized)
-	StageCapture   = "trace.capture"   // functional execution recording a trace
-	StageReplay    = "trace.replay"    // decoupled timing replay of a trace
-	StageSim       = "sim.coupled"     // coupled functional+timing run (trace off)
-	StageCacheRead = "cache.read"      // disk result-cache probe + trace-store read
-	StageCacheWr   = "cache.write"     // disk result-cache write-back
-	StageJournal   = "journal.append"  // completion-journal fsync'd append
-	StageManifest  = "manifest.write"  // sweep manifest atomic write
-	StageSweep     = "sweep"           // whole-sweep root span
+	StageRequest   = "serve.request"    // HTTP handler, decode to encode
+	StageAdmission = "serve.admission"  // admission-semaphore acquire
+	StageQueue     = "sched.queue"      // bounded-queue wait, submit to dequeue
+	StageExecute   = "sched.execute"    // one job on a worker, dequeue to done
+	StageAttempt   = "sched.attempt"    // one simulation attempt (retries repeat it)
+	StageCompile   = "compile"          // kernel IR build + compile (memoized)
+	StageCapture   = "trace.capture"    // functional execution recording a trace
+	StageReplay    = "trace.replay"     // decoupled timing replay of a trace
+	StageSim       = "sim.coupled"      // coupled functional+timing run (trace off)
+	StageCacheRead = "cache.read"       // disk result-cache probe + trace-store read
+	StageCacheWr   = "cache.write"      // disk result-cache write-back
+	StageJournal   = "journal.append"   // completion-journal fsync'd append
+	StageManifest  = "manifest.write"   // sweep manifest atomic write
+	StageSweep     = "sweep"            // whole-sweep root span
+	StageDispatch  = "cluster.dispatch" // one batch of cells sent to a remote worker
+	StageSteal     = "cluster.steal"    // an idle runner stealing cells from another shard
+	StageMerge     = "cluster.merge"    // per-shard results folded into the manifest
 )
 
 // SpanBoundsUS is the bucket layout of the per-stage latency

@@ -99,6 +99,21 @@ type Key struct {
 	ProgHash  string
 }
 
+// KeyFromMeta reconstructs the content key a trace answers.  Every Key
+// field is stored in the file's meta, which is what lets a remote tier
+// verify an uploaded trace against the address it claims: decode,
+// rebuild the key, hash, compare.
+func KeyFromMeta(m Meta) Key {
+	return Key{
+		App:       m.App,
+		Variant:   m.Variant,
+		Seed:      m.Seed,
+		Scale:     m.Scale,
+		Predictor: m.Predictor,
+		ProgHash:  m.ProgHash,
+	}
+}
+
 // Matches reports whether a trace's meta answers this key.
 func (k Key) Matches(m Meta) bool {
 	return m.App == k.App && m.Variant == k.Variant && m.Seed == k.Seed &&

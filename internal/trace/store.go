@@ -2,6 +2,7 @@ package trace
 
 import (
 	"container/list"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -28,6 +29,12 @@ type StoreOptions struct {
 	// Registry receives the trace.* telemetry counters; nil gets a
 	// private registry.
 	Registry *telemetry.Registry
+	// Upstream, when non-empty, is the base URL of a peer bioperf5
+	// server whose /v1/traces endpoint acts as a shared remote tier:
+	// probed after a local disk miss, pushed to after a local capture.
+	// Best-effort; every downloaded trace is checksum-verified and
+	// matched against the requested key before use.
+	Upstream string
 }
 
 // Store is the content-addressed trace cache: an in-memory LRU with a
@@ -37,6 +44,7 @@ type StoreOptions struct {
 type Store struct {
 	budget int64
 	dir    string
+	remote *remoteTier
 
 	mu       sync.Mutex
 	entries  map[string]*list.Element // key hash -> lru element
@@ -69,7 +77,7 @@ func NewStore(o StoreOptions) *Store {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
-	return &Store{
+	s := &Store{
 		budget:   o.Budget,
 		dir:      o.Dir,
 		entries:  make(map[string]*list.Element),
@@ -85,6 +93,10 @@ func NewStore(o StoreOptions) *Store {
 		gBytes:      reg.Gauge("trace.bytes"),
 		gEntries:    reg.Gauge("trace.entries"),
 	}
+	if o.Upstream != "" {
+		s.remote = newRemoteTier(o.Upstream, reg)
+	}
+	return s
 }
 
 // GetOrCapture returns the trace for key, capturing it with the given
@@ -144,6 +156,13 @@ func (s *Store) Get(key Key) (*Trace, bool) {
 		s.mDiskHits.Add(1)
 		return t, true
 	}
+	if s.remote != nil {
+		if t, ok := s.remote.load(hash, key); ok {
+			s.install(hash, t)
+			s.diskWrite(hash, t)
+			return t, true
+		}
+	}
 	return nil, false
 }
 
@@ -154,12 +173,21 @@ func (s *Store) Put(key Key, t *Trace) {
 	s.diskWrite(key.Hash(), t)
 }
 
-// fill resolves a registered single-flight: disk probe, then capture.
+// fill resolves a registered single-flight: disk probe, then the
+// shared remote tier, then capture (pushing the fresh capture back
+// upstream so the rest of the fleet replays it).
 func (s *Store) fill(hash string, key Key, capture func() (*Trace, error)) (*Trace, bool, error) {
 	if t, ok := s.diskLoad(hash, key); ok {
 		s.install(hash, t)
 		s.mDiskHits.Add(1)
 		return t, true, nil
+	}
+	if s.remote != nil {
+		if t, ok := s.remote.load(hash, key); ok {
+			s.install(hash, t)
+			s.diskWrite(hash, t)
+			return t, true, nil
+		}
 	}
 	t, err := capture()
 	if err != nil {
@@ -168,6 +196,9 @@ func (s *Store) fill(hash string, key Key, capture func() (*Trace, error)) (*Tra
 	s.mCaptures.Add(1)
 	s.install(hash, t)
 	s.diskWrite(hash, t)
+	if s.remote != nil {
+		s.remote.store(hash, t)
+	}
 	return t, false, nil
 }
 
@@ -223,12 +254,18 @@ type Stats struct {
 	DiskWrites uint64 `json:"disk_writes"`
 	Corrupt    uint64 `json:"corrupt"`
 	Evictions  uint64 `json:"evictions"`
+	RemoteHits uint64 `json:"remote_hits,omitempty"`
+	RemotePuts uint64 `json:"remote_puts,omitempty"`
 	Bytes      int64  `json:"bytes"`
 	Entries    int    `json:"entries"`
 }
 
 // Stats snapshots the store counters.
 func (s *Store) Stats() Stats {
+	var rh, rp uint64
+	if s.remote != nil {
+		rh, rp = s.remote.mHits.Value(), s.remote.mPuts.Value()
+	}
 	return Stats{
 		Captures:   s.mCaptures.Value(),
 		MemoryHits: s.mMemHits.Value(),
@@ -236,9 +273,63 @@ func (s *Store) Stats() Stats {
 		DiskWrites: s.mDiskWrites.Value(),
 		Corrupt:    s.mCorrupt.Value(),
 		Evictions:  s.mEvicted.Value(),
+		RemoteHits: rh,
+		RemotePuts: rp,
 		Bytes:      s.Bytes(),
 		Entries:    s.Len(),
 	}
+}
+
+// Entry returns the encoded file form of the trace addressed by hash,
+// from the in-memory tier or (verified) from disk — the body
+// GET /v1/traces/{key} serves.
+func (s *Store) Entry(hash string) ([]byte, bool) {
+	s.mu.Lock()
+	var t *Trace
+	if el, ok := s.entries[hash]; ok {
+		s.lru.MoveToFront(el)
+		t = el.Value.(*storeEntry).t
+	}
+	s.mu.Unlock()
+	if t != nil {
+		b, err := t.EncodeFile()
+		if err != nil {
+			return nil, false
+		}
+		s.mMemHits.Add(1)
+		return b, true
+	}
+	if s.dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.path(hash))
+	if err != nil {
+		return nil, false
+	}
+	// Serve only what verifies: structural + checksum integrity and a
+	// meta that hashes back to the requested address.
+	dt, err := DecodeFile(b)
+	if err != nil || KeyFromMeta(dt.Meta).Hash() != hash {
+		return nil, false
+	}
+	s.mDiskHits.Add(1)
+	return b, true
+}
+
+// Install verifies body as an encoded trace file addressed by hash and
+// stores it in both local tiers — the write path behind
+// PUT /v1/traces/{key}.
+func (s *Store) Install(hash string, body []byte) error {
+	t, err := DecodeFile(body)
+	if err != nil {
+		return err
+	}
+	if KeyFromMeta(t.Meta).Hash() != hash {
+		return fmt.Errorf("trace: uploaded trace does not answer key %s", hash)
+	}
+	s.install(hash, t)
+	s.diskWrite(hash, t)
+	return nil
 }
 
 func (s *Store) path(hash string) string {

@@ -302,9 +302,9 @@ func TestStoreStatsJSONShape(t *testing.T) {
 	// Stats is part of the sweep manifest surface; keep the field set
 	// stable.
 	st := Stats{Captures: 1, MemoryHits: 2, DiskHits: 3, DiskWrites: 4,
-		Corrupt: 5, Evictions: 6, Bytes: 7, Entries: 8}
+		Corrupt: 5, Evictions: 6, RemoteHits: 9, RemotePuts: 10, Bytes: 7, Entries: 8}
 	got := fmt.Sprintf("%+v", st)
-	want := "{Captures:1 MemoryHits:2 DiskHits:3 DiskWrites:4 Corrupt:5 Evictions:6 Bytes:7 Entries:8}"
+	want := "{Captures:1 MemoryHits:2 DiskHits:3 DiskWrites:4 Corrupt:5 Evictions:6 RemoteHits:9 RemotePuts:10 Bytes:7 Entries:8}"
 	if got != want {
 		t.Errorf("Stats shape changed: %s", got)
 	}

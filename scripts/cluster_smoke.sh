@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — stand up a real distributed sweep on the loopback:
+# a cache hub, two `bioperf5 serve` workers pointed at it, and a
+# coordinator sharding the factorial across them.  Mid-run, one worker
+# takes SIGKILL.  The gates: the merged manifest is byte-identical to a
+# single-node run despite the death; a second distributed run against
+# two FRESH workers (empty local caches, same hub) is served almost
+# entirely by the shared cache tier; and the hub's /metrics shows the
+# server.cache.* traffic that service implies.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+pids=()
+cleanup() {
+  for p in "${pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/bioperf5" ./cmd/bioperf5
+
+hub_port=18090
+w1_port=18091
+w2_port=18092
+w3_port=18093
+w4_port=18094
+hub="http://127.0.0.1:$hub_port"
+
+# Sweep sized so ~2s lands mid-run on this fleet.
+sweep_args=(sweep -apps Clustalw,Fasta -fxus 2,3,4 -btac off,8
+            -variants original -seeds 1 -scale 3)
+
+# canon strips the operational fields (timing, scheduler and cluster
+# counters, the stage profile); determinism is asserted on the rest.
+canon() {
+  python3 - "$1" <<'PY'
+import json, sys
+m = json.load(open(sys.argv[1]))
+for k in ("elapsed_ms", "scheduler", "cluster", "profile"):
+    m.pop(k, None)
+print(json.dumps(m, sort_keys=True, indent=1))
+PY
+}
+
+start_worker() { # port cache-dir [extra flags...]
+  local port="$1" dir="$2"; shift 2
+  "$work/bioperf5" serve -addr "127.0.0.1:$port" -cache-dir "$dir" "$@" \
+    2>> "$work/serve-$port.stderr" &
+  pids+=($!)
+  disown $! # quiet bash's "Killed" notices when the test shoots a worker
+}
+
+wait_ready() { # port...
+  for port in "$@"; do
+    local ok=0
+    for _ in $(seq 1 50); do
+      if curl -fsS "http://127.0.0.1:$port/readyz" > /dev/null 2>&1; then ok=1; break; fi
+      sleep 0.2
+    done
+    if [ "$ok" -ne 1 ]; then
+      echo "FAIL: worker on :$port never became ready" >&2
+      cat "$work/serve-$port.stderr" >&2 || true
+      exit 1
+    fi
+  done
+}
+
+echo "== single-node reference"
+"$work/bioperf5" "${sweep_args[@]}" -workers 2 -json > "$work/ref.json"
+
+echo "== start hub + two workers sharing it"
+start_worker "$hub_port" "$work/hub-cache"
+wait_ready "$hub_port"
+start_worker "$w1_port" "$work/w1-cache" -cache-upstream "$hub"
+start_worker "$w2_port" "$work/w2-cache" -cache-upstream "$hub"
+wait_ready "$w1_port" "$w2_port"
+w2_pid="${pids[-1]}"
+
+echo "== distributed run 1: SIGKILL worker 2 after 2s"
+"$work/bioperf5" "${sweep_args[@]}" \
+  -workers "http://127.0.0.1:$w1_port,http://127.0.0.1:$w2_port" \
+  -json > "$work/d1.json" 2> "$work/d1.stderr" &
+coord=$!
+sleep 2
+kill -9 "$w2_pid" 2>/dev/null || true
+if ! wait "$coord"; then
+  echo "FAIL: coordinator exited non-zero after losing a worker" >&2
+  cat "$work/d1.stderr" >&2
+  exit 1
+fi
+
+canon "$work/ref.json" > "$work/ref.canon"
+canon "$work/d1.json"  > "$work/d1.canon"
+if ! diff -u "$work/ref.canon" "$work/d1.canon"; then
+  echo "FAIL: distributed manifest differs from single-node reference" >&2
+  exit 1
+fi
+python3 - "$work/d1.json" <<'PY'
+import json, sys
+c = json.load(open(sys.argv[1]))["cluster"]
+assert c["workers"] == 2, c
+assert c["workers_lost"] == 1, f"expected the killed worker counted dead: {c}"
+assert c["failed_cells"] == 0, f"survivor should finish every cell: {c}"
+assert c["completed"] == c["cells"], c
+print(f"   survived the kill: {c['cells']} cells, {c['stolen']} stolen, "
+      f"{c['redispatched']} re-dispatched, {c['duplicates']} duplicate results dropped")
+PY
+echo "   merged manifest byte-identical to single-node despite the kill"
+
+echo "== distributed run 2: fresh workers, warm shared cache"
+start_worker "$w3_port" "$work/w3-cache" -cache-upstream "$hub"
+start_worker "$w4_port" "$work/w4-cache" -cache-upstream "$hub"
+wait_ready "$w3_port" "$w4_port"
+"$work/bioperf5" "${sweep_args[@]}" \
+  -workers "http://127.0.0.1:$w3_port,http://127.0.0.1:$w4_port" \
+  -json > "$work/d2.json"
+
+canon "$work/d2.json" > "$work/d2.canon"
+if ! diff -u "$work/ref.canon" "$work/d2.canon"; then
+  echo "FAIL: warm-cache manifest differs from single-node reference" >&2
+  exit 1
+fi
+python3 - "$work/d2.json" <<'PY'
+import json, sys
+c = json.load(open(sys.argv[1]))["cluster"]
+rate = (c["cache_hits"] + c["resumed"]) / c["cells"]
+print(f"   warm run served {c['cache_hits']} of {c['cells']} cells from the shared tier ({rate:.0%})")
+assert rate >= 0.9, f"shared cache served only {rate:.0%}, want >= 90%: {c}"
+PY
+
+echo "== hub metrics reflect the traffic"
+curl -fsS "$hub/metrics" > "$work/hub.metrics"
+python3 - "$work/hub.metrics" <<'PY'
+import sys
+vals = {}
+for line in open(sys.argv[1]):
+    if line.startswith("#") or not line.strip():
+        continue
+    name, _, val = line.rpartition(" ")
+    vals[name.strip()] = float(val)
+hits = vals.get("server_cache_hits", 0)
+puts = vals.get("server_cache_puts", 0)
+assert puts > 0, f"hub accepted no cache entries: {vals}"
+assert hits > 0, f"hub served no cache entries: {vals}"
+print(f"   hub: {puts:.0f} entries uploaded, {hits:.0f} served back")
+PY
+
+echo "PASS: distributed sweep byte-identical under worker death; warm fleet served by the shared cache"
