@@ -12,6 +12,7 @@
 //	bioperf5 serve [-addr HOST:PORT] [-workers N] [-cache-dir DIR] [-trace P]
 //	               [-cache-upstream URL] [-max-inflight N] [-request-timeout DUR]
 //	               [-drain-timeout DUR] [-pprof] [-spans DIR]
+//	bioperf5 fsck <dir> [<dir>...]
 //	bioperf5 version [-json]
 //	bioperf5 spans <spans.jsonl> [-json] [-chrome FILE]
 //	bioperf5 trace <Blast|Clustalw|Fasta|Hmmer> <variant> [-scale N] [-seed N]
@@ -42,6 +43,7 @@ import (
 	"bioperf5/internal/core"
 	"bioperf5/internal/cpu"
 	"bioperf5/internal/fault"
+	"bioperf5/internal/fsck"
 	"bioperf5/internal/harness"
 	"bioperf5/internal/kernels"
 	"bioperf5/internal/perf"
@@ -109,6 +111,14 @@ commands:
                            profile: count, total, mean, max, share
                            (-json; -chrome FILE converts the log to a
                            Chrome trace-event file)
+  fsck <dir> [<dir>...]    scrub sweep state directories (result cache,
+                           trace store, resume dir): verify every
+                           checksum, move corrupt files into a
+                           quarantine/ sidecar (never delete), repair
+                           torn journal tails, print a JSON report and
+                           exit nonzero when damage was found; re-running
+                           the sweep with -resume then recomputes only
+                           the quarantined cells
   disasm <application> <variant>
                            show the compiled DP kernel for a predication variant
   variants                 list predication variants
@@ -145,6 +155,8 @@ func main() {
 		err = cmdProfile(os.Args[2:])
 	case "spans":
 		err = cmdSpans(os.Args[2:])
+	case "fsck":
+		err = cmdFsck(os.Args[2:])
 	case "disasm":
 		err = cmdDisasm(os.Args[2:])
 	case "variants":
@@ -328,10 +340,25 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
+	var clusterHTTP *http.Client
 	if injector != nil {
 		if len(hosts) > 0 {
-			fmt.Fprintf(os.Stderr, "bioperf5: %s targets the local engine; ignored with remote -workers (set it on the workers instead)\n", fault.EnvVar)
+			// Distributed mode: the local engine does not exist, so the
+			// engine-site faults are meaningless here — but the network
+			// sites target exactly this coordinator→worker transport.
+			plan, perr := fault.PlanFromEnv()
+			if perr != nil {
+				return perr
+			}
 			injector = nil
+			if plan.HasNetworkFaults() {
+				clusterHTTP = &http.Client{Transport: &fault.ChaosTransport{Plan: plan}}
+				fmt.Fprintf(os.Stderr, "bioperf5: network chaos enabled on the coordinator transport (%s=%s)\n",
+					fault.EnvVar, os.Getenv(fault.EnvVar))
+			}
+			if plan.HasLocalFaults() {
+				fmt.Fprintf(os.Stderr, "bioperf5: %s engine-site faults target the local engine; ignored with remote -workers (set them on the workers instead)\n", fault.EnvVar)
+			}
 		} else {
 			fmt.Fprintf(os.Stderr, "bioperf5: fault injection enabled (%s=%s)\n",
 				fault.EnvVar, os.Getenv(fault.EnvVar))
@@ -420,6 +447,7 @@ func cmdSweep(args []string) error {
 			Retries:  *retries,
 			Journal:  cjournal,
 			Registry: reg,
+			HTTP:     clusterHTTP,
 		})
 	} else {
 		m, err = harness.RunSweep(spec)
@@ -613,6 +641,33 @@ func sweepDegradedSummary(m *harness.SweepManifest) error {
 		m.Degraded, len(m.Points))
 }
 
+// cmdFsck scrubs one or more sweep state directories with the store
+// integrity scrubber, prints the JSON report, and exits nonzero when
+// damage was found — so cron jobs and CI can gate on a clean tree.
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("fsck: need at least one state directory (a -cache-dir or -resume dir)")
+	}
+	rep, err := fsck.Run(fsck.Options{Dirs: fs.Args()})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if rep.Damaged > 0 {
+		return fmt.Errorf("fsck: %d damaged file(s) — %d quarantined, %d repaired (re-run the sweep with -resume to recompute)",
+			rep.Damaged, rep.Quarantined, rep.Repaired)
+	}
+	return nil
+}
+
 // cmdServe exposes the simulation engine as an HTTP/JSON service and
 // runs it until SIGINT/SIGTERM, then drains gracefully: readiness
 // flips to 503, in-flight cells finish, the listener shuts down, and
@@ -649,13 +704,26 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The network fault sites apply to this worker's upstream hub
+	// traffic (shared result cache and trace tier), not just to the
+	// coordinator: a chaos plan set on a worker exercises the tiers'
+	// verify-and-degrade paths over a hostile wire.
+	var cacheTransport http.RoundTripper
+	if injector != nil && *cacheUpstream != "" {
+		if plan, perr := fault.PlanFromEnv(); perr == nil && plan != nil && plan.HasNetworkFaults() {
+			cacheTransport = &fault.ChaosTransport{Plan: plan}
+			fmt.Fprintf(os.Stderr, "bioperf5: network chaos enabled on the cache-upstream transport (%s=%s)\n",
+				fault.EnvVar, os.Getenv(fault.EnvVar))
+		}
+	}
 	eng := sched.New(sched.Options{
-		Workers:       *workers,
-		CacheDir:      *cacheDir,
-		CacheUpstream: *cacheUpstream,
-		Retries:       *retries,
-		CellTimeout:   *cellTimeout,
-		Injector:      injector,
+		Workers:        *workers,
+		CacheDir:       *cacheDir,
+		CacheUpstream:  *cacheUpstream,
+		CacheTransport: cacheTransport,
+		Retries:        *retries,
+		CellTimeout:    *cellTimeout,
+		Injector:       injector,
 	})
 	var tracer *telemetry.Tracer
 	if *spansDir != "" {

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one of the circuit breaker's four states.
+type BreakerState int
+
+const (
+	// BreakerClosed: the worker is healthy, dispatch flows normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: consecutive failures tripped the breaker; dispatch
+	// is suspended until the cooldown elapses and a /readyz probe
+	// succeeds.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and a probe succeeded; one
+	// trial dispatch decides whether the worker re-closes or re-opens.
+	BreakerHalfOpen
+	// BreakerQuarantined: the breaker tripped too many times — the
+	// worker is flapping and is permanently removed from the rotation
+	// for this sweep.
+	BreakerQuarantined
+)
+
+// String names the state for logs and error messages.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerQuarantined:
+		return "quarantined"
+	}
+	return "unknown"
+}
+
+// breaker is a per-worker circuit breaker.  Closed is the happy path;
+// FailureThreshold consecutive dispatch failures open it.  While open,
+// the owner waits out Cooldown and probes /readyz; a successful probe
+// moves to half-open, where the next dispatch outcome decides: success
+// re-closes, failure re-opens.  Each transition into open counts as a
+// trip, and QuarantineTrips trips quarantine the worker for good — a
+// link that keeps flapping wastes more work through re-dispatch than
+// it contributes.  Probe failures while open do NOT count as trips:
+// a long blackout should end in recovery, not quarantine.
+type breaker struct {
+	failureThreshold int
+	cooldown         time.Duration
+	quarantineTrips  int
+	now              func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int // consecutive failures while closed
+	trips    int
+	openedAt time.Time
+}
+
+// breakerConfig sizes a breaker; zero values pick the defaults.
+type breakerConfig struct {
+	FailureThreshold int           // consecutive failures to open (default 3)
+	Cooldown         time.Duration // open → probe wait (default 500ms)
+	QuarantineTrips  int           // trips to quarantine (default 3)
+	Now              func() time.Time
+}
+
+func newBreaker(cfg breakerConfig) *breaker {
+	b := &breaker{
+		failureThreshold: cfg.FailureThreshold,
+		cooldown:         cfg.Cooldown,
+		quarantineTrips:  cfg.QuarantineTrips,
+		now:              cfg.Now,
+	}
+	if b.failureThreshold <= 0 {
+		b.failureThreshold = 3
+	}
+	if b.cooldown <= 0 {
+		b.cooldown = 500 * time.Millisecond
+	}
+	if b.quarantineTrips <= 0 {
+		b.quarantineTrips = 3
+	}
+	if b.now == nil {
+		b.now = time.Now
+	}
+	return b
+}
+
+// State reports the current state.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips reports how many times the breaker has opened.
+func (b *breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Health scores the worker in [0,1]: 1 is a breaker that never
+// tripped, each trip costs a third, quarantine is 0.  The coordinator
+// exports the fleet minimum as a gauge.
+func (b *breaker) Health() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerQuarantined {
+		return 0
+	}
+	h := 1 - float64(b.trips)/float64(b.quarantineTrips)
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
+// Failure records a dispatch failure and returns the resulting state.
+// While closed it counts toward the threshold; the threshold crossing
+// and any half-open failure trip the breaker, and enough trips
+// quarantine it.
+func (b *breaker) Failure() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.failureThreshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerOpen, BreakerQuarantined:
+		// Failures while open (a failed probe counted by the caller, a
+		// straggling in-flight dispatch) carry no new information.
+	}
+	return b.state
+}
+
+// Trip forces the breaker open regardless of the consecutive-failure
+// count — the heartbeat uses it when a worker misses too many probes.
+// Returns the resulting state.
+func (b *breaker) Trip() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerClosed || b.state == BreakerHalfOpen {
+		b.trip()
+	}
+	return b.state
+}
+
+// trip moves to open (or quarantined), caller holds the lock.
+func (b *breaker) trip() {
+	b.trips++
+	b.failures = 0
+	if b.trips >= b.quarantineTrips {
+		b.state = BreakerQuarantined
+		return
+	}
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+}
+
+// Success records a successful dispatch: half-open re-closes, closed
+// clears the consecutive-failure count.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures = 0
+	case BreakerHalfOpen:
+		b.state = BreakerClosed
+		b.failures = 0
+	}
+}
+
+// ProbeDue reports whether the cooldown has elapsed and a /readyz
+// probe should be attempted; zero when not open (or not yet due), else
+// the remaining wait is returned for the caller to sleep.
+func (b *breaker) ProbeDue() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return false, 0
+	}
+	rem := b.cooldown - b.now().Sub(b.openedAt)
+	if rem > 0 {
+		return false, rem
+	}
+	return true, 0
+}
+
+// ProbeResult records the outcome of a /readyz probe while open.
+// Success moves to half-open; failure restarts the cooldown without
+// counting a trip, so an arbitrarily long partition ends in recovery
+// rather than quarantine.
+func (b *breaker) ProbeResult(ok bool) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return b.state
+	}
+	if ok {
+		b.state = BreakerHalfOpen
+	} else {
+		b.openedAt = b.now()
+	}
+	return b.state
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func newTestBreaker(clk *fakeClock) *breaker {
+	return newBreaker(breakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Second,
+		QuarantineTrips:  3,
+		Now:              clk.now,
+	})
+}
+
+func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state = %v", b.State())
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("opened below the threshold: %v", b.State())
+	}
+	// A success clears the consecutive count: two more failures must
+	// not open it.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("success did not reset the failure count: %v", b.State())
+	}
+	if st := b.Failure(); st != BreakerOpen {
+		t.Fatalf("third consecutive failure gave %v, want open", st)
+	}
+	if b.Trips() != 1 {
+		t.Errorf("Trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerHalfOpenProbeCycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	// Cooldown not yet elapsed: no probe due, remaining wait returned.
+	due, rem := b.ProbeDue()
+	if due || rem != time.Second {
+		t.Fatalf("ProbeDue = %v, %v; want false, 1s", due, rem)
+	}
+	clk.advance(time.Second)
+	if due, _ := b.ProbeDue(); !due {
+		t.Fatal("probe not due after the cooldown")
+	}
+	// A failed probe restarts the cooldown without a trip.
+	if st := b.ProbeResult(false); st != BreakerOpen {
+		t.Fatalf("failed probe gave %v, want still open", st)
+	}
+	if due, _ := b.ProbeDue(); due {
+		t.Fatal("failed probe did not restart the cooldown")
+	}
+	if b.Trips() != 1 {
+		t.Errorf("failed probe counted a trip: %d", b.Trips())
+	}
+	clk.advance(time.Second)
+	if st := b.ProbeResult(true); st != BreakerHalfOpen {
+		t.Fatalf("successful probe gave %v, want half-open", st)
+	}
+	// Half-open + success re-closes.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("half-open success gave %v, want closed", b.State())
+	}
+	if b.Trips() != 1 {
+		t.Errorf("Trips = %d after recovery, want 1", b.Trips())
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.advance(time.Second)
+	b.ProbeResult(true)
+	if st := b.Failure(); st != BreakerOpen {
+		t.Fatalf("half-open failure gave %v, want open", st)
+	}
+	if b.Trips() != 2 {
+		t.Errorf("Trips = %d, want 2", b.Trips())
+	}
+}
+
+func TestBreakerQuarantinesAfterEnoughTrips(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	trip := func() BreakerState {
+		var st BreakerState
+		for b.State() == BreakerClosed || b.State() == BreakerHalfOpen {
+			st = b.Failure()
+		}
+		return st
+	}
+	trip() // 1
+	clk.advance(time.Second)
+	b.ProbeResult(true)
+	trip() // 2
+	clk.advance(time.Second)
+	b.ProbeResult(true)
+	if st := trip(); st != BreakerQuarantined {
+		t.Fatalf("third trip gave %v, want quarantined", st)
+	}
+	if h := b.Health(); h != 0 {
+		t.Errorf("quarantined health = %g, want 0", h)
+	}
+	// Quarantine is terminal.
+	if st := b.Failure(); st != BreakerQuarantined {
+		t.Errorf("failure after quarantine gave %v", st)
+	}
+	b.Success()
+	if b.State() != BreakerQuarantined {
+		t.Errorf("success after quarantine gave %v", b.State())
+	}
+}
+
+func TestBreakerTripForcedByHeartbeat(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	if st := b.Trip(); st != BreakerOpen {
+		t.Fatalf("forced trip gave %v, want open", st)
+	}
+	// Re-tripping while already open carries no new information.
+	if st := b.Trip(); st != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("double trip: state %v, trips %d", st, b.Trips())
+	}
+}
+
+func TestBreakerHealthDegradesPerTrip(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	if h := b.Health(); h != 1 {
+		t.Fatalf("fresh health = %g, want 1", h)
+	}
+	b.Trip()
+	if h := b.Health(); h <= 0 || h >= 1 {
+		t.Errorf("one-trip health = %g, want in (0,1)", h)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(breakerConfig{})
+	if b.failureThreshold != 3 || b.cooldown != 500*time.Millisecond || b.quarantineTrips != 3 {
+		t.Errorf("defaults = %d, %v, %d", b.failureThreshold, b.cooldown, b.quarantineTrips)
+	}
+	if b.now == nil {
+		t.Error("default clock missing")
+	}
+}

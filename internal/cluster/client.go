@@ -71,7 +71,9 @@ func (c *Client) Ready(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	io.Copy(io.Discard, resp.Body)
+	// Bounded drain: a readiness probe has a tiny body, and a confused
+	// or adversarial worker must not be able to stream forever.
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("worker %s not ready: %s", c.Base, resp.Status)
@@ -113,9 +115,19 @@ func (c *Client) Batch(ctx context.Context, cells []server.CellRequest, onItem f
 	if err != nil {
 		return err
 	}
+	url := c.Base + "/v1/cells:batch"
 	for attempt := 0; ; attempt++ {
+		// Propagate the coordinator's deadline so a partitioned worker
+		// cannot hold the shard past the sweep deadline: the server
+		// parses ?timeout= into its own request context.
+		u := url
+		if dl, ok := ctx.Deadline(); ok {
+			if rem := time.Until(dl); rem > 0 {
+				u += "?timeout=" + rem.Round(time.Millisecond).String()
+			}
+		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			c.Base+"/v1/cells:batch", bytes.NewReader(body))
+			u, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
@@ -165,7 +177,8 @@ func (c *Client) Batch(ctx context.Context, cells []server.CellRequest, onItem f
 // retryDelay picks the wait before the next dispatch attempt: the
 // server's Retry-After hint when it sent one (it knows its own queue),
 // else exponential backoff from RetryBackoff — both capped at
-// MaxRetryAfter.
+// MaxRetryAfter.  Retry-After accepts both RFC 9110 forms: delay
+// seconds and an HTTP-date.
 func (c *Client) retryDelay(attempt int, resp *http.Response) time.Duration {
 	max := c.MaxRetryAfter
 	if max <= 0 {
@@ -173,8 +186,14 @@ func (c *Client) retryDelay(attempt int, resp *http.Response) time.Duration {
 	}
 	var d time.Duration
 	if resp != nil {
-		if secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); err == nil && secs > 0 {
-			d = time.Duration(secs) * time.Second
+		if v := strings.TrimSpace(resp.Header.Get("Retry-After")); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+				d = time.Duration(secs) * time.Second
+			} else if at, err := http.ParseTime(v); err == nil {
+				if until := time.Until(at); until > 0 {
+					d = until
+				}
+			}
 		}
 	}
 	if d == 0 {

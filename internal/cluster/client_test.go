@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bioperf5/internal/harness"
+	"bioperf5/internal/server"
+)
+
+func TestClientRetryDelayHTTPDate(t *testing.T) {
+	cli := &Client{}
+	resp := func(retryAfter string) *http.Response {
+		h := http.Header{}
+		h.Set("Retry-After", retryAfter)
+		return &http.Response{Header: h}
+	}
+	// RFC 9110 also allows an HTTP-date; a ~5s-out date must be
+	// honored, not silently replaced by the exponential fallback
+	// (250ms at attempt 0).
+	future := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	if d := cli.retryDelay(0, resp(future)); d < 3*time.Second || d > 5*time.Second {
+		t.Errorf("HTTP-date delay = %v, want ~5s", d)
+	}
+	// A date in the past means "now": fall back to backoff.
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d := cli.retryDelay(0, resp(past)); d != 250*time.Millisecond {
+		t.Errorf("past-date delay = %v, want the 250ms backoff", d)
+	}
+	// A far-future date still caps at MaxRetryAfter.
+	far := time.Now().Add(time.Hour).UTC().Format(http.TimeFormat)
+	if d := cli.retryDelay(0, resp(far)); d != 15*time.Second {
+		t.Errorf("far-date delay = %v, want the 15s cap", d)
+	}
+	// Garbage is ignored in favor of backoff.
+	if d := cli.retryDelay(1, resp("soon-ish")); d != 500*time.Millisecond {
+		t.Errorf("garbage hint delay = %v, want 250ms<<1", d)
+	}
+}
+
+func TestClientExponentialFallbackWithoutHint(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cells:batch", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable) // no Retry-After
+			return
+		}
+		json.NewEncoder(w).Encode(server.BatchItem{Schema: harness.SchemaVersion, Index: 0, Status: "error", Error: "stub"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	var delays []time.Duration
+	cli := &Client{
+		Base:         ts.URL,
+		RetryBackoff: time.Millisecond,
+		OnRetry:      func(d time.Duration) { delays = append(delays, d) },
+	}
+	err := cli.Batch(context.Background(), []server.CellRequest{{App: "Blast"}}, func(server.BatchItem) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(delays) != len(want) || delays[0] != want[0] || delays[1] != want[1] {
+		t.Errorf("delays = %v, want doubling %v", delays, want)
+	}
+}
+
+func TestClientNoRetryAfterStreamStart(t *testing.T) {
+	var mu sync.Mutex
+	requests := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cells:batch", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		requests++
+		mu.Unlock()
+		// Stream one good item, then tear the connection down.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		json.NewEncoder(w).Encode(server.BatchItem{Schema: harness.SchemaVersion, Index: 0, Status: "error", Error: "stub"})
+		w.(http.Flusher).Flush()
+		panic(http.ErrAbortHandler)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	cli := &Client{Base: ts.URL, RetryBackoff: time.Millisecond}
+	var items []server.BatchItem
+	err := cli.Batch(context.Background(),
+		[]server.CellRequest{{App: "Blast"}, {App: "Fasta"}},
+		func(it server.BatchItem) { items = append(items, it) })
+	if err == nil {
+		t.Fatal("torn stream returned no error")
+	}
+	if len(items) != 1 {
+		t.Errorf("received %d items before the tear, want 1", len(items))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if requests != 1 {
+		t.Errorf("client sent %d requests, want 1: no retry once the stream has started "+
+			"(the coordinator owns requeueing)", requests)
+	}
+}
+
+func TestClientBackoffSleepHonorsCancellation(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cells:batch", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	cli := &Client{Base: ts.URL}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := cli.Batch(ctx, []server.CellRequest{{App: "Blast"}}, func(server.BatchItem) {})
+	if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("cancelled backoff returned %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cancellation took %v; the 30s Retry-After sleep was not interrupted", d)
+	}
+}
+
+func TestClientPropagatesDeadlineToWorker(t *testing.T) {
+	var gotTimeout string
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cells:batch", func(w http.ResponseWriter, r *http.Request) {
+		gotTimeout = r.URL.Query().Get("timeout")
+		json.NewEncoder(w).Encode(server.BatchItem{Schema: harness.SchemaVersion, Index: 0, Status: "error", Error: "stub"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	cli := &Client{Base: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := cli.Batch(ctx, []server.CellRequest{{App: "Blast"}}, func(server.BatchItem) {}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := time.ParseDuration(gotTimeout)
+	if err != nil {
+		t.Fatalf("?timeout=%q is not a duration: %v", gotTimeout, err)
+	}
+	if d <= 50*time.Second || d > time.Minute {
+		t.Errorf("propagated timeout = %v, want just under the 1m deadline", d)
+	}
+	// No deadline, no parameter.
+	gotTimeout = "unset"
+	if err := cli.Batch(context.Background(), []server.CellRequest{{App: "Blast"}}, func(server.BatchItem) {}); err != nil {
+		t.Fatal(err)
+	}
+	if gotTimeout != "" {
+		t.Errorf("deadline-free dispatch sent ?timeout=%q", gotTimeout)
+	}
+}
+
+func TestClientReadyBoundsBodyRead(t *testing.T) {
+	// A worker streaming an endless /readyz body must not hang the
+	// probe: the read is bounded, and the status decides.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		f := w.(http.Flusher)
+		for i := 0; i < 1000; i++ {
+			if _, err := w.Write(make([]byte, 64*1024)); err != nil {
+				return
+			}
+			f.Flush()
+		}
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	cli := &Client{Base: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- cli.Ready(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Ready = %v, want nil (status was 200)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Ready still draining a 64MB body after 5s; the read is unbounded")
+	}
+}

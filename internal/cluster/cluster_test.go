@@ -140,6 +140,11 @@ func TestWorkerDeathMidSweepIsByteIdentical(t *testing.T) {
 		Spec:      testSpec(nil),
 		BatchSize: 2,
 		Retries:   -1, // fail a dead worker fast instead of backing off
+		// Quarantine the dying worker quickly — two failed dispatches
+		// suffice — before the survivor can drain the sweep on its own.
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Millisecond,
+		QuarantineTrips:  2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -167,6 +172,9 @@ func TestAllWorkersDeadDegradesPerCell(t *testing.T) {
 		Workers: []string{dying.URL},
 		Spec:    testSpec(nil),
 		Retries: -1,
+		// Flap straight into quarantine: every batch aborts, so the
+		// breaker trips until the fleet is gone.
+		BreakerCooldown: time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err) // degraded, not fatal: the manifest must still ship

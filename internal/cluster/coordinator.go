@@ -65,10 +65,18 @@ type Options struct {
 	// <= 0 mean 10 minutes.
 	RequestTimeout time.Duration
 	// HeartbeatEvery is the readiness-probe period; values <= 0 mean
-	// 1s.  HeartbeatMisses consecutive failed probes declare a worker
-	// dead; values < 1 mean 3.
+	// 1s.  HeartbeatMisses consecutive failed probes trip the worker's
+	// circuit breaker; values < 1 mean 3.
 	HeartbeatEvery  time.Duration
 	HeartbeatMisses int
+	// BreakerThreshold is how many consecutive dispatch failures open
+	// a worker's circuit breaker (default 3); BreakerCooldown is the
+	// open-state wait before a /readyz recovery probe (default 500ms);
+	// QuarantineTrips is how many breaker trips permanently remove a
+	// flapping worker (default 3).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	QuarantineTrips  int
 	// Journal, when non-nil, records completed cells for -resume and
 	// replays already-completed ones before dispatching.
 	Journal *Journal
@@ -95,17 +103,30 @@ type unit struct {
 type workerState struct {
 	name   string
 	cli    *Client
+	br     *breaker
 	ctx    context.Context
 	cancel context.CancelFunc
 	queue  []*unit // this worker's shard, in plan order
 	dead   bool
 	misses int // consecutive heartbeat failures; heartbeat goroutine only
+
+	// dispatchCancel aborts the batch currently in flight, if any —
+	// the heartbeat uses it to unwedge a runner stuck talking to an
+	// unresponsive worker without killing the worker for good.
+	// Guarded by the coordinator mutex.
+	dispatchCancel context.CancelFunc
 }
 
 type coordinator struct {
 	o    Options
 	ctx  context.Context // the sweep root context (spans nest here)
 	plan *harness.SweepPlan
+
+	// done is closed when every cell has an answer, so runners asleep
+	// in a breaker cooldown wake up and exit (sync.Cond has no timed
+	// wait).
+	done     chan struct{}
+	doneOnce sync.Once
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -116,6 +137,10 @@ type coordinator struct {
 	undone  int
 	stats   harness.ClusterStats
 	retries uint64 // HTTP retry count, fed by Client.OnRetry
+
+	// breaker telemetry, published at the end of the run
+	brOpened, brReclosed, brQuarantined uint64
+	brProbes, brProbeFails              uint64
 }
 
 // Run executes one distributed sweep and returns its manifest.  It
@@ -153,7 +178,11 @@ func Run(o Options) (*harness.SweepManifest, error) {
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
 
-	c := &coordinator{o: o, ctx: ctx, plan: plan, units: make(map[string]*unit)}
+	c := &coordinator{
+		o: o, ctx: ctx, plan: plan,
+		units: make(map[string]*unit),
+		done:  make(chan struct{}),
+	}
 	c.cond = sync.NewCond(&c.mu)
 
 	c.buildWorkers(runCtx)
@@ -213,6 +242,11 @@ func (c *coordinator) buildWorkers(runCtx context.Context) {
 		wctx, wcancel := context.WithCancel(runCtx)
 		c.workers = append(c.workers, &workerState{
 			name: base, cli: cli, ctx: wctx, cancel: wcancel,
+			br: newBreaker(breakerConfig{
+				FailureThreshold: c.o.BreakerThreshold,
+				Cooldown:         c.o.BreakerCooldown,
+				QuarantineTrips:  c.o.QuarantineTrips,
+			}),
 		})
 	}
 	c.live = len(c.workers)
@@ -225,9 +259,22 @@ func (c *coordinator) buildWorkers(runCtx context.Context) {
 // incompatibly, and silently mixing fleets corrupts the manifest.
 func (c *coordinator) handshake(ctx context.Context) error {
 	for _, w := range c.workers {
-		hctx, cancel := context.WithTimeout(ctx, 10*time.Second)
-		v, err := w.cli.Version(hctx)
-		cancel()
+		var v server.VersionInfo
+		var err error
+		// A transient refusal (a chaotic link, a worker still binding
+		// its socket) must not abort the whole sweep: retry the
+		// handshake on the client's retry budget before giving up.
+		for attempt := 0; ; attempt++ {
+			hctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			v, err = w.cli.Version(hctx)
+			cancel()
+			if err == nil || attempt >= w.cli.retries() || ctx.Err() != nil {
+				break
+			}
+			if serr := w.cli.sleep(ctx, w.cli.retryDelay(attempt, nil)); serr != nil {
+				break
+			}
+		}
 		if err != nil {
 			return fmt.Errorf("cluster: version handshake with %s failed: %w", w.name, err)
 		}
@@ -319,21 +366,125 @@ func cellRequest(pc harness.PlanCell, cfg harness.Config) server.CellRequest {
 	}
 }
 
-// runner is one worker's dispatch loop: pull a batch, send it, record
-// the stream, repeat until the sweep drains or the worker dies.
+// runner is one worker's dispatch loop: wait until the breaker admits
+// dispatch, pull a batch, send it, record the stream, repeat until the
+// sweep drains, the worker is quarantined, or it dies.  A dispatch
+// failure no longer kills the worker outright — it feeds the circuit
+// breaker, which decides between retry-after-cooldown and quarantine.
 func (c *coordinator) runner(w *workerState) {
 	for {
+		if !c.awaitDispatchable(w) {
+			return
+		}
 		batch := c.nextBatch(w)
 		if batch == nil {
 			return
 		}
+		before := w.br.State()
 		err := c.dispatch(w, batch)
 		if err != nil {
 			c.requeue(batch)
-			c.workerLost(w, err)
-			return
+			if c.dispatchFailed(w, err) {
+				return
+			}
+			continue
+		}
+		w.br.Success()
+		if before == BreakerHalfOpen {
+			c.mu.Lock()
+			c.brReclosed++
+			c.mu.Unlock()
+			c.breakerSpan(w, "reclosed")
 		}
 	}
+}
+
+// awaitDispatchable blocks while w's breaker is open: it sleeps out
+// the cooldown, then probes /readyz — success moves to half-open so
+// one trial batch can decide, failure restarts the cooldown.  Returns
+// false when the worker is dead or quarantined, or the sweep is done.
+func (c *coordinator) awaitDispatchable(w *workerState) bool {
+	for {
+		c.mu.Lock()
+		dead, undone := w.dead, c.undone
+		c.mu.Unlock()
+		if dead || undone == 0 {
+			return false
+		}
+		switch w.br.State() {
+		case BreakerClosed, BreakerHalfOpen:
+			return true
+		case BreakerQuarantined:
+			return false
+		}
+		due, rem := w.br.ProbeDue()
+		if !due {
+			t := time.NewTimer(rem)
+			select {
+			case <-t.C:
+			case <-w.ctx.Done():
+				t.Stop()
+				return false
+			case <-c.done:
+				t.Stop()
+				return false
+			}
+			t.Stop()
+			continue
+		}
+		pctx, cancel := context.WithTimeout(w.ctx, c.o.HeartbeatEvery)
+		err := w.cli.Ready(pctx)
+		cancel()
+		c.mu.Lock()
+		c.brProbes++
+		if err != nil {
+			c.brProbeFails++
+		}
+		c.mu.Unlock()
+		// A failed probe restarts the cooldown without counting a
+		// trip: a long partition must end in recovery, not quarantine.
+		w.br.ProbeResult(err == nil)
+	}
+}
+
+// dispatchFailed feeds one dispatch failure to w's breaker and acts on
+// the resulting state.  Returns true when the runner should exit (the
+// worker was quarantined or is dead).
+func (c *coordinator) dispatchFailed(w *workerState, err error) bool {
+	before := w.br.State()
+	state := w.br.Failure()
+	switch {
+	case state == BreakerQuarantined:
+		c.mu.Lock()
+		c.brQuarantined++
+		c.brOpened++ // the quarantining failure is also a trip
+		c.stats.BreakerTrips++
+		c.stats.Quarantined++
+		c.mu.Unlock()
+		c.breakerSpan(w, "quarantined")
+		c.workerLost(w, fmt.Errorf(
+			"quarantined after %d breaker trips, last error: %w", w.br.Trips(), err))
+		return true
+	case state == BreakerOpen && before != BreakerOpen:
+		c.mu.Lock()
+		c.brOpened++
+		c.stats.BreakerTrips++
+		c.mu.Unlock()
+		c.breakerSpan(w, "opened")
+	}
+	c.mu.Lock()
+	dead := w.dead
+	c.mu.Unlock()
+	return dead
+}
+
+// breakerSpan emits one transition span.
+func (c *coordinator) breakerSpan(w *workerState, transition string) {
+	_, sp := telemetry.StartSpan(c.ctx, telemetry.StageBreaker)
+	sp.Attr("worker", w.name)
+	sp.Attr("transition", transition)
+	sp.AttrInt("trips", int64(w.br.Trips()))
+	sp.End()
 }
 
 // nextBatch blocks until w has work (or nothing remains): orphaned
@@ -430,10 +581,21 @@ func (c *coordinator) longestQueue(w *workerState) *workerState {
 	return victim
 }
 
-// dispatch sends one batch and records its streamed results.
+// dispatch sends one batch and records its streamed results.  The
+// batch context is registered on the worker so the heartbeat can abort
+// a wedged request, and its deadline propagates to the worker through
+// the batch API's ?timeout= (see Client.Batch).
 func (c *coordinator) dispatch(w *workerState, batch []*unit) error {
 	ctx, cancel := context.WithTimeout(w.ctx, c.o.RequestTimeout)
 	defer cancel()
+	c.mu.Lock()
+	w.dispatchCancel = cancel
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		w.dispatchCancel = nil
+		c.mu.Unlock()
+	}()
 	_, sp := telemetry.StartSpan(c.ctx, telemetry.StageDispatch)
 	sp.Attr("worker", w.name)
 	sp.AttrInt("cells", int64(len(batch)))
@@ -505,7 +667,17 @@ func (c *coordinator) record(batch []*unit, item server.BatchItem) {
 	}
 	u.done = true
 	c.undone--
+	c.noteUndoneLocked()
 	c.cond.Broadcast()
+}
+
+// noteUndoneLocked closes the done channel once every cell has an
+// answer, waking runners asleep in breaker cooldowns.  Caller holds
+// the lock.
+func (c *coordinator) noteUndoneLocked() {
+	if c.undone == 0 {
+		c.doneOnce.Do(func() { close(c.done) })
+	}
 }
 
 // requeue returns a failed dispatch's unanswered cells to the orphan
@@ -559,11 +731,16 @@ func (c *coordinator) failUndone(reason string) {
 		c.stats.FailedCells++
 		c.undone--
 	}
+	c.noteUndoneLocked()
 }
 
-// heartbeat probes every live worker's /readyz; HeartbeatMisses
-// consecutive failures declare it dead even if its runner is wedged
-// mid-request (the cancel in workerLost unwedges it).
+// heartbeat probes every live worker's /readyz.  HeartbeatMisses
+// consecutive failures trip the worker's circuit breaker and abort its
+// in-flight batch, so a runner wedged mid-request on an unresponsive
+// worker unblocks without waiting out the request timeout; the runner
+// then owns recovery (cooldown, probe, half-open trial).  Workers
+// whose breaker is already open are skipped — the runner is probing.
+// A worker that quarantines from heartbeat trips is declared dead.
 func (c *coordinator) heartbeat(ctx context.Context) {
 	t := time.NewTicker(c.o.HeartbeatEvery)
 	defer t.Stop()
@@ -577,7 +754,7 @@ func (c *coordinator) heartbeat(ctx context.Context) {
 			c.mu.Lock()
 			dead := w.dead
 			c.mu.Unlock()
-			if dead {
+			if dead || w.br.State() != BreakerClosed {
 				continue
 			}
 			pctx, cancel := context.WithTimeout(ctx, c.o.HeartbeatEvery)
@@ -588,8 +765,28 @@ func (c *coordinator) heartbeat(ctx context.Context) {
 				continue
 			}
 			w.misses++
-			if w.misses >= c.o.HeartbeatMisses {
-				c.workerLost(w, fmt.Errorf("missed %d heartbeats: %w", w.misses, err))
+			if w.misses < c.o.HeartbeatMisses {
+				continue
+			}
+			w.misses = 0
+			state := w.br.Trip()
+			c.mu.Lock()
+			c.brOpened++
+			c.stats.BreakerTrips++
+			if state == BreakerQuarantined {
+				c.brQuarantined++
+				c.stats.Quarantined++
+			}
+			abort := w.dispatchCancel
+			c.mu.Unlock()
+			if abort != nil {
+				abort()
+			}
+			if state == BreakerQuarantined {
+				c.breakerSpan(w, "quarantined")
+				c.workerLost(w, fmt.Errorf("quarantined after missed heartbeats: %w", err))
+			} else {
+				c.breakerSpan(w, "opened")
 			}
 		}
 	}
@@ -651,6 +848,23 @@ func (c *coordinator) publish() {
 	reg.Counter("cluster.cache_hits").Add(s.CacheHits)
 	reg.Counter("cluster.batches").Add(s.Batches)
 	reg.Counter("cluster.http_retries").Add(s.Retries)
+	c.mu.Lock()
+	opened, reclosed, quarantined := c.brOpened, c.brReclosed, c.brQuarantined
+	probes, probeFails := c.brProbes, c.brProbeFails
+	c.mu.Unlock()
+	reg.Counter("cluster.breaker.opened").Add(opened)
+	reg.Counter("cluster.breaker.reclosed").Add(reclosed)
+	reg.Counter("cluster.breaker.quarantined").Add(quarantined)
+	reg.Counter("cluster.breaker.probes").Add(probes)
+	reg.Counter("cluster.breaker.probe_failures").Add(probeFails)
+	// The fleet's weakest link, in [0,1]: 1 = no breaker ever tripped.
+	minHealth := 1.0
+	for _, w := range c.workers {
+		if h := w.br.Health(); h < minHealth {
+			minHealth = h
+		}
+	}
+	reg.Gauge("cluster.breaker.min_health").Set(minHealth)
 }
 
 // detailFromStats reconstructs the engine-side per-seed detail from

@@ -1,9 +1,13 @@
 // Package fault is the deterministic fault-injection layer behind the
 // scheduler's chaos testing.  An Injector is consulted by the engine at
-// two sites — job execution and the disk-cache write — and answers with
-// a Decision: inject nothing, or one of the failure modes the
-// fault-tolerant sweep must survive (a panic, a transient error, an
-// artificial hang, a spurious cancellation, a corrupted cache entry).
+// in-process sites — job execution, the disk-cache write, the
+// trace-store write — and by the ChaosTransport at wire sites — dial,
+// response, stream — and answers with a Decision: inject nothing, or
+// one of the failure modes the fault-tolerant sweep must survive (a
+// panic, a transient error, an artificial hang, a spurious
+// cancellation, a corrupted store entry, a refused or delayed dial, a
+// synthesized 5xx, a cut or corrupted or duplicated response stream, a
+// per-worker blackout window).
 //
 // The stock Plan injector is seedable and fully deterministic: the
 // decision for a given (seed, site, cell hash, attempt) never changes,
@@ -28,6 +32,17 @@ const (
 	SiteExecute Site = iota
 	// SiteStore is the disk-cache write of a computed result.
 	SiteStore
+	// SiteTrace is the trace-store disk write of a captured trace.
+	SiteTrace
+	// SiteDial is a transport-level request about to leave the client
+	// (connection refusal, added latency, blackout windows).
+	SiteDial
+	// SiteResponse is a transport-level response about to reach the
+	// client (synthesized 5xx answers).
+	SiteResponse
+	// SiteStream is a response body being streamed to the client
+	// (mid-stream cuts, corrupted or duplicated JSONL lines).
+	SiteStream
 )
 
 // Kind is a failure mode.
@@ -45,9 +60,33 @@ const (
 	Hang
 	// Cancel fails the attempt with a spurious cancellation error.
 	Cancel
-	// Corrupt truncates the freshly written disk-cache entry,
-	// modelling a torn write or bit rot (SiteStore only).
+	// Corrupt truncates the freshly written disk-cache or trace-store
+	// entry, modelling a torn write or bit rot (SiteStore/SiteTrace).
 	Corrupt
+	// Refuse fails a dial with a connection-refused error (SiteDial).
+	Refuse
+	// Latency delays a request by Decision.Delay before it is sent,
+	// modelling a slow or congested link (SiteDial).
+	Latency
+	// HTTP5xx replaces the worker's answer with a synthesized 503,
+	// modelling a proxy or worker blowing up after accepting the
+	// request (SiteResponse).
+	HTTP5xx
+	// Cut severs the response body mid-stream with an unexpected EOF,
+	// modelling a torn connection (SiteStream).
+	Cut
+	// CorruptLine mangles the leading bytes of the response body so a
+	// JSONL (or JSON) consumer sees garbage, modelling on-the-wire
+	// corruption (SiteStream).
+	CorruptLine
+	// DupItem duplicates the first complete JSONL line of the body,
+	// modelling at-least-once delivery (SiteStream).  Consumers must
+	// dedup; the coordinator's first-result-wins does.
+	DupItem
+	// Blackout refuses every request to one worker for a window of
+	// requests, modelling a network partition (SiteDial; reported by
+	// the transport when the plan's blackout window matches).
+	Blackout
 )
 
 // String names the kind for error messages and specs.
@@ -65,6 +104,20 @@ func (k Kind) String() string {
 		return "cancel"
 	case Corrupt:
 		return "corrupt"
+	case Refuse:
+		return "refuse"
+	case Latency:
+		return "latency"
+	case HTTP5xx:
+		return "http5xx"
+	case Cut:
+		return "cut"
+	case CorruptLine:
+		return "corruptline"
+	case DupItem:
+		return "dupitem"
+	case Blackout:
+		return "blackout"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -88,6 +141,12 @@ type Injector interface {
 // engine's cell deadline so the watchdog path is exercised.
 const DefaultHangDelay = 30 * time.Second
 
+// DefaultLatencyDelay is the added request latency used when a Plan
+// does not set one.  It is deliberately short: latency injection is
+// meant to reorder completions and exercise stealing, not to trip
+// request deadlines.
+const DefaultLatencyDelay = 25 * time.Millisecond
+
 // Plan is the stock deterministic injector: per-kind probabilities
 // evaluated against a hash of (Seed, site, cell hash, attempt).  The
 // zero value injects nothing.
@@ -103,9 +162,38 @@ type Plan struct {
 	// Store-site rate in [0,1].
 	CorruptRate float64
 
+	// Trace-site rate in [0,1]: probability that a trace-store disk
+	// write is torn after landing.
+	TraceCorruptRate float64
+
+	// Dial-site rates, each in [0,1] with a sum <= 1.
+	RefuseRate  float64
+	LatencyRate float64
+
+	// Response-site rate in [0,1]: probability a worker's answer is
+	// replaced with a synthesized 503.
+	HTTP5xxRate float64
+
+	// Stream-site rates, each in [0,1] with a sum <= 1.
+	CutRate         float64
+	CorruptLineRate float64
+	DupItemRate     float64
+
+	// Blackout describes a per-worker partition window: every request
+	// whose host contains BlackoutTarget and whose per-host request
+	// ordinal falls in [BlackoutFrom, BlackoutFrom+BlackoutFor) is
+	// refused.  Empty target disables the window.
+	BlackoutTarget string
+	BlackoutFrom   int
+	BlackoutFor    int
+
 	// HangDelay is how long a Hang decision sleeps (<= 0 means
 	// DefaultHangDelay).
 	HangDelay time.Duration
+
+	// LatencyDelay is how long a Latency decision stalls a request
+	// before it is sent (<= 0 means DefaultLatencyDelay).
+	LatencyDelay time.Duration
 
 	// Times caps injections per (site, cell): attempts >= Times are
 	// left alone (<= 0 means 1).  Keeping Times at or below the
@@ -116,26 +204,61 @@ type Plan struct {
 
 // Validate checks the plan's rates and budgets.
 func (p *Plan) Validate() error {
-	execSum := 0.0
 	for _, r := range []struct {
 		name string
 		rate float64
 	}{
 		{"panic", p.PanicRate}, {"error", p.ErrorRate},
 		{"hang", p.HangRate}, {"cancel", p.CancelRate},
-		{"corrupt", p.CorruptRate},
+		{"corrupt", p.CorruptRate}, {"tracecorrupt", p.TraceCorruptRate},
+		{"refuse", p.RefuseRate}, {"latency", p.LatencyRate},
+		{"http5xx", p.HTTP5xxRate},
+		{"cut", p.CutRate}, {"corruptline", p.CorruptLineRate},
+		{"dupitem", p.DupItemRate},
 	} {
 		if r.rate < 0 || r.rate > 1 {
 			return fmt.Errorf("fault: %s rate %g out of range [0,1]", r.name, r.rate)
 		}
-		if r.name != "corrupt" {
-			execSum += r.rate
+	}
+	for _, s := range []struct {
+		name string
+		sum  float64
+	}{
+		{"execute", p.PanicRate + p.ErrorRate + p.HangRate + p.CancelRate},
+		{"dial", p.RefuseRate + p.LatencyRate},
+		{"stream", p.CutRate + p.CorruptLineRate + p.DupItemRate},
+	} {
+		if s.sum > 1 {
+			return fmt.Errorf("fault: %s-site rates sum to %g, must be <= 1", s.name, s.sum)
 		}
 	}
-	if execSum > 1 {
-		return fmt.Errorf("fault: execute-site rates sum to %g, must be <= 1", execSum)
+	if p.BlackoutTarget != "" && (p.BlackoutFrom < 0 || p.BlackoutFor <= 0) {
+		return fmt.Errorf("fault: blackout window %d+%d invalid, want FROM >= 0 and FOR > 0",
+			p.BlackoutFrom, p.BlackoutFor)
 	}
 	return nil
+}
+
+// HasNetworkFaults reports whether the plan injects anything at the
+// transport sites (dial, response, stream) or defines a blackout
+// window; when false a ChaosTransport built from it is a no-op.
+func (p *Plan) HasNetworkFaults() bool {
+	if p == nil {
+		return false
+	}
+	return p.RefuseRate > 0 || p.LatencyRate > 0 || p.HTTP5xxRate > 0 ||
+		p.CutRate > 0 || p.CorruptLineRate > 0 || p.DupItemRate > 0 ||
+		(p.BlackoutTarget != "" && p.BlackoutFor > 0)
+}
+
+// HasLocalFaults reports whether the plan injects anything at the
+// in-process sites (execute, store, trace).
+func (p *Plan) HasLocalFaults() bool {
+	if p == nil {
+		return false
+	}
+	return p.PanicRate > 0 || p.ErrorRate > 0 || p.HangRate > 0 ||
+		p.CancelRate > 0 || p.CorruptRate > 0 || p.TraceCorruptRate > 0
 }
 
 func (p *Plan) times() int {
@@ -150,6 +273,13 @@ func (p *Plan) hangDelay() time.Duration {
 		return DefaultHangDelay
 	}
 	return p.HangDelay
+}
+
+func (p *Plan) latencyDelay() time.Duration {
+	if p.LatencyDelay <= 0 {
+		return DefaultLatencyDelay
+	}
+	return p.LatencyDelay
 }
 
 // draw maps (Seed, site, hash, attempt) to a uniform value in [0,1),
@@ -171,6 +301,47 @@ func (p *Plan) Decide(site Site, hash string, attempt int) Decision {
 	case SiteStore:
 		if u < p.CorruptRate {
 			return Decision{Kind: Corrupt}
+		}
+	case SiteTrace:
+		if u < p.TraceCorruptRate {
+			return Decision{Kind: Corrupt}
+		}
+	case SiteDial:
+		cum := 0.0
+		for _, c := range []struct {
+			rate float64
+			kind Kind
+		}{
+			{p.RefuseRate, Refuse},
+			{p.LatencyRate, Latency},
+		} {
+			cum += c.rate
+			if c.rate > 0 && u < cum {
+				d := Decision{Kind: c.kind}
+				if c.kind == Latency {
+					d.Delay = p.latencyDelay()
+				}
+				return d
+			}
+		}
+	case SiteResponse:
+		if u < p.HTTP5xxRate {
+			return Decision{Kind: HTTP5xx}
+		}
+	case SiteStream:
+		cum := 0.0
+		for _, c := range []struct {
+			rate float64
+			kind Kind
+		}{
+			{p.CutRate, Cut},
+			{p.CorruptLineRate, CorruptLine},
+			{p.DupItemRate, DupItem},
+		} {
+			cum += c.rate
+			if c.rate > 0 && u < cum {
+				return Decision{Kind: c.kind}
+			}
 		}
 	case SiteExecute:
 		cum := 0.0

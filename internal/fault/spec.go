@@ -20,12 +20,26 @@ const EnvVar = "BIOPERF5_FAULTS"
 //	hang=R        artificial-hang probability
 //	cancel=R      spurious-cancellation probability
 //	corrupt=R     corrupted-cache-write probability
+//	tracecorrupt=R corrupted trace-store-write probability
 //	delay=DUR     hang duration (default 30s; set the engine's cell
 //	              timeout below it to exercise the watchdog)
 //	times=N       max injections per (site, cell) (default 1; keep it
 //	              at or below the retry budget so sweeps converge)
 //
+// Transport (wire) keys, consumed by ChaosTransport:
+//
+//	refuse=R      connection-refused probability per dial
+//	latency=R     added-latency probability per dial
+//	latdelay=DUR  added latency per Latency decision (default 25ms)
+//	http5xx=R     synthesized-503 probability per response
+//	cut=R         mid-stream-cut probability per response body
+//	corruptline=R corrupted-leading-bytes probability per response body
+//	dupitem=R     duplicated-first-JSONL-line probability per body
+//	blackout=HOST@N+M  refuse every request whose host contains HOST
+//	              and whose per-host request ordinal is in [N, N+M)
+//
 // Example: "seed=42,panic=0.2,error=0.2,corrupt=0.3,times=1".
+// Example: "seed=7,refuse=0.2,cut=0.2,blackout=18091@2+4,times=8".
 // An empty spec returns (nil, nil): no injection.
 func Parse(spec string) (*Plan, error) {
 	spec = strings.TrimSpace(spec)
@@ -50,7 +64,8 @@ func Parse(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("fault: bad seed %q: %w", val, err)
 			}
 			p.Seed = n
-		case "panic", "error", "hang", "cancel", "corrupt":
+		case "panic", "error", "hang", "cancel", "corrupt", "tracecorrupt",
+			"refuse", "latency", "http5xx", "cut", "corruptline", "dupitem":
 			r, err := strconv.ParseFloat(val, 64)
 			if err != nil {
 				return nil, fmt.Errorf("fault: bad %s rate %q: %w", key, val, err)
@@ -66,6 +81,20 @@ func Parse(spec string) (*Plan, error) {
 				p.CancelRate = r
 			case "corrupt":
 				p.CorruptRate = r
+			case "tracecorrupt":
+				p.TraceCorruptRate = r
+			case "refuse":
+				p.RefuseRate = r
+			case "latency":
+				p.LatencyRate = r
+			case "http5xx":
+				p.HTTP5xxRate = r
+			case "cut":
+				p.CutRate = r
+			case "corruptline":
+				p.CorruptLineRate = r
+			case "dupitem":
+				p.DupItemRate = r
 			}
 		case "delay":
 			d, err := time.ParseDuration(val)
@@ -73,6 +102,29 @@ func Parse(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("fault: bad delay %q: want a positive duration like 250ms", val)
 			}
 			p.HangDelay = d
+		case "latdelay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("fault: bad latdelay %q: want a positive duration like 25ms", val)
+			}
+			p.LatencyDelay = d
+		case "blackout":
+			target, window, ok := strings.Cut(val, "@")
+			if !ok || target == "" {
+				return nil, fmt.Errorf("fault: bad blackout %q: want HOST@FROM+FOR", val)
+			}
+			from, dur, ok := strings.Cut(window, "+")
+			if !ok {
+				return nil, fmt.Errorf("fault: bad blackout window %q: want FROM+FOR", window)
+			}
+			f, err1 := strconv.Atoi(from)
+			n, err2 := strconv.Atoi(dur)
+			if err1 != nil || err2 != nil || f < 0 || n < 1 {
+				return nil, fmt.Errorf("fault: bad blackout window %q: want FROM >= 0 and FOR >= 1", window)
+			}
+			p.BlackoutTarget = target
+			p.BlackoutFrom = f
+			p.BlackoutFor = n
 		case "times":
 			n, err := strconv.Atoi(val)
 			if err != nil || n < 1 {
@@ -80,7 +132,7 @@ func Parse(spec string) (*Plan, error) {
 			}
 			p.Times = n
 		default:
-			return nil, fmt.Errorf("fault: unknown spec key %q (valid: seed, panic, error, hang, cancel, corrupt, delay, times)", key)
+			return nil, fmt.Errorf("fault: unknown spec key %q (valid: seed, panic, error, hang, cancel, corrupt, tracecorrupt, refuse, latency, http5xx, cut, corruptline, dupitem, blackout, delay, latdelay, times)", key)
 		}
 	}
 	if err := p.Validate(); err != nil {
@@ -92,12 +144,24 @@ func Parse(spec string) (*Plan, error) {
 // FromEnv parses the BIOPERF5_FAULTS environment variable.  An unset
 // or empty variable returns (nil, nil).
 func FromEnv() (Injector, error) {
-	p, err := Parse(os.Getenv(EnvVar))
+	p, err := PlanFromEnv()
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", EnvVar, err)
+		return nil, err
 	}
 	if p == nil {
 		return nil, nil
+	}
+	return p, nil
+}
+
+// PlanFromEnv parses the BIOPERF5_FAULTS environment variable and
+// returns the concrete Plan, letting callers split it between the
+// in-process injector and the chaos transport.  An unset or empty
+// variable returns (nil, nil).
+func PlanFromEnv() (*Plan, error) {
+	p, err := Parse(os.Getenv(EnvVar))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", EnvVar, err)
 	}
 	return p, nil
 }

@@ -1,0 +1,350 @@
+// Package fsck scrubs bioperf5's durable state — result caches, trace
+// stores, and completion journals — for the damage the fault injector
+// (or a real crash, torn write, or bit flip) can leave behind.
+//
+// The scrubber never deletes anything.  A file that fails verification
+// is moved into a `quarantine/` sidecar directory under the scanned
+// root, where a human (or a test) can inspect it; the engines treat
+// the resulting hole as a cache miss and recompute.  Journals are the
+// one thing repaired in place: valid lines are kept, torn tails and
+// corrupt lines are dropped, and the original bytes are preserved in
+// quarantine first.
+//
+// Every durable format is self-verifying, so the scrubber needs no
+// engine and no sweep spec — just the directory:
+//
+//   - <64-hex>.json   result-cache entry: must parse, its key must hash
+//     back to the filename, its result must match the embedded checksum
+//     (sched.VerifyEntry)
+//   - <64-hex>.trace  trace file: magic | meta | payload | SHA-256
+//     suffix must verify, and the meta's key must hash to the filename
+//   - *.jsonl         append-only journal: every complete line must be
+//     valid JSON; a final unterminated line is a torn tail
+//   - *.tmp*          a write that never reached its rename: stale,
+//     quarantined
+//
+// Anything else (manifests, span logs the scrubber does not recognize,
+// README files) is left untouched.
+package fsck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"bioperf5/internal/sched"
+	"bioperf5/internal/telemetry"
+	"bioperf5/internal/trace"
+)
+
+// Schema versions the JSON report shape.
+const Schema = 1
+
+// QuarantineDirName is the sidecar directory corrupt files are moved
+// into, created under each scanned root.  The scrubber never descends
+// into it, so re-running fsck is idempotent.
+const QuarantineDirName = "quarantine"
+
+// Finding kinds.
+const (
+	KindCacheCorrupt     = "cache-entry-corrupt"  // .json entry failed verification
+	KindTraceCorrupt     = "trace-corrupt"        // .trace failed structural/checksum verification
+	KindTraceKeyMismatch = "trace-key-mismatch"   // .trace verified but answers a different key
+	KindJournalTornTail  = "journal-torn-tail"    // .jsonl ends mid-record
+	KindJournalBadLine   = "journal-corrupt-line" // .jsonl holds a complete but unparseable line
+	KindStaleTemp        = "stale-temp"           // orphaned .tmp* file from an interrupted write
+)
+
+// Finding is one damaged file (or, for journals, one damaged region).
+type Finding struct {
+	Path          string `json:"path"`
+	Kind          string `json:"kind"`
+	Detail        string `json:"detail"`
+	QuarantinedTo string `json:"quarantined_to,omitempty"`
+	Repaired      bool   `json:"repaired,omitempty"`
+}
+
+// Report is the machine-readable scrub result `bioperf5 fsck` prints.
+type Report struct {
+	Schema      int       `json:"schema"`
+	Dirs        []string  `json:"dirs"`
+	Scanned     int       `json:"scanned"`
+	OK          int       `json:"ok"`
+	Damaged     int       `json:"damaged"`
+	Quarantined int       `json:"quarantined"`
+	Repaired    int       `json:"repaired"`
+	Findings    []Finding `json:"findings,omitempty"`
+}
+
+// Options configures a scrub.
+type Options struct {
+	// Dirs are the roots to scan (result-cache, trace-store, and
+	// resume directories all work; they share the same file formats).
+	// At least one is required.
+	Dirs []string
+	// Registry, when non-nil, receives the fsck.* counters.
+	Registry *telemetry.Registry
+}
+
+// Run scans every directory in o.Dirs, quarantines what fails
+// verification, repairs torn journals, and returns the report.  The
+// error covers operational failures (unreadable roots, failed moves) —
+// finding damage is not an error; callers check Report.Damaged.
+func Run(o Options) (*Report, error) {
+	if len(o.Dirs) == 0 {
+		return nil, fmt.Errorf("fsck: no directories to scan")
+	}
+	s := &scrubber{rep: &Report{Schema: Schema, Dirs: o.Dirs}}
+	for _, dir := range o.Dirs {
+		if err := s.scanDir(dir); err != nil {
+			return nil, err
+		}
+	}
+	if reg := o.Registry; reg != nil {
+		reg.Counter("fsck.scanned").Add(uint64(s.rep.Scanned))
+		reg.Counter("fsck.corrupt").Add(uint64(s.rep.Damaged))
+		reg.Counter("fsck.quarantined").Add(uint64(s.rep.Quarantined))
+		reg.Counter("fsck.repaired").Add(uint64(s.rep.Repaired))
+	}
+	return s.rep, nil
+}
+
+type scrubber struct {
+	rep  *Report
+	root string // the Dirs entry currently being walked; quarantine lands under it
+}
+
+func (s *scrubber) scanDir(root string) error {
+	if fi, err := os.Stat(root); err != nil {
+		return fmt.Errorf("fsck: %w", err)
+	} else if !fi.IsDir() {
+		return fmt.Errorf("fsck: %s is not a directory", root)
+	}
+	s.root = root
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return fmt.Errorf("fsck: %w", err)
+		}
+		if d.IsDir() {
+			if d.Name() == QuarantineDirName {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		return s.scanFile(path, d.Name())
+	})
+}
+
+// scanFile classifies one file by name and runs the matching verifier.
+// Unrecognized files are ignored without counting as scanned.
+func (s *scrubber) scanFile(path, name string) error {
+	ext := filepath.Ext(name)
+	stem := strings.TrimSuffix(name, ext)
+	switch {
+	case strings.Contains(name, ".tmp"):
+		s.rep.Scanned++
+		return s.condemn(path, KindStaleTemp, "interrupted write never renamed into place")
+	case ext == ".json" && isHex64(stem):
+		s.rep.Scanned++
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("fsck: %w", err)
+		}
+		if err := sched.VerifyEntry(b, stem); err != nil {
+			return s.condemn(path, KindCacheCorrupt, err.Error())
+		}
+	case ext == ".trace" && isHex64(stem):
+		s.rep.Scanned++
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("fsck: %w", err)
+		}
+		t, err := trace.DecodeFile(b)
+		if err != nil {
+			return s.condemn(path, KindTraceCorrupt, err.Error())
+		}
+		if got := trace.KeyFromMeta(t.Meta).Hash(); got != stem {
+			return s.condemn(path, KindTraceKeyMismatch,
+				fmt.Sprintf("trace answers key %s, not its address", got))
+		}
+	case ext == ".jsonl":
+		s.rep.Scanned++
+		return s.scrubJournal(path)
+	default:
+		return nil
+	}
+	s.rep.OK++
+	return nil
+}
+
+// condemn quarantines a file that failed verification and records the
+// finding.
+func (s *scrubber) condemn(path, kind, detail string) error {
+	dst, err := s.quarantinePath(path)
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return fmt.Errorf("fsck: quarantine %s: %w", path, err)
+	}
+	s.rep.Quarantined++
+	s.finding(Finding{Path: path, Kind: kind, Detail: detail, QuarantinedTo: dst})
+	return nil
+}
+
+// scrubJournal validates an append-only JSONL log line by line.  Valid
+// lines are kept; a torn tail (final line with no newline that does not
+// parse) and complete-but-corrupt lines are dropped.  When anything is
+// dropped, the original bytes are preserved in quarantine and the
+// cleaned log is written back atomically, so a concurrent crash can
+// never make things worse.
+func (s *scrubber) scrubJournal(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("fsck: %w", err)
+	}
+	var good bytes.Buffer
+	var badLines int
+	var tornTail, missingNewline bool
+	rest := b
+	for len(rest) > 0 {
+		line, tail, terminated := cutLine(rest)
+		rest = tail
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue // blank line: drop silently, not damage
+		}
+		if !json.Valid(line) {
+			if terminated {
+				badLines++
+			} else {
+				tornTail = true
+			}
+			continue
+		}
+		if !terminated {
+			// A complete record missing only its newline: the crash hit
+			// between the write and the terminator.  Keep it.
+			missingNewline = true
+		}
+		good.Write(line)
+		good.WriteByte('\n')
+	}
+	if badLines == 0 && !tornTail && !missingNewline {
+		s.rep.OK++
+		return nil
+	}
+	// Preserve the original before rewriting whenever bytes are about
+	// to be dropped.
+	var dst string
+	if badLines > 0 || tornTail {
+		var err error
+		if dst, err = s.quarantinePath(path); err != nil {
+			return err
+		}
+		if err := os.WriteFile(dst, b, 0o644); err != nil {
+			return fmt.Errorf("fsck: quarantine %s: %w", path, err)
+		}
+		s.rep.Quarantined++
+	}
+	if err := atomicWrite(path, good.Bytes()); err != nil {
+		return fmt.Errorf("fsck: repair %s: %w", path, err)
+	}
+	s.rep.Repaired++
+	if tornTail {
+		s.finding(Finding{Path: path, Kind: KindJournalTornTail,
+			Detail:        "torn final record truncated at last complete line",
+			QuarantinedTo: dst, Repaired: true})
+	}
+	if missingNewline {
+		s.finding(Finding{Path: path, Kind: KindJournalTornTail,
+			Detail: "final record unterminated; newline restored", Repaired: true})
+	}
+	if badLines > 0 {
+		s.finding(Finding{Path: path, Kind: KindJournalBadLine,
+			Detail:        fmt.Sprintf("%d unparseable line(s) dropped", badLines),
+			QuarantinedTo: dst, Repaired: true})
+	}
+	return nil
+}
+
+func (s *scrubber) finding(f Finding) {
+	s.rep.Damaged++
+	s.rep.Findings = append(s.rep.Findings, f)
+}
+
+// quarantinePath picks a non-colliding destination under the current
+// root's quarantine directory.
+func (s *scrubber) quarantinePath(path string) (string, error) {
+	qdir := filepath.Join(s.root, QuarantineDirName)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return "", fmt.Errorf("fsck: %w", err)
+	}
+	base := filepath.Join(qdir, filepath.Base(path))
+	dst := base
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); os.IsNotExist(err) {
+			return dst, nil
+		}
+		dst = base + "." + strconv.Itoa(i)
+	}
+}
+
+// cutLine splits off the first line of b.  terminated reports whether
+// the line ended in '\n' (as every healthy journal record must).
+func cutLine(b []byte) (line, rest []byte, terminated bool) {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		return b[:i], b[i+1:], true
+	}
+	return b, nil, false
+}
+
+// atomicWrite lands content at path via temp + fsync + rename, the
+// same discipline the stores use, so the repair itself cannot tear.
+func atomicWrite(path string, content []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".fsck-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(content); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+func isHex64(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -162,19 +162,21 @@ type SweepManifest struct {
 // the fabric behaved, not what it computed.  It lives here (not in
 // internal/cluster) because the manifest owns its own schema.
 type ClusterStats struct {
-	Workers      int    `json:"workers"`      // fleet size at start
-	WorkersLost  uint64 `json:"workers_lost"` // workers declared dead mid-run
-	Cells        uint64 `json:"cells"`        // distinct content-addressed cells
-	Dispatched   uint64 `json:"dispatched"`   // dispatch attempts (incl. steals and re-dispatches)
-	Completed    uint64 `json:"completed"`    // cells that returned ok
-	FailedCells  uint64 `json:"failed_cells"` // cells that exhausted the fleet
-	Stolen       uint64 `json:"stolen"`       // cells stolen from another shard's queue
-	Redispatched uint64 `json:"redispatched"` // straggler cells re-sent to a second worker
-	Duplicates   uint64 `json:"duplicates"`   // late results dropped by first-result-wins
-	Resumed      uint64 `json:"resumed"`      // cells served by the coordinator journal
-	CacheHits    uint64 `json:"cache_hits"`   // cells served without a fresh functional capture
-	Batches      uint64 `json:"batches"`      // batch requests issued
-	Retries      uint64 `json:"http_retries"` // HTTP dispatches repeated after 429/503/transport errors
+	Workers      int    `json:"workers"`             // fleet size at start
+	WorkersLost  uint64 `json:"workers_lost"`        // workers declared dead mid-run
+	Cells        uint64 `json:"cells"`               // distinct content-addressed cells
+	Dispatched   uint64 `json:"dispatched"`          // dispatch attempts (incl. steals and re-dispatches)
+	Completed    uint64 `json:"completed"`           // cells that returned ok
+	FailedCells  uint64 `json:"failed_cells"`        // cells that exhausted the fleet
+	Stolen       uint64 `json:"stolen"`              // cells stolen from another shard's queue
+	Redispatched uint64 `json:"redispatched"`        // straggler cells re-sent to a second worker
+	Duplicates   uint64 `json:"duplicates"`          // late results dropped by first-result-wins
+	Resumed      uint64 `json:"resumed"`             // cells served by the coordinator journal
+	CacheHits    uint64 `json:"cache_hits"`          // cells served without a fresh functional capture
+	Batches      uint64 `json:"batches"`             // batch requests issued
+	Retries      uint64 `json:"http_retries"`        // HTTP dispatches repeated after 429/503/transport errors
+	BreakerTrips uint64 `json:"breaker_trips"`       // circuit-breaker open transitions across the fleet
+	Quarantined  uint64 `json:"quarantined_workers"` // flapping workers removed for good
 }
 
 // SweepProfile is the sweep's "where did the time go" attribution:

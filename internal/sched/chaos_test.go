@@ -71,9 +71,10 @@ func TestChaosSweepMatchesFaultFree(t *testing.T) {
 	plan := &fault.Plan{
 		Seed:      42,
 		PanicRate: 0.25, ErrorRate: 0.25, HangRate: 0.15, CancelRate: 0.25,
-		CorruptRate: 0.5,
-		HangDelay:   30 * time.Second,
-		Times:       1,
+		CorruptRate:      0.5,
+		TraceCorruptRate: 0.5,
+		HangDelay:        30 * time.Second,
+		Times:            1,
 	}
 	// The deadline is generous so real cells never trip it, even under
 	// the race detector; only the injected hangs (which sleep, not
@@ -86,12 +87,16 @@ func TestChaosSweepMatchesFaultFree(t *testing.T) {
 	})
 	got, err := harness.RunSweep(chaosSpec(chaotic))
 	st := chaotic.Stats()
+	traceFaults := chaotic.Registry().Counter("trace.faults.injected").Value()
 	chaotic.Close()
 	if err != nil {
 		t.Fatalf("chaotic sweep: %v", err)
 	}
 	if st.Injected == 0 {
 		t.Fatal("fault plan injected nothing; the chaos run proved nothing")
+	}
+	if traceFaults == 0 {
+		t.Error("the SiteTrace rate tore no trace-store writes; the trace heal path went unexercised")
 	}
 	if st.Retries == 0 {
 		t.Error("injected faults caused no retries")

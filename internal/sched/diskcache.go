@@ -75,6 +75,15 @@ func decodeEntry(b []byte, hash string) (diskEntry, error) {
 	return e, nil
 }
 
+// VerifyEntry checks that b is a well-formed result-cache entry whose
+// key hashes to hash and whose result matches its embedded checksum —
+// the integrity gate `bioperf5 fsck` runs over a cache directory
+// without needing an engine.
+func VerifyEntry(b []byte, hash string) error {
+	_, err := decodeEntry(b, hash)
+	return err
+}
+
 // load returns the cached result for hash.  ok reports a verified hit;
 // corrupt reports that a file existed but failed verification (the
 // caller recomputes and overwrites it).  A missing file is neither.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -41,6 +42,10 @@ type Options struct {
 	// fetched entry is re-verified against its content address before
 	// use.
 	CacheUpstream string
+	// CacheTransport, when non-nil, overrides the HTTP transport used
+	// by the remote cache and trace tiers — the chaos suite plugs its
+	// deterministic fault injector in here.
+	CacheTransport http.RoundTripper
 	// Registry receives the engine's telemetry (sched.* metrics).  Nil
 	// gets a private registry, readable via Engine.Registry.
 	Registry *telemetry.Registry
@@ -222,17 +227,18 @@ func New(o Options) *Engine {
 	}
 	e.traces = o.Traces
 	if e.traces == nil {
-		topts := trace.StoreOptions{Budget: o.TraceBudget, Registry: reg}
+		topts := trace.StoreOptions{Budget: o.TraceBudget, Registry: reg, Injector: o.Injector}
 		if o.CacheDir != "" {
 			topts.Dir = filepath.Join(o.CacheDir, "traces")
 		}
 		if o.CacheUpstream != "" {
 			topts.Upstream = o.CacheUpstream
+			topts.Transport = o.CacheTransport
 		}
 		e.traces = trace.NewStore(topts)
 	}
 	if o.CacheUpstream != "" {
-		e.remote = newRemoteCache(o.CacheUpstream, reg)
+		e.remote = newRemoteCache(o.CacheUpstream, o.CacheTransport, reg)
 	}
 	e.compute = func(ctx context.Context, j Job) (JobResult, error) { return j.run(ctx, e.traces) }
 	if !o.DisableCache {

@@ -39,10 +39,10 @@ type remoteCache struct {
 	mHits, mMisses, mErrors, mPuts *telemetry.Counter
 }
 
-func newRemoteCache(base string, reg *telemetry.Registry) *remoteCache {
+func newRemoteCache(base string, transport http.RoundTripper, reg *telemetry.Registry) *remoteCache {
 	return &remoteCache{
 		base: strings.TrimRight(base, "/"),
-		hc:   &http.Client{Timeout: remoteCacheTimeout},
+		hc:   &http.Client{Timeout: remoteCacheTimeout, Transport: transport},
 
 		mHits:   reg.Counter("sched.cache.remote.hits"),
 		mMisses: reg.Counter("sched.cache.remote.misses"),

@@ -50,6 +50,7 @@ const (
 	StageDispatch  = "cluster.dispatch" // one batch of cells sent to a remote worker
 	StageSteal     = "cluster.steal"    // an idle runner stealing cells from another shard
 	StageMerge     = "cluster.merge"    // per-shard results folded into the manifest
+	StageBreaker   = "cluster.breaker"  // a circuit-breaker transition (open/reclose/quarantine)
 )
 
 // SpanBoundsUS is the bucket layout of the per-stage latency

@@ -33,10 +33,10 @@ type remoteTier struct {
 	mHits, mMisses, mErrors, mPuts *telemetry.Counter
 }
 
-func newRemoteTier(base string, reg *telemetry.Registry) *remoteTier {
+func newRemoteTier(base string, transport http.RoundTripper, reg *telemetry.Registry) *remoteTier {
 	return &remoteTier{
 		base: strings.TrimRight(base, "/"),
-		hc:   &http.Client{Timeout: remoteTraceTimeout},
+		hc:   &http.Client{Timeout: remoteTraceTimeout, Transport: transport},
 
 		mHits:   reg.Counter("trace.remote.hits"),
 		mMisses: reg.Counter("trace.remote.misses"),

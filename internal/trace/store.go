@@ -3,10 +3,12 @@ package trace
 import (
 	"container/list"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
 
+	"bioperf5/internal/fault"
 	"bioperf5/internal/telemetry"
 )
 
@@ -35,6 +37,13 @@ type StoreOptions struct {
 	// Best-effort; every downloaded trace is checksum-verified and
 	// matched against the requested key before use.
 	Upstream string
+	// Transport, when non-nil, overrides the remote tier's HTTP
+	// transport — the chaos suite plugs its fault injector in here.
+	Transport http.RoundTripper
+	// Injector, when non-nil, is consulted at fault.SiteTrace after
+	// every disk write: a Corrupt decision tears the freshly written
+	// file, modelling bit rot the next process must detect and heal.
+	Injector fault.Injector
 }
 
 // Store is the content-addressed trace cache: an in-memory LRU with a
@@ -45,6 +54,7 @@ type Store struct {
 	budget int64
 	dir    string
 	remote *remoteTier
+	inj    fault.Injector
 
 	mu       sync.Mutex
 	entries  map[string]*list.Element // key hash -> lru element
@@ -54,6 +64,7 @@ type Store struct {
 
 	mCaptures, mMemHits, mDiskHits  *telemetry.Counter
 	mDiskWrites, mCorrupt, mEvicted *telemetry.Counter
+	mFaults                         *telemetry.Counter
 	gBytes, gEntries                *telemetry.Gauge
 }
 
@@ -80,10 +91,12 @@ func NewStore(o StoreOptions) *Store {
 	s := &Store{
 		budget:   o.Budget,
 		dir:      o.Dir,
+		inj:      o.Injector,
 		entries:  make(map[string]*list.Element),
 		lru:      list.New(),
 		inflight: make(map[string]*flight),
 
+		mFaults:     reg.Counter("trace.faults.injected"),
 		mCaptures:   reg.Counter("trace.captures"),
 		mMemHits:    reg.Counter("trace.hits.memory"),
 		mDiskHits:   reg.Counter("trace.hits.disk"),
@@ -94,7 +107,7 @@ func NewStore(o StoreOptions) *Store {
 		gEntries:    reg.Gauge("trace.entries"),
 	}
 	if o.Upstream != "" {
-		s.remote = newRemoteTier(o.Upstream, reg)
+		s.remote = newRemoteTier(o.Upstream, o.Transport, reg)
 	}
 	return s
 }
@@ -256,6 +269,7 @@ type Stats struct {
 	Evictions  uint64 `json:"evictions"`
 	RemoteHits uint64 `json:"remote_hits,omitempty"`
 	RemotePuts uint64 `json:"remote_puts,omitempty"`
+	Faults     uint64 `json:"faults_injected,omitempty"`
 	Bytes      int64  `json:"bytes"`
 	Entries    int    `json:"entries"`
 }
@@ -275,6 +289,7 @@ func (s *Store) Stats() Stats {
 		Evictions:  s.mEvicted.Value(),
 		RemoteHits: rh,
 		RemotePuts: rp,
+		Faults:     s.mFaults.Value(),
 		Bytes:      s.Bytes(),
 		Entries:    s.Len(),
 	}
@@ -399,4 +414,23 @@ func (s *Store) diskWrite(hash string, t *Trace) {
 		d.Close()
 	}
 	s.mDiskWrites.Add(1)
+	s.mangle(hash, int64(len(b)))
+}
+
+// mangle is the SiteTrace fault hook: when the injector orders a
+// Corrupt, the just-written file is torn in half after it landed at
+// its final address — exactly the damage the crash-safe write protocol
+// cannot produce on its own, so diskLoad's detect-and-recapture path
+// and `bioperf5 fsck` get exercised against a real torn file.
+func (s *Store) mangle(hash string, size int64) {
+	if s.inj == nil {
+		return
+	}
+	if s.inj.Decide(fault.SiteTrace, hash, 0).Kind != fault.Corrupt {
+		return
+	}
+	if err := os.Truncate(s.path(hash), size/2); err != nil {
+		return
+	}
+	s.mFaults.Add(1)
 }

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"bioperf5/internal/fault"
 )
 
 func testKey(i int) Key {
@@ -302,10 +304,71 @@ func TestStoreStatsJSONShape(t *testing.T) {
 	// Stats is part of the sweep manifest surface; keep the field set
 	// stable.
 	st := Stats{Captures: 1, MemoryHits: 2, DiskHits: 3, DiskWrites: 4,
-		Corrupt: 5, Evictions: 6, RemoteHits: 9, RemotePuts: 10, Bytes: 7, Entries: 8}
+		Corrupt: 5, Evictions: 6, RemoteHits: 9, RemotePuts: 10, Faults: 11, Bytes: 7, Entries: 8}
 	got := fmt.Sprintf("%+v", st)
-	want := "{Captures:1 MemoryHits:2 DiskHits:3 DiskWrites:4 Corrupt:5 Evictions:6 RemoteHits:9 RemotePuts:10 Bytes:7 Entries:8}"
+	want := "{Captures:1 MemoryHits:2 DiskHits:3 DiskWrites:4 Corrupt:5 Evictions:6 RemoteHits:9 RemotePuts:10 Faults:11 Bytes:7 Entries:8}"
 	if got != want {
 		t.Errorf("Stats shape changed: %s", got)
+	}
+}
+
+func TestStoreSiteTraceInjectionTearsWriteAndHeals(t *testing.T) {
+	dir := t.TempDir()
+	// Rate-1 SiteTrace corruption: every disk write is torn after
+	// landing.
+	s := NewStore(StoreOptions{Dir: dir, Injector: &fault.Plan{TraceCorruptRate: 1}})
+	tr, hit, err := s.GetOrCapture(testKey(1), func() (*Trace, error) { return testTrace(1, 200), nil })
+	if err != nil || hit || tr == nil {
+		t.Fatalf("capture = (%v, %v, %v)", tr, hit, err)
+	}
+	if s.Stats().Faults != 1 {
+		t.Fatalf("injected faults = %d, want 1", s.Stats().Faults)
+	}
+	// The torn file must not decode.
+	path := filepath.Join(dir, testKey(1).Hash()+".trace")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFile(b); err == nil {
+		t.Fatal("torn trace file still decodes")
+	}
+	// This store still serves from memory, untroubled.
+	if _, ok := s.Get(testKey(1)); !ok {
+		t.Fatal("in-memory tier lost the trace")
+	}
+	// The next process detects the damage and recaptures.
+	s2 := NewStore(StoreOptions{Dir: dir})
+	var captures atomic.Int64
+	tr2, hit, err := s2.GetOrCapture(testKey(1), func() (*Trace, error) {
+		captures.Add(1)
+		return testTrace(1, 200), nil
+	})
+	if err != nil || hit || tr2 == nil || captures.Load() != 1 {
+		t.Fatalf("heal = (%v, %v, %v), captures %d; want fresh recapture", tr2, hit, err, captures.Load())
+	}
+	if s2.Stats().Corrupt != 1 {
+		t.Errorf("corrupt detections = %d, want 1", s2.Stats().Corrupt)
+	}
+	// The healed file round-trips.
+	b2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFile(b2); err != nil {
+		t.Errorf("healed file does not decode: %v", err)
+	}
+}
+
+func TestStoreNoInjectorNoMangle(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(StoreOptions{Dir: dir})
+	s.Put(testKey(2), testTrace(2, 100))
+	b, err := os.ReadFile(filepath.Join(dir, testKey(2).Hash()+".trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFile(b); err != nil {
+		t.Errorf("clean write does not decode: %v", err)
 	}
 }
