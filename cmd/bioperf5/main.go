@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"bioperf5/internal/branch"
 	"bioperf5/internal/cluster"
 	"bioperf5/internal/core"
 	"bioperf5/internal/cpu"
@@ -63,10 +64,13 @@ commands:
                            policy — the numbers are identical under every
                            policy; -json emits the machine-readable report)
   sweep                    full-factorial design-space sweep over FXU count x
-                           BTAC sizing x predication variant x application,
-                           run on the parallel cache-aware fault-tolerant
-                           scheduler
-                           (-fxus 2,3,4; -btac off,8; -variants original,combination;
+                           BTAC sizing x direction predictor x predication
+                           variant x application, run on the parallel
+                           cache-aware fault-tolerant scheduler
+                           (-fxus 2,3,4; -btac off,8;
+                           -predictors 'tournament;tage:tables=4,hist=2..64'
+                           semicolon-separated predictor specs;
+                           -variants original,combination;
                            -apps all; -scale N; -seeds a,b,c;
                            -workers N local pool size, or a comma-separated
                            list of 'bioperf5 serve' URLs to shard the sweep
@@ -100,6 +104,15 @@ commands:
                            under /debug/pprof/; -spans DIR records a span
                            per request and writes spans.jsonl + trace.json
                            under DIR at shutdown)
+  branches <application>   per-static-branch predictability profile: every
+                           conditional-branch site with execution/mispredict
+                           counts, BTAC wrong-target attribution, and a
+                           taxonomy class (biased, loop-exit, history, hard);
+                           per-site counts sum exactly to the aggregate
+                           counters (-variant V; -fxus N; -btac N;
+                           -predictor SPEC; -scale N; -seeds a,b,c; -json)
+  predictors               list the registered direction-predictor kinds as
+                           canonical spec strings
   trace <application> <variant>
                            emit a per-instruction pipeline event trace as
                            JSONL (-scale N, -seed N, -cap N ring capacity)
@@ -145,6 +158,10 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "branches":
+		err = cmdBranches(os.Args[2:])
+	case "predictors":
+		err = cmdPredictors()
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "trace":
@@ -276,6 +293,110 @@ func parseIntList(flagName, s string, allowOff bool) ([]int, error) {
 	return out, nil
 }
 
+// parsePredictorsFlag splits a -predictors value into predictor specs.
+// Specs are separated by ';' (their parameter lists contain commas); a
+// value without parameters may use commas instead ("gshare,tage").
+// Every spec is validated up front so a typo fails with the registered
+// kinds listed instead of deep inside the sweep.
+func parsePredictorsFlag(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	sep := ";"
+	if !strings.Contains(s, ";") && !strings.Contains(s, ":") {
+		sep = ","
+	}
+	var out []string
+	for _, part := range strings.Split(s, sep) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if _, err := branch.ParseSpec(part); err != nil {
+			return nil, fmt.Errorf("-predictors: %w", err)
+		}
+		out = append(out, part)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-predictors: no specs in %q", s)
+	}
+	return out, nil
+}
+
+// cmdPredictors lists every registered direction-predictor kind as its
+// canonical all-defaults spec string.
+func cmdPredictors() error {
+	for _, spec := range branch.Registered() {
+		fmt.Println(spec)
+	}
+	return nil
+}
+
+// cmdBranches profiles one application's static branches: run the
+// coupled simulation with the per-PC profiler attached and print every
+// conditional-branch site with its counts and taxonomy class.
+func cmdBranches(args []string) error {
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("branches: missing application (one of %s)",
+			strings.Join(workload.Apps(), ", "))
+	}
+	app := args[0]
+	fs := flag.NewFlagSet("branches", flag.ContinueOnError)
+	variantFlag := fs.String("variant", "original", "predication variant (see `bioperf5 variants`)")
+	fxusFlag := fs.Int("fxus", 0, "fixed-point unit count (0 = the POWER5 baseline)")
+	btacFlag := fs.Int("btac", 0, "BTAC entry count (0 = no BTAC)")
+	predFlag := fs.String("predictor", "", "direction-predictor spec (empty = the POWER5-like tournament; see `bioperf5 predictors`)")
+	scale := fs.Int("scale", 1, "workload scale factor")
+	seedsFlag := fs.String("seeds", "1,2,3", "comma-separated input seeds")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable report as JSON")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	v, err := parseVariant(*variantFlag)
+	if err != nil {
+		return err
+	}
+	if _, err := branch.ParseSpec(*predFlag); err != nil {
+		return fmt.Errorf("-predictor: %w", err)
+	}
+	if *btacFlag < 0 {
+		return fmt.Errorf("-btac: must be >= 0, got %d", *btacFlag)
+	}
+	fxus := *fxusFlag
+	if fxus == 0 {
+		fxus = core.Baseline().CPU.NumFXU
+	}
+	if fxus < 1 {
+		return fmt.Errorf("-fxus: must be >= 1, got %d", *fxusFlag)
+	}
+	cfg := harness.Config{Scale: *scale}
+	seen := make(map[int64]bool)
+	for _, s := range strings.Split(*seedsFlag, ",") {
+		s = strings.TrimSpace(s)
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad seed %q: want a non-negative integer", s)
+		}
+		if seen[n] {
+			return fmt.Errorf("duplicate seed %d", n)
+		}
+		seen[n] = true
+		cfg.Seeds = append(cfg.Seeds, n)
+	}
+	rep, err := harness.RunBranches(cfg, app, harness.SetupFor(v, fxus, *btacFlag, *predFlag))
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Println(rep.Table().Render())
+	return nil
+}
+
 // cmdSweep runs a full-factorial design-space sweep on the parallel
 // scheduler and prints the best configuration per application plus the
 // scheduler's cache statistics.
@@ -283,6 +404,7 @@ func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fxusFlag := fs.String("fxus", "2,3,4", "comma-separated fixed-point unit counts")
 	btacFlag := fs.String("btac", "off,8", "comma-separated BTAC entry counts ('off' = none)")
+	predictorsFlag := fs.String("predictors", "", "semicolon-separated direction-predictor specs, e.g. 'tournament;tage:tables=4,hist=2..64' (empty = the POWER5-like default; see `bioperf5 predictors`)")
 	variantsFlag := fs.String("variants", "original,combination", "comma-separated predication variants")
 	appsFlag := fs.String("apps", "all", "comma-separated applications, or 'all'")
 	workersFlag := fs.String("workers", "", "local worker pool size (default GOMAXPROCS), or a comma-separated list of remote `bioperf5 serve` URLs to run the sweep distributed")
@@ -372,6 +494,10 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
+	predictors, err := parsePredictorsFlag(*predictorsFlag)
+	if err != nil {
+		return err
+	}
 	var variants []kernels.Variant
 	for _, name := range strings.Split(*variantsFlag, ",") {
 		v, err := parseVariant(strings.TrimSpace(name))
@@ -435,6 +561,7 @@ func cmdSweep(args []string) error {
 	spec := harness.SweepSpec{
 		FXUs:        fxus,
 		BTACEntries: btac,
+		Predictors:  predictors,
 		Variants:    variants,
 		Apps:        apps,
 		Config:      cfg,

@@ -201,20 +201,16 @@ func (t *Tournament) Reset() {
 	}
 }
 
-// New constructs a predictor by name ("static-taken",
-// "static-not-taken", "bimodal", "gshare", "tournament"); it returns
-// the POWER5-like tournament predictor for unknown names.
-func New(name string) DirectionPredictor {
-	switch name {
-	case "static-taken":
-		return &Static{Taken: true}
-	case "static-not-taken":
-		return &Static{}
-	case "bimodal":
-		return NewBimodal(12)
-	case "gshare":
-		return NewGShare(12, 11)
-	default:
+// New constructs a predictor from a spec string (see ParseSpec): a
+// bare kind name ("gshare", "tage", ...) or a parameterized spec
+// ("tage:tables=4,hist=2..64").  Malformed specs fall back to the
+// POWER5-like tournament predictor — the historical behaviour for
+// unknown names; boundaries that must reject bad specs validate with
+// ParseSpec first.
+func New(spec string) DirectionPredictor {
+	p, err := FromSpec(spec)
+	if err != nil {
 		return NewTournament(12, 11)
 	}
+	return p
 }

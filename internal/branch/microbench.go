@@ -1,0 +1,137 @@
+package branch
+
+// Microbenchmark conformance kernels, in the style of the Firestorm/
+// Oryon predictor-dissection work: tiny synthetic branch streams whose
+// ideal mispredict behaviour is known analytically, run against each
+// predictor as behavioural golden tests.  A predictor that claims
+// history length H must nail the history-probe kernel at periods <= H
+// and a bimodal must sit at exactly 1/trip on the loop kernel — the
+// microbench suite is what makes "tage" mean TAGE and not a mislabeled
+// counter table.
+
+// BranchEvent is one synthetic conditional-branch outcome.
+type BranchEvent struct {
+	PC    int
+	Taken bool
+}
+
+// Microbench generates a deterministic synthetic branch stream.
+type Microbench struct {
+	Name string
+	// Gen streams n events through emit.
+	Gen func(n int, emit func(BranchEvent))
+}
+
+// AlwaysTaken is a single branch that is always taken: any warm
+// predictor gets it right.
+func AlwaysTaken() Microbench {
+	return Microbench{Name: "always-taken", Gen: func(n int, emit func(BranchEvent)) {
+		for i := 0; i < n; i++ {
+			emit(BranchEvent{PC: 16, Taken: true})
+		}
+	}}
+}
+
+// Alternating is a single branch strictly alternating T,N,T,N — the
+// canonical counter-table killer (a 2-bit counter mispredicts every
+// time from its weakly-not-taken start) that one bit of history
+// resolves completely.
+func Alternating() Microbench {
+	return Microbench{Name: "alternating", Gen: func(n int, emit func(BranchEvent)) {
+		for i := 0; i < n; i++ {
+			emit(BranchEvent{PC: 16, Taken: i%2 == 0})
+		}
+	}}
+}
+
+// Loop is a loop-exit branch with a known trip count: taken trip-1
+// times, then not taken once, repeating.  A bimodal converges to
+// exactly one mispredict per trip (the exit); history predictors
+// longer than the trip count learn the exit too.
+func Loop(trip int) Microbench {
+	return Microbench{Name: "loop", Gen: func(n int, emit func(BranchEvent)) {
+		for i := 0; i < n; i++ {
+			emit(BranchEvent{PC: 16, Taken: i%trip != trip-1})
+		}
+	}}
+}
+
+// HistoryProbe emits a branch taken exactly once per period: a run of
+// period-1 not-takens, then one taken.  Distinguishing the position
+// before the taken from every other position requires observing at
+// least period-1 outcomes of history, so the kernel probes a
+// predictor's effective history length — below it the taken (and the
+// first not-taken after it) are mispredicted every period.
+func HistoryProbe(period int) Microbench {
+	return Microbench{Name: "history-probe", Gen: func(n int, emit func(BranchEvent)) {
+		for i := 0; i < n; i++ {
+			emit(BranchEvent{PC: 16, Taken: i%period == period-1})
+		}
+	}}
+}
+
+// Random is a data-dependent branch: an xorshift-driven coin flip no
+// predictor can learn.  Every predictor should sit near 50%, which is
+// what classifies a real branch as "hard".
+func Random(seed uint64) Microbench {
+	return Microbench{Name: "random", Gen: func(n int, emit func(BranchEvent)) {
+		x := seed | 1
+		for i := 0; i < n; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			emit(BranchEvent{PC: 16, Taken: x&1 == 1})
+		}
+	}}
+}
+
+// Biased is a mostly-one-way branch: taken except once every
+// `invDenom` outcomes (pseudo-randomly placed), the shape of a
+// bounds-check or error branch.
+func Biased(invDenom int, seed uint64) Microbench {
+	return Microbench{Name: "biased", Gen: func(n int, emit func(BranchEvent)) {
+		x := seed | 1
+		for i := 0; i < n; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			emit(BranchEvent{PC: 16, Taken: int(x%uint64(invDenom)) != 0})
+		}
+	}}
+}
+
+// Measure runs n events of the kernel through a fresh instance of the
+// predictor spec and returns executed and mispredicted counts.  The
+// first `warmup` events train without being scored, so steady-state
+// behaviour is measured rather than cold-start transients.
+func Measure(spec string, mb Microbench, n, warmup int) (executed, mispredicts uint64, err error) {
+	p, err := FromSpec(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	i := 0
+	mb.Gen(n, func(ev BranchEvent) {
+		pred := p.Predict(ev.PC)
+		p.Update(ev.PC, ev.Taken)
+		if i >= warmup {
+			executed++
+			if pred != ev.Taken {
+				mispredicts++
+			}
+		}
+		i++
+	})
+	return executed, mispredicts, nil
+}
+
+// MispredictRate is Measure as a rate.
+func MispredictRate(spec string, mb Microbench, n, warmup int) (float64, error) {
+	exec, miss, err := Measure(spec, mb, n, warmup)
+	if err != nil {
+		return 0, err
+	}
+	if exec == 0 {
+		return 0, nil
+	}
+	return float64(miss) / float64(exec), nil
+}

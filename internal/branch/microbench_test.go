@@ -1,0 +1,123 @@
+package branch
+
+import "testing"
+
+// The microbenchmark golden suite: each predictor model must behave as
+// its specification demands on branch streams with analytically known
+// answers.  Exact counts are asserted where the model's steady state
+// is exact; rate bounds elsewhere.  These tests are what license the
+// sweep to claim "TAGE" or "perceptron" in a manifest.
+
+const (
+	mbN      = 20000
+	mbWarmup = 4000
+)
+
+func rate(t *testing.T, spec string, mb Microbench) float64 {
+	t.Helper()
+	r, err := MispredictRate(spec, mb, mbN, mbWarmup)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", spec, mb.Name, err)
+	}
+	return r
+}
+
+// TestMicrobenchGolden is the per-predictor conformance table.
+func TestMicrobenchGolden(t *testing.T) {
+	cases := []struct {
+		spec     string
+		mb       Microbench
+		min, max float64
+	}{
+		// Every learning predictor nails an always-taken branch.
+		{"bimodal", AlwaysTaken(), 0, 0},
+		{"gshare", AlwaysTaken(), 0, 0},
+		{"tournament", AlwaysTaken(), 0, 0},
+		{"perceptron", AlwaysTaken(), 0, 0},
+		{"tage", AlwaysTaken(), 0, 0},
+		{"static-taken", AlwaysTaken(), 0, 0},
+		{"static-not-taken", AlwaysTaken(), 1, 1},
+
+		// Alternation: a lone 2-bit counter oscillates and misses every
+		// time; one bit of history resolves it completely.
+		{"bimodal", Alternating(), 1, 1},
+		{"gshare", Alternating(), 0, 0},
+		{"tournament", Alternating(), 0, 0},
+		{"perceptron", Alternating(), 0, 0},
+		{"tage", Alternating(), 0, 0},
+
+		// Loop with trip count 8: bimodal converges to exactly the one
+		// exit miss per trip; history predictors learn the exit.
+		{"bimodal", Loop(8), 1.0 / 8, 1.0 / 8},
+		{"gshare", Loop(8), 0, 0.005},
+		{"tage", Loop(8), 0, 0.005},
+		{"perceptron", Loop(8), 0, 0.005},
+
+		// History probe, period 16: needs 15 outcomes of history.
+		// gshare's 11 fall short (one miss per period at the shared
+		// all-not-taken context); TAGE's long tables and the
+		// perceptron's 24-bit history capture it.
+		{"gshare", HistoryProbe(16), 0.5 / 16, 2.5 / 16},
+		{"tage", HistoryProbe(16), 0, 0.01},
+		{"perceptron", HistoryProbe(16), 0, 0.01},
+
+		// History probe, period 48: beyond every predictor's reach but
+		// TAGE's 64-bit geometric tail.
+		{"gshare", HistoryProbe(48), 0.5 / 48, 2.5 / 48},
+		{"perceptron", HistoryProbe(48), 0.5 / 48, 2.5 / 48},
+		{"tage", HistoryProbe(48), 0, 0.01},
+
+		// Random data-dependent direction: nothing learns a coin flip.
+		{"bimodal", Random(12345), 0.4, 0.6},
+		{"gshare", Random(12345), 0.4, 0.6},
+		{"tournament", Random(12345), 0.4, 0.6},
+		{"perceptron", Random(12345), 0.4, 0.6},
+		{"tage", Random(12345), 0.4, 0.6},
+
+		// Heavily biased branch (1 not-taken in 16): everything rides
+		// the bias.
+		{"bimodal", Biased(16, 99), 0, 0.13},
+		{"tournament", Biased(16, 99), 0, 0.13},
+		{"tage", Biased(16, 99), 0, 0.13},
+		{"perceptron", Biased(16, 99), 0, 0.13},
+	}
+	for _, c := range cases {
+		got := rate(t, c.spec, c.mb)
+		if got < c.min-1e-9 || got > c.max+1e-9 {
+			t.Errorf("%s on %s: mispredict rate %.4f outside [%.4f, %.4f]",
+				c.spec, c.mb.Name, got, c.min, c.max)
+		}
+	}
+}
+
+// TestHistoryLengthOrdering probes effective history length: TAGE with
+// a long geometric tail must beat gshare once the period exceeds
+// gshare's history, and the gap must grow with the period.
+func TestHistoryLengthOrdering(t *testing.T) {
+	for _, period := range []int{16, 24, 48} {
+		g := rate(t, "gshare:bits=12,hist=11", HistoryProbe(period))
+		tg := rate(t, "tage:tables=4,hist=2..64", HistoryProbe(period))
+		if tg >= g/2 {
+			t.Errorf("period %d: tage %.4f not clearly better than gshare %.4f", period, tg, g)
+		}
+	}
+}
+
+// TestMicrobenchDeterminism: the same spec on the same kernel yields
+// identical counts — predictors are pure functions of the outcome
+// stream, the property replay relies on.
+func TestMicrobenchDeterminism(t *testing.T) {
+	for _, spec := range []string{"tage", "perceptron", "tournament"} {
+		_, m1, err := Measure(spec, Random(7), mbN, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, m2, err := Measure(spec, Random(7), mbN, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m1 != m2 {
+			t.Errorf("%s: mispredicts differ across runs: %d vs %d", spec, m1, m2)
+		}
+	}
+}

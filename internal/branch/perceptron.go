@@ -1,0 +1,119 @@
+package branch
+
+// Perceptron — the hashed perceptron predictor (Jiménez & Lin).  Each
+// static branch hashes to a row of signed weights, one per bit of
+// global history plus a bias; the prediction is the sign of the dot
+// product of the weights with the history (outcomes as ±1).  Unlike a
+// counter table it learns linearly separable functions of arbitrary
+// history bits at once, so it captures correlations a gshare of the
+// same size cannot — at the cost of being blind to functions that are
+// not linearly separable (which is exactly how the "hard" class of the
+// branch taxonomy defeats it).
+type Perceptron struct {
+	weights [][]int8
+	hist    []int8 // ±1 per outcome, newest at index 0
+	theta   int32  // training threshold
+	n       int
+}
+
+// NewPerceptron builds a perceptron predictor with n weight rows and
+// hist bits of global history.  The training threshold follows the
+// paper's empirical optimum, floor(1.93*hist + 14).
+func NewPerceptron(n, hist int) *Perceptron {
+	if n < 1 {
+		n = 1
+	}
+	if hist < 1 {
+		hist = 1
+	}
+	p := &Perceptron{
+		weights: make([][]int8, n),
+		hist:    make([]int8, hist),
+		theta:   int32(1.93*float64(hist) + 14),
+		n:       n,
+	}
+	for i := range p.weights {
+		p.weights[i] = make([]int8, hist+1)
+	}
+	p.Reset()
+	return p
+}
+
+func (p *Perceptron) row(pc int) []int8 {
+	i := pc % p.n
+	if i < 0 {
+		i += p.n
+	}
+	return p.weights[i]
+}
+
+// sum is the perceptron output: bias plus the history dot product.
+func (p *Perceptron) sum(pc int) int32 {
+	w := p.row(pc)
+	s := int32(w[0])
+	for i, h := range p.hist {
+		if h >= 0 {
+			s += int32(w[i+1])
+		} else {
+			s -= int32(w[i+1])
+		}
+	}
+	return s
+}
+
+// Predict implements DirectionPredictor.
+func (p *Perceptron) Predict(pc int) bool { return p.sum(pc) >= 0 }
+
+// Update implements DirectionPredictor.
+func (p *Perceptron) Update(pc int, taken bool) {
+	s := p.sum(pc)
+	pred := s >= 0
+	mag := s
+	if mag < 0 {
+		mag = -mag
+	}
+	if pred != taken || mag <= p.theta {
+		w := p.row(pc)
+		w[0] = trainWeight(w[0], taken)
+		for i, h := range p.hist {
+			// w_i moves toward agreement between history bit i and the
+			// outcome: +1 when they match, -1 when they differ.
+			w[i+1] = trainWeight(w[i+1], taken == (h >= 0))
+		}
+	}
+	// Shift the outcome into the history (newest at index 0).
+	copy(p.hist[1:], p.hist)
+	if taken {
+		p.hist[0] = 1
+	} else {
+		p.hist[0] = -1
+	}
+}
+
+func trainWeight(w int8, up bool) int8 {
+	if up {
+		if w < 127 {
+			return w + 1
+		}
+		return w
+	}
+	if w > -127 {
+		return w - 1
+	}
+	return w
+}
+
+// Name implements DirectionPredictor.
+func (p *Perceptron) Name() string { return "perceptron" }
+
+// Reset implements DirectionPredictor.
+func (p *Perceptron) Reset() {
+	for _, w := range p.weights {
+		for i := range w {
+			w[i] = 0
+		}
+	}
+	for i := range p.hist {
+		p.hist[i] = -1 // not-taken, matching the counter tables' bias
+	}
+}

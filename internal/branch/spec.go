@@ -1,0 +1,346 @@
+package branch
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the predictor registry: every direction predictor the
+// zoo offers is addressable by a canonical spec string, so a predictor
+// is a value that travels through config files, CLI flags, HTTP
+// requests and sched job keys without the rest of the system knowing
+// its parameters.
+//
+// Spec grammar:
+//
+//	kind                      all parameters at their defaults
+//	kind:param=value,...      integer parameters, any order
+//	tage:...,hist=MIN..MAX    tage's geometric history range
+//
+// Examples: "gshare:bits=14", "tage:tables=4,hist=2..64",
+// "perceptron:weights=256".  Canonicalization (Spec.Canonical) prints
+// every parameter in registry order with defaults filled in, so
+// "gshare", "gshare:bits=12" and "gshare:hist=11,bits=12" all collapse
+// to "gshare:bits=12,hist=11" — one cache entry, one job key.
+
+// SpecError reports a malformed predictor spec with enough structure
+// for an API layer to answer "which field, and why" (the serve 400
+// payload and the CLI flag errors are built from it).
+type SpecError struct {
+	Spec   string // the offending input
+	Field  string // "kind" or the parameter name
+	Reason string // human-readable cause
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("predictor spec %q: %s: %s (registered: %s)",
+		e.Spec, e.Field, e.Reason, strings.Join(Kinds(), ", "))
+}
+
+// paramDef is one integer parameter of a predictor kind.
+type paramDef struct {
+	name     string
+	def      int
+	min, max int
+	isRange  bool // spelled "min..max" (tage history lengths)
+	defHi    int  // range parameters: default upper bound
+	maxHi    int  // range parameters: upper-bound limit
+}
+
+// kindDef is one registered predictor kind.
+type kindDef struct {
+	kind   string
+	params []paramDef
+	build  func(p map[string]int) DirectionPredictor
+}
+
+// rangeHi suffixes the internal key holding a range parameter's upper
+// bound ("hist" stores hist and hist..hi).
+const rangeHi = "..hi"
+
+// registry holds every predictor kind in canonical listing order.
+var registry = []kindDef{
+	{
+		kind:  "static-taken",
+		build: func(map[string]int) DirectionPredictor { return &Static{Taken: true} },
+	},
+	{
+		kind:  "static-not-taken",
+		build: func(map[string]int) DirectionPredictor { return &Static{} },
+	},
+	{
+		kind:   "bimodal",
+		params: []paramDef{{name: "bits", def: 12, min: 1, max: 24}},
+		build: func(p map[string]int) DirectionPredictor {
+			return NewBimodal(uint(p["bits"]))
+		},
+	},
+	{
+		kind: "gshare",
+		params: []paramDef{
+			{name: "bits", def: 12, min: 1, max: 24},
+			{name: "hist", def: 11, min: 0, max: 30},
+		},
+		build: func(p map[string]int) DirectionPredictor {
+			return NewGShare(uint(p["bits"]), uint(p["hist"]))
+		},
+	},
+	{
+		kind: "tournament",
+		params: []paramDef{
+			{name: "bits", def: 12, min: 1, max: 24},
+			{name: "hist", def: 11, min: 0, max: 30},
+		},
+		build: func(p map[string]int) DirectionPredictor {
+			return NewTournament(uint(p["bits"]), uint(p["hist"]))
+		},
+	},
+	{
+		kind: "perceptron",
+		params: []paramDef{
+			{name: "weights", def: 256, min: 1, max: 1 << 16},
+			{name: "hist", def: 24, min: 1, max: 62},
+		},
+		build: func(p map[string]int) DirectionPredictor {
+			return NewPerceptron(p["weights"], p["hist"])
+		},
+	},
+	{
+		kind: "tage",
+		params: []paramDef{
+			{name: "tables", def: 4, min: 1, max: 16},
+			{name: "bits", def: 10, min: 4, max: 20},
+			{name: "tag", def: 8, min: 4, max: 16},
+			{name: "hist", def: 2, min: 1, max: 64, isRange: true, defHi: 64, maxHi: 64},
+		},
+		build: func(p map[string]int) DirectionPredictor {
+			return NewTAGE(TAGEConfig{
+				Tables:  p["tables"],
+				Bits:    p["bits"],
+				TagBits: p["tag"],
+				HistMin: p["hist"],
+				HistMax: p["hist"+rangeHi],
+			})
+		},
+	},
+}
+
+// DefaultSpec is the canonical spec of the POWER5-like baseline
+// predictor — what an empty Config.Predictor means.
+func DefaultSpec() string { return "tournament:bits=12,hist=11" }
+
+// Kinds lists the registered predictor kinds, sorted.
+func Kinds() []string {
+	out := make([]string, len(registry))
+	for i, k := range registry {
+		out[i] = k.kind
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Registered describes every registered kind as its canonical
+// all-defaults spec string, sorted by kind — the listing CLI and HTTP
+// error payloads show.
+func Registered() []string {
+	out := make([]string, len(registry))
+	for i := range registry {
+		out[i] = (&Spec{kind: &registry[i], params: defaultParams(&registry[i])}).Canonical()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func kindByName(name string) *kindDef {
+	for i := range registry {
+		if registry[i].kind == name {
+			return &registry[i]
+		}
+	}
+	return nil
+}
+
+func defaultParams(k *kindDef) map[string]int {
+	p := make(map[string]int, len(k.params)+1)
+	for _, d := range k.params {
+		p[d.name] = d.def
+		if d.isRange {
+			p[d.name+rangeHi] = d.defHi
+		}
+	}
+	return p
+}
+
+// Spec is a parsed, validated predictor specification.
+type Spec struct {
+	kind   *kindDef
+	params map[string]int
+}
+
+// ParseSpec parses and validates a predictor spec string.  The empty
+// string means the default (POWER5-like tournament) predictor.
+func ParseSpec(s string) (*Spec, error) {
+	in := s
+	s = strings.TrimSpace(s)
+	if s == "" {
+		s = "tournament"
+	}
+	kindName, rest, hasParams := strings.Cut(s, ":")
+	kindName = strings.ToLower(strings.TrimSpace(kindName))
+	k := kindByName(kindName)
+	if k == nil {
+		return nil, &SpecError{Spec: in, Field: "kind",
+			Reason: fmt.Sprintf("unknown predictor kind %q", kindName)}
+	}
+	sp := &Spec{kind: k, params: defaultParams(k)}
+	if !hasParams {
+		return sp, nil
+	}
+	if strings.TrimSpace(rest) == "" {
+		return nil, &SpecError{Spec: in, Field: "kind",
+			Reason: "empty parameter list after ':'"}
+	}
+	for _, part := range strings.Split(rest, ",") {
+		part = strings.TrimSpace(part)
+		name, val, ok := strings.Cut(part, "=")
+		name = strings.ToLower(strings.TrimSpace(name))
+		if !ok || name == "" {
+			return nil, &SpecError{Spec: in, Field: "kind",
+				Reason: fmt.Sprintf("malformed parameter %q (want name=value)", part)}
+		}
+		def := k.param(name)
+		if def == nil {
+			return nil, &SpecError{Spec: in, Field: name,
+				Reason: fmt.Sprintf("unknown parameter for %s (accepts %s)", k.kind, k.paramNames())}
+		}
+		if err := sp.setParam(in, def, strings.TrimSpace(val)); err != nil {
+			return nil, err
+		}
+	}
+	return sp, nil
+}
+
+func (k *kindDef) param(name string) *paramDef {
+	for i := range k.params {
+		if k.params[i].name == name {
+			return &k.params[i]
+		}
+	}
+	return nil
+}
+
+func (k *kindDef) paramNames() string {
+	if len(k.params) == 0 {
+		return "no parameters"
+	}
+	names := make([]string, len(k.params))
+	for i, d := range k.params {
+		names[i] = d.name
+	}
+	return strings.Join(names, ", ")
+}
+
+func (sp *Spec) setParam(in string, def *paramDef, val string) error {
+	if def.isRange {
+		lo, hi, isPair := strings.Cut(val, "..")
+		n, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil {
+			return &SpecError{Spec: in, Field: def.name,
+				Reason: fmt.Sprintf("bad value %q (want N or MIN..MAX)", val)}
+		}
+		m := def.defHi
+		if isPair {
+			if m, err = strconv.Atoi(strings.TrimSpace(hi)); err != nil {
+				return &SpecError{Spec: in, Field: def.name,
+					Reason: fmt.Sprintf("bad range %q (want MIN..MAX)", val)}
+			}
+		}
+		if n < def.min || n > def.max {
+			return &SpecError{Spec: in, Field: def.name,
+				Reason: fmt.Sprintf("minimum %d out of range [%d, %d]", n, def.min, def.max)}
+		}
+		if m < n || m > def.maxHi {
+			return &SpecError{Spec: in, Field: def.name,
+				Reason: fmt.Sprintf("maximum %d out of range [%d, %d]", m, n, def.maxHi)}
+		}
+		sp.params[def.name] = n
+		sp.params[def.name+rangeHi] = m
+		return nil
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return &SpecError{Spec: in, Field: def.name,
+			Reason: fmt.Sprintf("bad value %q (want an integer)", val)}
+	}
+	if n < def.min || n > def.max {
+		return &SpecError{Spec: in, Field: def.name,
+			Reason: fmt.Sprintf("value %d out of range [%d, %d]", n, def.min, def.max)}
+	}
+	sp.params[def.name] = n
+	return nil
+}
+
+// Kind returns the spec's predictor kind.
+func (sp *Spec) Kind() string { return sp.kind.kind }
+
+// Canonical renders the spec in canonical form: the kind followed by
+// every parameter in registry order with defaults filled in.  Equal
+// predictors have equal canonical strings — the property job-key
+// hashing and the trace/result caches rely on.
+func (sp *Spec) Canonical() string {
+	if len(sp.kind.params) == 0 {
+		return sp.kind.kind
+	}
+	var b strings.Builder
+	b.WriteString(sp.kind.kind)
+	for i, d := range sp.kind.params {
+		if i == 0 {
+			b.WriteByte(':')
+		} else {
+			b.WriteByte(',')
+		}
+		b.WriteString(d.name)
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(sp.params[d.name]))
+		if d.isRange {
+			b.WriteString("..")
+			b.WriteString(strconv.Itoa(sp.params[d.name+rangeHi]))
+		}
+	}
+	return b.String()
+}
+
+// New instantiates the predictor the spec describes.
+func (sp *Spec) New() DirectionPredictor { return sp.kind.build(sp.params) }
+
+// FromSpec parses a spec and instantiates its predictor.
+func FromSpec(s string) (DirectionPredictor, error) {
+	sp, err := ParseSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	return sp.New(), nil
+}
+
+// CanonicalSpec resolves a spec string to its canonical form.
+func CanonicalSpec(s string) (string, error) {
+	sp, err := ParseSpec(s)
+	if err != nil {
+		return "", err
+	}
+	return sp.Canonical(), nil
+}
+
+// CanonicalOrRaw canonicalizes best-effort: a malformed spec is
+// returned verbatim.  It exists for identity paths that cannot error
+// (sched job keys); validation belongs at the config boundary, and a
+// raw string still hashes deterministically.
+func CanonicalOrRaw(s string) string {
+	c, err := CanonicalSpec(s)
+	if err != nil {
+		return s
+	}
+	return c
+}

@@ -1,0 +1,254 @@
+package branch
+
+import "math"
+
+// TAGE — TAgged GEometric history length predictor (Seznec/Michaud).
+// A bimodal base table is backed by a stack of tagged tables indexed
+// by the PC hashed with geometrically growing slices of global
+// history.  The longest-history table whose tag matches provides the
+// prediction; usefulness counters arbitrate allocation on a
+// misprediction.  The geometric series is what lets a small predictor
+// capture both very short and very long correlation — exactly the
+// spread the per-branch taxonomy distinguishes (loop exits need trip-
+// count-long history, data-dependent DP branches defeat any length).
+//
+// The implementation is deliberately deterministic: allocation picks
+// the first not-useful entry instead of a random table, so replayed
+// and captured runs, and runs on different workers, see bit-identical
+// verdicts.
+
+// TAGEConfig sizes a TAGE predictor.
+type TAGEConfig struct {
+	Tables  int // tagged tables (excluding the bimodal base)
+	Bits    int // log2 entries per tagged table (base uses Bits+1)
+	TagBits int // tag width per tagged entry
+	HistMin int // history length of the shortest tagged table
+	HistMax int // history length of the longest tagged table (<= 64)
+}
+
+// tageEntry is one tagged-table entry: a partial tag, a 3-bit
+// prediction counter (taken when >= 4) and a 2-bit usefulness counter.
+type tageEntry struct {
+	tag  uint32
+	ctr  uint8 // 0..7, taken when >= 4
+	u    uint8 // 0..3
+	live bool
+}
+
+// TAGE implements DirectionPredictor.
+type TAGE struct {
+	cfg      TAGEConfig
+	base     []counter2
+	baseMask int
+	tables   [][]tageEntry
+	idxMask  uint32
+	tagMask  uint32
+	histLen  []int
+	ghist    uint64 // newest outcome in bit 0
+}
+
+// NewTAGE builds a TAGE predictor; the tagged tables get history
+// lengths growing geometrically from HistMin to HistMax.
+func NewTAGE(cfg TAGEConfig) *TAGE {
+	if cfg.Tables < 1 {
+		cfg.Tables = 1
+	}
+	if cfg.HistMin < 1 {
+		cfg.HistMin = 1
+	}
+	if cfg.HistMax < cfg.HistMin {
+		cfg.HistMax = cfg.HistMin
+	}
+	if cfg.HistMax > 64 {
+		cfg.HistMax = 64
+	}
+	t := &TAGE{
+		cfg:      cfg,
+		base:     make([]counter2, 1<<(cfg.Bits+1)),
+		baseMask: 1<<(cfg.Bits+1) - 1,
+		tables:   make([][]tageEntry, cfg.Tables),
+		idxMask:  1<<cfg.Bits - 1,
+		tagMask:  1<<cfg.TagBits - 1,
+		histLen:  geometricLengths(cfg.Tables, cfg.HistMin, cfg.HistMax),
+	}
+	for i := range t.tables {
+		t.tables[i] = make([]tageEntry, 1<<cfg.Bits)
+	}
+	t.Reset()
+	return t
+}
+
+// geometricLengths returns n history lengths from lo to hi in a
+// geometric progression (rounded, strictly non-decreasing).
+func geometricLengths(n, lo, hi int) []int {
+	out := make([]int, n)
+	out[0] = lo
+	if n == 1 {
+		return out
+	}
+	ratio := float64(hi) / float64(lo)
+	for i := 1; i < n; i++ {
+		l := int(float64(lo)*math.Pow(ratio, float64(i)/float64(n-1)) + 0.5)
+		if l <= out[i-1] {
+			l = out[i-1] + 1
+		}
+		if l > hi {
+			l = hi
+		}
+		out[i] = l
+	}
+	out[n-1] = hi
+	for i := 1; i < n; i++ { // re-assert monotonicity after the clamp
+		if out[i] < out[i-1] {
+			out[i] = out[i-1]
+		}
+	}
+	return out
+}
+
+// fold compresses the low length bits of h into bits-wide chunks XORed
+// together.
+func fold(h uint64, length, bits int) uint32 {
+	if length >= 64 {
+		length = 64
+	} else {
+		h &= 1<<uint(length) - 1
+	}
+	var f uint64
+	for length > 0 {
+		f ^= h & (1<<uint(bits) - 1)
+		h >>= uint(bits)
+		length -= bits
+	}
+	return uint32(f)
+}
+
+func (t *TAGE) index(pc, table int) uint32 {
+	h := fold(t.ghist, t.histLen[table], t.cfg.Bits)
+	return (uint32(pc) ^ uint32(pc)>>uint(t.cfg.Bits) ^ h ^ uint32(table)<<1) & t.idxMask
+}
+
+func (t *TAGE) tag(pc, table int) uint32 {
+	h1 := fold(t.ghist, t.histLen[table], t.cfg.TagBits)
+	h2 := fold(t.ghist, t.histLen[table], t.cfg.TagBits-1)
+	return (uint32(pc) ^ h1 ^ h2<<1) & t.tagMask
+}
+
+// lookup finds the provider (longest matching table, -1 = base) and
+// the alternate prediction (next matching component below it).
+func (t *TAGE) lookup(pc int) (provider int, pred, altPred bool) {
+	provider = -1
+	pred = t.base[pc&t.baseMask].taken()
+	altPred = pred
+	for i := len(t.tables) - 1; i >= 0; i-- {
+		e := &t.tables[i][t.index(pc, i)]
+		if e.live && e.tag == t.tag(pc, i) {
+			if provider == -1 {
+				provider = i
+				pred = e.ctr >= 4
+			} else {
+				altPred = e.ctr >= 4
+				return
+			}
+		}
+	}
+	if provider >= 0 {
+		altPred = t.base[pc&t.baseMask].taken()
+	}
+	return
+}
+
+// Predict implements DirectionPredictor.
+func (t *TAGE) Predict(pc int) bool {
+	_, pred, _ := t.lookup(pc)
+	return pred
+}
+
+// Update implements DirectionPredictor.
+func (t *TAGE) Update(pc int, taken bool) {
+	provider, pred, altPred := t.lookup(pc)
+
+	if provider >= 0 {
+		e := &t.tables[provider][t.index(pc, provider)]
+		if taken {
+			if e.ctr < 7 {
+				e.ctr++
+			}
+		} else if e.ctr > 0 {
+			e.ctr--
+		}
+		// The usefulness counter tracks whether the provider beats the
+		// alternate prediction.
+		if pred != altPred {
+			if pred == taken {
+				if e.u < 3 {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+	} else {
+		i := pc & t.baseMask
+		t.base[i] = t.base[i].update(taken)
+	}
+
+	// Allocate a longer-history entry on a misprediction, so the next
+	// occurrence under the same history can be captured.
+	if pred != taken && provider < len(t.tables)-1 {
+		allocated := false
+		for i := provider + 1; i < len(t.tables); i++ {
+			e := &t.tables[i][t.index(pc, i)]
+			if !e.live || e.u == 0 {
+				e.live = true
+				e.tag = t.tag(pc, i)
+				e.u = 0
+				if taken {
+					e.ctr = 4
+				} else {
+					e.ctr = 3
+				}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			// Everything useful: age the candidates so a later
+			// misprediction can allocate.
+			for i := provider + 1; i < len(t.tables); i++ {
+				e := &t.tables[i][t.index(pc, i)]
+				if e.u > 0 {
+					e.u--
+				}
+			}
+		}
+	}
+
+	t.ghist <<= 1
+	if taken {
+		t.ghist |= 1
+	}
+}
+
+// Name implements DirectionPredictor.
+func (t *TAGE) Name() string { return "tage" }
+
+// Reset implements DirectionPredictor.
+func (t *TAGE) Reset() {
+	for i := range t.base {
+		t.base[i] = 1 // weakly not-taken, like the other predictors
+	}
+	for _, tab := range t.tables {
+		for i := range tab {
+			tab[i] = tageEntry{}
+		}
+	}
+	t.ghist = 0
+}
+
+// HistoryLengths exposes the geometric series for tests and reports.
+func (t *TAGE) HistoryLengths() []int {
+	out := make([]int, len(t.histLen))
+	copy(out, t.histLen)
+	return out
+}

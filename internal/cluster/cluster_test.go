@@ -140,11 +140,13 @@ func TestWorkerDeathMidSweepIsByteIdentical(t *testing.T) {
 		Spec:      testSpec(nil),
 		BatchSize: 2,
 		Retries:   -1, // fail a dead worker fast instead of backing off
-		// Quarantine the dying worker quickly — two failed dispatches
-		// suffice — before the survivor can drain the sweep on its own.
+		// Quarantine the dying worker on its first failed dispatch.  A
+		// second-trip quarantine would race the survivor: with warm
+		// trace caches the survivor drains the requeued cells before the
+		// dying worker's breaker half-opens for another attempt.
 		BreakerThreshold: 1,
 		BreakerCooldown:  time.Millisecond,
-		QuarantineTrips:  2,
+		QuarantineTrips:  1,
 	})
 	if err != nil {
 		t.Fatal(err)

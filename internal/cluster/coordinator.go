@@ -360,6 +360,7 @@ func cellRequest(pc harness.PlanCell, cfg harness.Config) server.CellRequest {
 		Variant:     pc.Variant.String(),
 		FXUs:        pc.FXUs,
 		BTACEntries: pc.BTACEntries,
+		Predictor:   pc.Predictor,
 		Scale:       cfg.Scale,
 		Seeds:       cfg.Seeds,
 		Trace:       string(cfg.Trace),

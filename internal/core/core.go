@@ -124,6 +124,33 @@ func RunKernelDetailed(k *kernels.Kernel, s Setup, seeds []int64, scale int) (*D
 	return &Detail{Seeds: resp.Seeds, Aggregate: resp.Aggregate}, nil
 }
 
+// RunProfiled simulates one invocation per seed on the coupled model
+// with a branch profiler attached.  The profiler observes every
+// resolved conditional branch and BTAC lookup without touching timing,
+// so the counters are identical to an unprofiled run — but the run
+// always executes the coupled path: profilers cannot ride the cached
+// or trace-replayed paths, whose results are shared across callers.
+func RunProfiled(k *kernels.Kernel, s Setup, seeds []int64, scale int, prof cpu.BranchProfiler) (*Detail, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	det := &Detail{}
+	for _, seed := range seeds {
+		run, err := k.NewRun(seed, scale)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := kernels.SimulateObserved(k, s.Variant, run, s.CPU, stepLimit,
+			kernels.Observer{Branches: prof})
+		if err != nil {
+			return nil, err
+		}
+		det.Seeds = append(det.Seeds, SeedReport{Seed: seed, Counters: rep.Counters, Stalls: rep.Stalls})
+		det.Aggregate = det.Aggregate.Add(rep)
+	}
+	return det, nil
+}
+
 // Interval is one sampling window of a run (Figure 2's x-axis is
 // time; instructions retired is the architecture-independent analogue).
 type Interval struct {

@@ -202,7 +202,7 @@ func simulateSeed(ctx context.Context, k *kernels.Kernel, v kernels.Variant, see
 		return rep, false, cost, err
 	}
 
-	key, err := kernels.TraceKey(k, v, seed, scale, cfg.Predictor)
+	key, err := kernels.TraceKey(k, v, seed, scale)
 	if err != nil {
 		return cpu.Report{}, false, cost, err
 	}
@@ -214,7 +214,7 @@ func simulateSeed(ctx context.Context, k *kernels.Kernel, v kernels.Variant, see
 		_, sp := telemetry.StartSpan(ctx, telemetry.StageCapture)
 		sp.Attr("app", k.App)
 		sp.AttrInt("seed", seed)
-		t, err = kernels.CaptureTrace(k, v, seed, scale, cfg.Predictor, limit)
+		t, err = kernels.CaptureTrace(k, v, seed, scale, limit)
 		sp.End()
 		cost.CaptureNS = time.Since(capStart).Nanoseconds()
 		if err != nil {
@@ -243,7 +243,7 @@ func simulateSeed(ctx context.Context, k *kernels.Kernel, v kernels.Variant, see
 			_, sp := telemetry.StartSpan(ctx, telemetry.StageCapture)
 			sp.Attr("app", k.App)
 			sp.AttrInt("seed", seed)
-			tr, cerr := kernels.CaptureTrace(k, v, seed, scale, cfg.Predictor, limit)
+			tr, cerr := kernels.CaptureTrace(k, v, seed, scale, limit)
 			sp.End()
 			captureNS = time.Since(capStart).Nanoseconds()
 			return tr, cerr

@@ -270,6 +270,21 @@ func (c Counters) Sub(o Counters) Counters {
 	}
 }
 
+// BranchProfiler observes every resolved branch the coupled model
+// times, keyed by static PC.  The bprof package implements it to build
+// the per-static-branch predictability profile; the interface lives
+// here so cpu does not depend on the profiler.
+type BranchProfiler interface {
+	// OnCondBranch is called once per conditional branch with the
+	// resolved direction and whether the live direction predictor
+	// mispredicted it.
+	OnCondBranch(pc int, taken, mispredicted bool)
+	// OnBTAC is called once per BTAC lookup (taken branches with a BTAC
+	// configured): predicted reports whether the BTAC was confident
+	// enough to supply a target, wrong whether that target was wrong.
+	OnBTAC(pc int, predicted, wrong bool)
+}
+
 // Model is the timing model for one core.
 type Model struct {
 	cfg  Config
@@ -300,6 +315,7 @@ type Model struct {
 	histLoad     *telemetry.Histogram
 	histFlush    *telemetry.Histogram
 	mispredictPC *telemetry.LabeledCounter
+	profiler     BranchProfiler
 
 	// Completion-group accounting for stall attribution.
 	groupCompl uint64   // cycle the previous completion group retired
@@ -367,6 +383,11 @@ func (m *Model) Report() Report {
 // appends one lifecycle record to buf.  Pass nil to stop tracing.
 func (m *Model) SetTrace(buf *telemetry.TraceBuffer) { m.trace = buf }
 
+// SetBranchProfiler attaches a per-static-branch observer; pass nil to
+// detach.  Profiling never alters timing: the hooks fire after the
+// predictors have been consulted and trained.
+func (m *Model) SetBranchProfiler(p BranchProfiler) { m.profiler = p }
+
 // AttachTelemetry wires the model's streaming distributions into reg:
 // load-to-use latencies, misprediction flush lengths, and per-PC branch
 // mispredict counts are observed live as instructions are consumed.
@@ -391,6 +412,14 @@ func (m *Model) PublishTo(reg *telemetry.Registry) {
 	reg.Gauge("cpu.rate.ipc").Set(c.IPC())
 	reg.Gauge("cpu.rate.l1d_miss").Set(c.L1DMissRate())
 	reg.Gauge("cpu.rate.branch_mispredict").Set(c.BranchMispredictRate())
+	// Direction mispredicts attributed to the predictor that produced
+	// them, labeled by canonical spec so every spelling of a predictor
+	// aggregates into one row.
+	spec := branch.CanonicalOrRaw(m.cfg.Predictor)
+	lc := reg.Labeled("branch.pred.mispredicts")
+	if have := lc.Value(spec); c.DirMispredicts > have {
+		lc.Add(spec, c.DirMispredicts-have)
+	}
 	for _, b := range m.stalls.Buckets() {
 		reg.Counter("cpu.stall." + b.Name).Set(b.Cycles)
 	}
@@ -703,6 +732,9 @@ func (m *Model) branchTiming(d machine.DynInst, fetchC, doneC uint64) string {
 			m.ctr.DirMispredicts++
 			mispredicted = true
 		}
+		if m.profiler != nil {
+			m.profiler.OnCondBranch(d.Index, d.Taken, mispredicted)
+		}
 	}
 
 	if d.Taken {
@@ -726,6 +758,9 @@ func (m *Model) branchTiming(d machine.DynInst, fetchC, doneC uint64) string {
 		if m.btac != nil {
 			m.ctr.BTACLookups++
 			nia, predict := m.btac.Lookup(d.Index)
+			if m.profiler != nil {
+				m.profiler.OnBTAC(d.Index, predict, predict && nia != d.Next)
+			}
 			if predict {
 				m.ctr.BTACPredicts++
 				if nia == d.Next {

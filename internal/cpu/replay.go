@@ -12,12 +12,15 @@ import (
 // the functional machine's output through the live cache hierarchy and
 // direction predictor.  Replayer reproduces its counters and stall
 // stack bit-for-bit from an annotated trace instead — the miss level of
-// every memory access and the verdict of the direction predictor are
-// read from the trace (both are invariant across the timing
-// configurations a sweep varies), so only the BTAC, whose geometry the
-// sweeps change, stays live.  Everything static per PC (op class,
-// register uses and defs, latencies) is precomputed once per compiled
-// program by ProgMeta.
+// every memory access is read from the trace (it is invariant across
+// the timing configurations a sweep varies), while both branch
+// predictors — the direction predictor and the BTAC, whose choice and
+// geometry the sweeps change — run live.  A direction predictor is a
+// pure function of the (pc, taken) stream the trace records, so
+// running it live costs little and keeps the predictor out of trace
+// identity: one capture serves the whole predictor zoo.  Everything
+// static per PC (op class, register uses and defs, latencies) is
+// precomputed once per compiled program by ProgMeta.
 //
 // Replayer deliberately re-implements rather than calls into Consume:
 // the coupled path keeps its telemetry hooks and live structures, the
@@ -98,7 +101,6 @@ type ReplayEvent struct {
 	PC        int
 	Next      int
 	Taken     bool
-	DirWrong  bool  // conditional branches: direction predictor was wrong
 	MissLevel uint8 // memory ops: 0 L1 hit, 1 L2 hit, 2 memory
 }
 
@@ -114,6 +116,7 @@ const (
 // Model, fed by ReplayEvents instead of machine.DynInst.
 type Replayer struct {
 	cfg     Config
+	pred    branch.DirectionPredictor
 	btac    *branch.BTAC
 	loadLat [3]uint64 // load-to-use latency per miss level, from the trace
 
@@ -146,7 +149,7 @@ func NewReplayer(cfg Config, loadLat [3]int) (*Replayer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	r := &Replayer{cfg: cfg}
+	r := &Replayer{cfg: cfg, pred: branch.New(cfg.Predictor)}
 	if cfg.UseBTAC {
 		r.btac = branch.NewBTAC(cfg.BTAC)
 	}
@@ -407,16 +410,18 @@ func (r *Replayer) attributeStall(class isa.Class, n uint64) {
 	}
 }
 
-// branchTiming mirrors Model.branchTiming: the direction predictor's
-// verdict comes from the trace annotation, the BTAC stays live because
-// its geometry is part of the timing configuration.
+// branchTiming mirrors Model.branchTiming: both the direction
+// predictor and the BTAC run live, because predictor choice and BTAC
+// geometry are part of the timing configuration the sweeps vary.
 func (r *Replayer) branchTiming(ev *ReplayEvent, fetchC, doneC uint64) {
 	r.ctr.Branches++
 
 	mispredicted := false
 	if ev.Meta.CondBr {
 		r.ctr.CondBranches++
-		if ev.DirWrong {
+		predTaken := r.pred.Predict(ev.PC)
+		r.pred.Update(ev.PC, ev.Taken)
+		if predTaken != ev.Taken {
 			r.ctr.DirMispredicts++
 			mispredicted = true
 		}

@@ -74,7 +74,7 @@ func writeTrace(t *testing.T, dir string, seed int64) string {
 		b.Add(trace.Record{PC: pc, HasEA: true, EA: uint64(pc * 64)})
 	}
 	tr := b.Finish(trace.Meta{App: "Fasta", Variant: "original", Seed: seed,
-		Scale: 1, Predictor: "2bit", ProgHash: "abc"})
+		Scale: 1, ProgHash: "abc"})
 	enc, err := tr.EncodeFile()
 	if err != nil {
 		t.Fatal(err)

@@ -2,7 +2,9 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 
+	"bioperf5/internal/bprof"
 	"bioperf5/internal/core"
 	"bioperf5/internal/cpu"
 	"bioperf5/internal/kernels"
@@ -254,8 +256,59 @@ func Fig4(cfg Config) (*Table, error) {
 			t.Rows = append(t.Rows, []string{app, s.name, f2(p), f2(q),
 				pctDelta(q, p), pct(btac.BTACMispredictRate())})
 		}
+		// Per-static-branch attribution of the aggregate BTAC mispredict
+		// rate: the hottest wrong-target sites of the original binary
+		// with the BTAC on, profiled on the first seed.
+		hot, err := fig4HotBranches(cfg, k)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, hot...)
 	}
+	t.Note = "per-app sub-rows attribute the BTAC mispredict rate to the " +
+		"hottest static branches (first seed)"
 	return t, nil
+}
+
+// fig4HotBranches profiles one app under the original binary with the
+// eight-entry BTAC and returns table rows for its wrongest-target
+// static branches.
+func fig4HotBranches(cfg Config, k *kernels.Kernel) ([][]string, error) {
+	seeds := cfg.Seeds
+	if len(seeds) > 1 {
+		seeds = seeds[:1]
+	}
+	rep, err := RunBranches(Config{Scale: cfg.Scale, Seeds: seeds},
+		k.App, core.Baseline().WithBTAC())
+	if err != nil {
+		return nil, err
+	}
+	sites := make([]bprof.Branch, 0, len(rep.Branches))
+	for _, b := range rep.Branches {
+		if b.BTACPredicts > 0 {
+			sites = append(sites, b)
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].BTACWrong != sites[j].BTACWrong {
+			return sites[i].BTACWrong > sites[j].BTACWrong
+		}
+		if sites[i].BTACPredicts != sites[j].BTACPredicts {
+			return sites[i].BTACPredicts > sites[j].BTACPredicts
+		}
+		return sites[i].PC < sites[j].PC
+	})
+	if len(sites) > 2 {
+		sites = sites[:2]
+	}
+	var rows [][]string
+	for _, b := range sites {
+		rows = append(rows, []string{
+			"", fmt.Sprintf("  pc %d (%s)", b.PC, b.Class),
+			"", "", "", pct(b.BTACWrongRate()),
+		})
+	}
+	return rows, nil
 }
 
 // Fig5 reproduces Figure 5: IPC as the number of fixed-point units

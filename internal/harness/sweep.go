@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"bioperf5/internal/branch"
@@ -22,23 +23,26 @@ import (
 )
 
 // SweepSpec is a full-factorial design-space sweep: every combination
-// of FXU count x BTAC sizing x predication variant is simulated for
-// every application, through the scheduler in Config.Engine (or the
-// shared default engine).
+// of FXU count x BTAC sizing x direction predictor x predication
+// variant is simulated for every application, through the scheduler in
+// Config.Engine (or the shared default engine).
 type SweepSpec struct {
 	FXUs        []int             // fixed-point unit counts (paper: 2..4)
 	BTACEntries []int             // BTAC entry counts; 0 disables the BTAC
+	Predictors  []string          // direction-predictor specs (see branch.ParseSpec)
 	Variants    []kernels.Variant // predication variants
 	Apps        []string          // application names
 	Config      Config            // scale, seeds and the engine to run on
 }
 
 // DefaultSweepSpec is the paper's design space: FXUs 2-4, BTAC off and
-// 8-entry, original vs combination predication, all four applications.
+// 8-entry, the POWER5-like tournament predictor, original vs
+// combination predication, all four applications.
 func DefaultSweepSpec() SweepSpec {
 	return SweepSpec{
 		FXUs:        []int{2, 3, 4},
 		BTACEntries: []int{0, 8},
+		Predictors:  []string{branch.DefaultSpec()},
 		Variants:    []kernels.Variant{kernels.Branchy, kernels.Combination},
 		Apps:        workload.Apps(),
 		Config:      DefaultConfig(),
@@ -51,6 +55,9 @@ func (sp SweepSpec) normalize() (SweepSpec, error) {
 	}
 	if len(sp.BTACEntries) == 0 {
 		sp.BTACEntries = []int{0, 8}
+	}
+	if len(sp.Predictors) == 0 {
+		sp.Predictors = []string{branch.DefaultSpec()}
 	}
 	if len(sp.Variants) == 0 {
 		sp.Variants = []kernels.Variant{kernels.Branchy, kernels.Combination}
@@ -68,6 +75,24 @@ func (sp SweepSpec) normalize() (SweepSpec, error) {
 			return sp, fmt.Errorf("sweep: BTAC entry count %d out of range", n)
 		}
 	}
+	// Predictor specs are canonicalized (and deduplicated) up front:
+	// the manifest spec, every plan cell and every job key carry one
+	// spelling, so sweeps written with different (equivalent) spellings
+	// produce byte-identical manifests and share cache entries.
+	canon := make([]string, 0, len(sp.Predictors))
+	seen := make(map[string]bool, len(sp.Predictors))
+	for _, spec := range sp.Predictors {
+		c, err := branch.CanonicalSpec(spec)
+		if err != nil {
+			return sp, fmt.Errorf("sweep: %w", err)
+		}
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		canon = append(canon, c)
+	}
+	sp.Predictors = canon
 	for _, app := range sp.Apps {
 		if _, err := kernels.ByApp(app); err != nil {
 			return sp, err
@@ -78,11 +103,12 @@ func (sp SweepSpec) normalize() (SweepSpec, error) {
 }
 
 // SetupFor builds the core setup of one grid point: a predication
-// variant, a fixed-point unit count, and a BTAC sizing (0 disables the
-// BTAC).  It is the single canonicalization point shared by the sweep
-// and the HTTP server, so a served cell and a swept cell with the same
-// coordinates produce identical sched.Job keys and coalesce.
-func SetupFor(v kernels.Variant, fxus, btacEntries int) core.Setup {
+// variant, a fixed-point unit count, a BTAC sizing (0 disables the
+// BTAC), and a direction-predictor spec ("" keeps the POWER5-like
+// default).  It is the single canonicalization point shared by the
+// sweep and the HTTP server, so a served cell and a swept cell with
+// the same coordinates produce identical sched.Job keys and coalesce.
+func SetupFor(v kernels.Variant, fxus, btacEntries int, predictor string) core.Setup {
 	s := core.Baseline()
 	s.Variant = v
 	s.CPU.NumFXU = fxus
@@ -90,7 +116,9 @@ func SetupFor(v kernels.Variant, fxus, btacEntries int) core.Setup {
 		s.CPU.UseBTAC = true
 		s.CPU.BTAC = branch.BTACConfig{Entries: btacEntries, Threshold: 1, MaxScore: 3}
 	}
-	s.Name = fmt.Sprintf("%s + %d FXUs + BTAC %s", v, fxus, btacLabel(btacEntries))
+	s.CPU.Predictor = branch.CanonicalOrRaw(predictor)
+	s.Name = fmt.Sprintf("%s + %d FXUs + BTAC %s + %s", v, fxus,
+		btacLabel(btacEntries), s.CPU.Predictor)
 	return s
 }
 
@@ -117,6 +145,7 @@ type SweepPoint struct {
 	Variant     string      `json:"variant"`
 	FXUs        int         `json:"fxus"`
 	BTACEntries int         `json:"btac_entries"` // 0 = no BTAC
+	Predictor   string      `json:"predictor"`    // canonical direction-predictor spec
 	Key         string      `json:"key"`          // content hash of the cell (over its per-seed job hashes)
 	Status      string      `json:"status"`       // ok|failed|timeout|skipped
 	Error       string      `json:"error,omitempty"`
@@ -131,6 +160,7 @@ type SweepBest struct {
 	Variant     string  `json:"variant"`
 	FXUs        int     `json:"fxus"`
 	BTACEntries int     `json:"btac_entries"`
+	Predictor   string  `json:"predictor"`
 	NormIPC     float64 `json:"norm_ipc"`
 	Improvement float64 `json:"improvement"`
 }
@@ -141,6 +171,7 @@ type SweepManifest struct {
 	Spec   struct {
 		FXUs        []int    `json:"fxus"`
 		BTACEntries []int    `json:"btac_entries"`
+		Predictors  []string `json:"predictors"`
 		Variants    []string `json:"variants"`
 		Apps        []string `json:"apps"`
 	} `json:"spec"`
@@ -282,7 +313,8 @@ type PlanCell struct {
 	Variant     kernels.Variant
 	FXUs        int
 	BTACEntries int
-	Baseline    bool // an IPC-normalizing baseline, not a grid point
+	Predictor   string // canonical direction-predictor spec
+	Baseline    bool   // an IPC-normalizing baseline, not a grid point
 	Setup       core.Setup
 	Key         string // content hash over the cell's per-seed job hashes
 }
@@ -310,7 +342,8 @@ func PlanSweep(sp SweepSpec) (*SweepPlan, error) {
 		plan.Baselines = append(plan.Baselines, PlanCell{
 			App: app, Variant: s.Variant,
 			FXUs: s.CPU.NumFXU, BTACEntries: 0,
-			Baseline: true, Setup: s,
+			Predictor: branch.CanonicalOrRaw(s.CPU.Predictor),
+			Baseline:  true, Setup: s,
 			Key: cellKey(cellJobs(app, s, sp.Config)),
 		})
 	}
@@ -318,12 +351,15 @@ func PlanSweep(sp SweepSpec) (*SweepPlan, error) {
 		for _, v := range sp.Variants {
 			for _, fxus := range sp.FXUs {
 				for _, entries := range sp.BTACEntries {
-					s := SetupFor(v, fxus, entries)
-					plan.Points = append(plan.Points, PlanCell{
-						App: app, Variant: v, FXUs: fxus, BTACEntries: entries,
-						Setup: s,
-						Key:   cellKey(cellJobs(app, s, sp.Config)),
-					})
+					for _, pred := range sp.Predictors {
+						s := SetupFor(v, fxus, entries, pred)
+						plan.Points = append(plan.Points, PlanCell{
+							App: app, Variant: v, FXUs: fxus, BTACEntries: entries,
+							Predictor: pred,
+							Setup:     s,
+							Key:       cellKey(cellJobs(app, s, sp.Config)),
+						})
+					}
 				}
 			}
 		}
@@ -369,6 +405,7 @@ func (plan *SweepPlan) Manifest(baselines, points []CellResult) *SweepManifest {
 	m := &SweepManifest{Schema: SchemaVersion, Config: sp.Config}
 	m.Spec.FXUs = sp.FXUs
 	m.Spec.BTACEntries = sp.BTACEntries
+	m.Spec.Predictors = sp.Predictors
 	for _, v := range sp.Variants {
 		m.Spec.Variants = append(m.Spec.Variants, v.String())
 	}
@@ -400,6 +437,7 @@ func (plan *SweepPlan) Manifest(baselines, points []CellResult) *SweepManifest {
 			Variant:     pc.Variant.String(),
 			FXUs:        pc.FXUs,
 			BTACEntries: pc.BTACEntries,
+			Predictor:   pc.Predictor,
 			Key:         pc.Key,
 		}
 		if msg, degraded := baseErr[p.App]; degraded {
@@ -433,8 +471,8 @@ func (plan *SweepPlan) Manifest(baselines, points []CellResult) *SweepManifest {
 		if b := best[p.App]; b == nil || p.NormIPC > b.NormIPC {
 			best[p.App] = &SweepBest{
 				App: p.App, Variant: p.Variant, FXUs: p.FXUs,
-				BTACEntries: p.BTACEntries, NormIPC: p.NormIPC,
-				Improvement: p.Improvement,
+				BTACEntries: p.BTACEntries, Predictor: p.Predictor,
+				NormIPC: p.NormIPC, Improvement: p.Improvement,
 			}
 		}
 	}
@@ -544,11 +582,11 @@ func (m *SweepManifest) Summary() *Table {
 		Title: "Design-space sweep: best configuration per application",
 		Note: fmt.Sprintf("%d points; norm. IPC is baseline work / cycles (a speedup measure)",
 			len(m.Points)),
-		Columns: []string{"application", "variant", "FXUs", "BTAC", "norm. IPC", "improvement"},
+		Columns: []string{"application", "variant", "FXUs", "BTAC", "predictor", "norm. IPC", "improvement"},
 	}
 	for _, b := range m.Best {
 		t.Rows = append(t.Rows, []string{b.App, b.Variant,
-			strconv.Itoa(b.FXUs), btacLabel(b.BTACEntries),
+			strconv.Itoa(b.FXUs), btacLabel(b.BTACEntries), predLabel(b.Predictor),
 			f2(b.NormIPC), pctDelta(1+b.Improvement, 1)})
 	}
 	return t
@@ -560,7 +598,7 @@ func (m *SweepManifest) Grid() *Table {
 	t := &Table{
 		ID:      "sweep-grid",
 		Title:   "Design-space sweep: all points",
-		Columns: []string{"application", "variant", "FXUs", "BTAC", "norm. IPC", "improvement"},
+		Columns: []string{"application", "variant", "FXUs", "BTAC", "predictor", "norm. IPC", "improvement"},
 	}
 	prev := ""
 	for _, p := range m.Points {
@@ -575,7 +613,19 @@ func (m *SweepManifest) Grid() *Table {
 			ipc, delta = p.Status, "-"
 		}
 		t.Rows = append(t.Rows, []string{app, p.Variant,
-			strconv.Itoa(p.FXUs), btacLabel(p.BTACEntries), ipc, delta})
+			strconv.Itoa(p.FXUs), btacLabel(p.BTACEntries), predLabel(p.Predictor), ipc, delta})
 	}
 	return t
+}
+
+// predLabel shortens a canonical predictor spec to its kind for table
+// cells ("tage:tables=4,bits=10,..." -> "tage").  The full spec stays
+// in the JSON manifest; sweeps comparing two parameterizations of one
+// kind should read the manifest, not the table.
+func predLabel(spec string) string {
+	if spec == "" {
+		return "default"
+	}
+	kind, _, _ := strings.Cut(spec, ":")
+	return kind
 }

@@ -166,6 +166,66 @@ func TestSweepManifestShape(t *testing.T) {
 	}
 }
 
+// TestSweepPredictorDimension: predictor specs are a first-class sweep
+// axis — canonicalized, deduplicated, multiplied into the grid, and
+// spelling-independent down to the manifest bytes.
+func TestSweepPredictorDimension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	spec := SweepSpec{
+		FXUs:        []int{2},
+		BTACEntries: []int{0},
+		Variants:    []kernels.Variant{kernels.Branchy},
+		Apps:        []string{"Fasta"},
+		Predictors:  []string{"gshare", "gshare:bits=12,hist=11", "tage"},
+		Config:      Config{Scale: 1, Seeds: []int64{1}},
+	}
+	plan, err := PlanSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two gshare spellings collapse to one canonical spec.
+	if len(plan.Spec.Predictors) != 2 {
+		t.Fatalf("predictors not deduplicated: %v", plan.Spec.Predictors)
+	}
+	if len(plan.Points) != 2 {
+		t.Fatalf("%d points, want 2 (one per distinct predictor)", len(plan.Points))
+	}
+	for _, pc := range plan.Points {
+		if pc.Setup.CPU.Predictor != pc.Predictor {
+			t.Errorf("cell predictor %q != setup predictor %q", pc.Predictor, pc.Setup.CPU.Predictor)
+		}
+		if pc.Predictor != "gshare:bits=12,hist=11" && pc.Predictor != "tage:tables=4,bits=10,tag=8,hist=2..64" {
+			t.Errorf("non-canonical cell predictor %q", pc.Predictor)
+		}
+	}
+
+	// Equivalent spellings produce byte-identical manifests.  Each run
+	// gets a fresh engine so the scheduler snapshot (hit counts are
+	// engine-lifetime state) is identical too.
+	var manifests [][]byte
+	for _, preds := range [][]string{
+		{"perceptron"},
+		{" Perceptron : hist=24 , weights=256 "},
+	} {
+		eng := sched.New(sched.Options{Workers: 4})
+		sp := smallSweep(eng)
+		sp.Apps = []string{"Fasta"}
+		sp.Predictors = preds
+		m, err := RunSweep(sp)
+		eng.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		manifests = append(manifests, manifestJSON(t, m))
+	}
+	if !bytes.Equal(manifests[0], manifests[1]) {
+		t.Errorf("manifests diverge across predictor spellings:\n%s\n---\n%s",
+			manifests[0], manifests[1])
+	}
+}
+
 func TestSweepRejectsBadSpec(t *testing.T) {
 	if _, err := RunSweep(SweepSpec{Apps: []string{"NoSuchApp"}}); err == nil {
 		t.Error("unknown app accepted")

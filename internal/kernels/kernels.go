@@ -211,11 +211,13 @@ func Execute(k *Kernel, v Variant, run *Run, limit uint64) (uint64, error) {
 }
 
 // Observer bundles the optional observability hooks a simulation can
-// carry: a pipeline event trace and a telemetry registry the model (and
-// its cache hierarchy, BTAC, memory image) publish into after the run.
+// carry: a pipeline event trace, a telemetry registry the model (and
+// its cache hierarchy, BTAC, memory image) publish into after the run,
+// and a per-static-branch profiler fed every resolved branch.
 type Observer struct {
 	Trace    *telemetry.TraceBuffer
 	Registry *telemetry.Registry
+	Branches cpu.BranchProfiler
 }
 
 // Simulate runs a compiled kernel through the timing model and returns
@@ -247,6 +249,9 @@ func SimulateObserved(k *Kernel, v Variant, run *Run, cfg cpu.Config, limit uint
 	}
 	if obs.Registry != nil {
 		model.AttachTelemetry(obs.Registry)
+	}
+	if obs.Branches != nil {
+		model.SetBranchProfiler(obs.Branches)
 	}
 	mach := machine.New(prog, run.Mem)
 	mach.Reset()

@@ -27,8 +27,9 @@ func coupledReport(t *testing.T, k *Kernel, v Variant, cfg cpu.Config) cpu.Repor
 
 // timingVariations spans the paper's tier-1 design space: the POWER5
 // baseline, the 8-entry BTAC (Figure 4), 3 and 4 fixed-point units
-// (Figure 5), and the combined machine (Figure 6).  One captured trace
-// must replay bit-identically under every one of them.
+// (Figure 5), the combined machine (Figure 6), and — since predictors
+// run live at replay time — representatives of the predictor zoo.  One
+// captured trace must replay bit-identically under every one of them.
 func timingVariations() map[string]cpu.Config {
 	base := cpu.POWER5Baseline()
 	btac := base
@@ -40,12 +41,18 @@ func timingVariations() map[string]cpu.Config {
 	combo := base
 	combo.UseBTAC = true
 	combo.NumFXU = 4
+	tage := base
+	tage.Predictor = "tage:tables=4,hist=2..64"
+	perc := combo
+	perc.Predictor = "perceptron:weights=256,hist=24"
 	return map[string]cpu.Config{
-		"baseline":   base,
-		"btac8":      btac,
-		"fxu3":       fxu3,
-		"fxu4":       fxu4,
-		"btac8+fxu4": combo,
+		"baseline":        base,
+		"btac8":           btac,
+		"fxu3":            fxu3,
+		"fxu4":            fxu4,
+		"btac8+fxu4":      combo,
+		"tage":            tage,
+		"perceptron+btac": perc,
 	}
 }
 
@@ -58,7 +65,7 @@ func TestReplayEquivalenceGolden(t *testing.T) {
 	variants := []Variant{Branchy, HandISel, CompISel, HandMax, CompMax, Combination}
 	for _, k := range All() {
 		for _, v := range variants {
-			tr, err := CaptureTrace(k, v, 1, 1, "", replayLimit)
+			tr, err := CaptureTrace(k, v, 1, 1, replayLimit)
 			if err != nil {
 				t.Fatalf("%s/%s: capture: %v", k.App, v, err)
 			}
@@ -94,7 +101,7 @@ func TestReplayEquivalenceSeedsAndScale(t *testing.T) {
 		seed  int64
 		scale int
 	}{{2, 1}, {7, 1}, {1, 2}} {
-		tr, err := CaptureTrace(k, Branchy, coord.seed, coord.scale, "", replayLimit)
+		tr, err := CaptureTrace(k, Branchy, coord.seed, coord.scale, replayLimit)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,7 +131,7 @@ func TestReplayFileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := CaptureTrace(k, Branchy, 1, 1, "", replayLimit)
+	tr, err := CaptureTrace(k, Branchy, 1, 1, replayLimit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +161,7 @@ func TestReplayRejectsForeignProgram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := CaptureTrace(k, Branchy, 1, 1, "", replayLimit)
+	tr, err := CaptureTrace(k, Branchy, 1, 1, replayLimit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,33 +198,26 @@ func TestTraceKeySharedAcrossTimingConfigs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key, err := TraceKey(k, Branchy, 1, 1, "")
+	key, err := TraceKey(k, Branchy, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Same cell, any timing config: the key is computed from
-	// (kernel, variant, seed, scale, predictor) only, so the FXU x BTAC
+	// (kernel, variant, seed, scale) only, so the predictor x FXU x BTAC
 	// factorial shares one capture per seed by construction.
-	again, err := TraceKey(k, Branchy, 1, 1, "")
+	again, err := TraceKey(k, Branchy, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if key.Hash() != again.Hash() {
 		t.Error("same cell produced different trace keys")
 	}
-	other, err := TraceKey(k, Combination, 1, 1, "")
+	other, err := TraceKey(k, Combination, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if key.Hash() == other.Hash() {
 		t.Error("different variants share a trace key")
-	}
-	gshare, err := TraceKey(k, Branchy, 1, 1, "gshare")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if key.Hash() == gshare.Hash() {
-		t.Error("different direction predictors share a trace key (DirWrong annotations are predictor-specific)")
 	}
 }
 

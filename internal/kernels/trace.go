@@ -79,20 +79,20 @@ func hashProgram(p *isa.Program) (string, error) {
 }
 
 // TraceKey returns the content address of the trace for one
-// (kernel, variant, seed, scale) cell under the named direction
-// predictor.  It compiles (cached) to obtain the program hash.
-func TraceKey(k *Kernel, v Variant, seed int64, scale int, predictor string) (trace.Key, error) {
+// (kernel, variant, seed, scale) cell.  It compiles (cached) to obtain
+// the program hash.  The key is predictor-free: direction predictors
+// run live at replay time, so every predictor shares the cell's trace.
+func TraceKey(k *Kernel, v Variant, seed int64, scale int) (trace.Key, error) {
 	c, err := CompileCached(k, v)
 	if err != nil {
 		return trace.Key{}, err
 	}
 	return trace.Key{
-		App:       k.App,
-		Variant:   v.String(),
-		Seed:      seed,
-		Scale:     scale,
-		Predictor: trace.CanonicalPredictor(predictor),
-		ProgHash:  c.Hash,
+		App:      k.App,
+		Variant:  v.String(),
+		Seed:     seed,
+		Scale:    scale,
+		ProgHash: c.Hash,
 	}, nil
 }
 
@@ -101,7 +101,7 @@ func TraceKey(k *Kernel, v Variant, seed int64, scale int, predictor string) (tr
 // annotated dynamic trace.  The functional result is verified before
 // the trace is sealed, so a stored trace is always a trace of a
 // correct execution.
-func CaptureTrace(k *Kernel, v Variant, seed int64, scale int, predictor string, limit uint64) (*trace.Trace, error) {
+func CaptureTrace(k *Kernel, v Variant, seed int64, scale int, limit uint64) (*trace.Trace, error) {
 	c, err := CompileCached(k, v)
 	if err != nil {
 		return nil, err
@@ -110,7 +110,7 @@ func CaptureTrace(k *Kernel, v Variant, seed int64, scale int, predictor string,
 	if err != nil {
 		return nil, fmt.Errorf("kernels: %s/%s: %w", k.Name, v, err)
 	}
-	cap := trace.NewCapturer(predictor)
+	cap := trace.NewCapturer()
 	mach := machine.New(c.Prog, run.Mem)
 	mach.Reset()
 	if err := mach.SetPC(k.Name); err != nil {
@@ -182,7 +182,6 @@ func ReplayTrace(k *Kernel, v Variant, t *trace.Trace, cfg cpu.Config) (cpu.Repo
 			PC:        rec.PC,
 			Next:      rec.Next,
 			Taken:     rec.Taken,
-			DirWrong:  rec.DirWrong,
 			MissLevel: rec.MissLevel,
 		}
 		if err := rep.Consume(&ev); err != nil {

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"bioperf5/internal/branch"
 	"bioperf5/internal/core"
 	"bioperf5/internal/cpu"
 	"bioperf5/internal/kernels"
@@ -46,7 +47,9 @@ type Job struct {
 // keySchema versions the canonical key encoding; bump it whenever the
 // meaning of an existing cpu.Config field changes so stale on-disk
 // cache entries stop matching instead of being silently reused.
-const keySchema = 1
+// Schema 2 canonicalizes the predictor spec inside the key, so every
+// spelling of a predictor addresses one cache entry.
+const keySchema = 2
 
 // Key is the canonical, JSON-serializable identity of a Job.  Two jobs
 // with equal keys compute the same result.
@@ -61,19 +64,24 @@ type Key struct {
 
 // Key returns the job's canonical identity.  Scale is normalized the
 // way kernel NewRun hooks normalize it, so scale 0 and scale 1 address
-// the same cache entry.
+// the same cache entry; the predictor spec is canonicalized so
+// equivalent spellings ("gshare", "gshare:bits=12,hist=11") coalesce.
+// An unparseable spec is kept verbatim — it still keys deterministically
+// and fails with its real error at execution time.
 func (j Job) Key() Key {
 	scale := j.Scale
 	if scale < 1 {
 		scale = 1
 	}
+	cfg := j.CPU
+	cfg.Predictor = branch.CanonicalOrRaw(cfg.Predictor)
 	return Key{
 		Schema:  keySchema,
 		App:     j.App,
 		Variant: j.Variant.String(),
 		Seed:    j.Seed,
 		Scale:   scale,
-		CPU:     j.CPU,
+		CPU:     cfg,
 	}
 }
 

@@ -53,6 +53,46 @@ func TestJobHashCanonical(t *testing.T) {
 	}
 }
 
+// TestJobHashCoalescesPredictorSpellings pins the cache-coalescing
+// property of predictor specs: every spelling of the same predictor is
+// canonicalized before hashing, so equivalent cells share one cache
+// entry across sweep, serve and cluster.
+func TestJobHashCoalescesPredictorSpellings(t *testing.T) {
+	withPred := func(spec string) Job {
+		j := baseJob()
+		j.CPU.Predictor = spec
+		return j
+	}
+	equivalent := [][]string{
+		{"", "tournament", "tournament:bits=12,hist=11", " Tournament : hist=11 , bits=12 "},
+		{"gshare", "gshare:bits=12", "gshare:hist=11,bits=12", "gshare:bits=12,hist=11"},
+		{"tage", "tage:tables=4,bits=10,tag=8,hist=2..64", "tage:hist=2..64"},
+		{"perceptron", "perceptron:weights=256,hist=24"},
+	}
+	hashes := map[string]string{}
+	for _, group := range equivalent {
+		want := withPred(group[0]).Hash()
+		for _, spec := range group[1:] {
+			if got := withPred(spec).Hash(); got != want {
+				t.Errorf("spellings %q and %q hash differently", group[0], spec)
+			}
+		}
+		if prev, dup := hashes[want]; dup {
+			t.Errorf("distinct predictors %q and %q collide", prev, group[0])
+		}
+		hashes[want] = group[0]
+	}
+	// Parameter changes move the hash.
+	if withPred("gshare:bits=14").Hash() == withPred("gshare").Hash() {
+		t.Error("gshare:bits=14 should not share a cache entry with the default gshare")
+	}
+	// Unparseable specs still key deterministically (verbatim).
+	bad := withPred("no-such-predictor")
+	if bad.Hash() != bad.Hash() {
+		t.Error("unparseable spec hash is not deterministic")
+	}
+}
+
 // stubEngine builds an engine whose compute function is replaced, so
 // scheduler mechanics can be tested without real simulations.
 func stubEngine(t *testing.T, o Options, compute func(Job) (cpu.Report, error)) *Engine {

@@ -107,7 +107,7 @@ func TestTraceEndpointRoundTrip(t *testing.T) {
 		b.Add(trace.Record{PC: pc, HasEA: true, EA: uint64(pc * 64)})
 	}
 	tr := b.Finish(trace.Meta{App: "Fasta", Variant: "original", Seed: 1, Scale: 1,
-		Predictor: "2bit", ProgHash: "abc"})
+		ProgHash: "abc"})
 	body, err := tr.EncodeFile()
 	if err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"bioperf5/internal/branch"
 	"bioperf5/internal/core"
 	"bioperf5/internal/harness"
 	"bioperf5/internal/kernels"
@@ -35,6 +36,10 @@ type CellRequest struct {
 	BTACEntries int     `json:"btac_entries,omitempty"`
 	Scale       int     `json:"scale,omitempty"`
 	Seeds       []int64 `json:"seeds,omitempty"`
+	// Predictor is a direction-predictor spec ("tage:tables=4,hist=2..64");
+	// empty means the POWER5-like tournament default.  Malformed specs
+	// are rejected with a structured 400 naming the field and reason.
+	Predictor string `json:"predictor,omitempty"`
 	// Trace selects the execution strategy ("auto", "capture", "replay",
 	// "off"); empty means the server's default.  It never changes the
 	// numbers or the cell's key — only how they are computed.
@@ -48,16 +53,17 @@ type CellRequest struct {
 // memoized, and the per-seed + aggregate stats in the harness report
 // schema.
 type CellResponse struct {
-	Schema      string              `json:"schema"`
-	App         string              `json:"app"`
-	Variant     string              `json:"variant"`
-	FXUs        int                 `json:"fxus"`
-	BTACEntries int                 `json:"btac_entries"`
-	Scale       int                 `json:"scale"`
-	Seeds       []int64             `json:"seeds"`
-	Key         string              `json:"key"`
-	Coalesced   int                 `json:"coalesced"`
-	TraceHit    bool                `json:"trace_hit"`
+	Schema      string  `json:"schema"`
+	App         string  `json:"app"`
+	Variant     string  `json:"variant"`
+	FXUs        int     `json:"fxus"`
+	BTACEntries int     `json:"btac_entries"`
+	Predictor   string  `json:"predictor"`
+	Scale       int     `json:"scale"`
+	Seeds       []int64 `json:"seeds"`
+	Key         string  `json:"key"`
+	Coalesced   int     `json:"coalesced"`
+	TraceHit    bool    `json:"trace_hit"`
 	// Cost is the cell's per-stage wall-time breakdown (queue wait,
 	// compile, capture, replay, cache I/O).  Coalesced seeds contribute
 	// nothing — their work is charged to the submission that enqueued it
@@ -73,6 +79,7 @@ type cellSpec struct {
 	variant kernels.Variant
 	fxus    int
 	btac    int
+	pred    string // canonical predictor spec
 	scale   int
 	seeds   []int64
 	trace   core.TracePolicy
@@ -113,6 +120,9 @@ func (r CellRequest) canonicalize() (cellSpec, error) {
 	if sp.btac < 0 || sp.btac > maxBTAC {
 		return sp, fmt.Errorf("btac_entries %d out of range [0, %d]", r.BTACEntries, maxBTAC)
 	}
+	if sp.pred, err = branch.CanonicalSpec(r.Predictor); err != nil {
+		return sp, err
+	}
 	sp.scale = r.Scale
 	if sp.scale == 0 {
 		sp.scale = 1
@@ -142,7 +152,7 @@ func (r CellRequest) canonicalize() (cellSpec, error) {
 			return sp, fmt.Errorf("bad trace policy %q (one of auto, capture, replay, off)", r.Trace)
 		}
 	}
-	sp.setup = harness.SetupFor(sp.variant, sp.fxus, sp.btac)
+	sp.setup = harness.SetupFor(sp.variant, sp.fxus, sp.btac, sp.pred)
 	return sp, nil
 }
 
@@ -186,6 +196,7 @@ func (s *Server) runCell(cfg harness.Config, sp cellSpec) (*CellResponse, error)
 		Variant:     sp.variant.String(),
 		FXUs:        sp.fxus,
 		BTACEntries: sp.btac,
+		Predictor:   sp.pred,
 		Scale:       sp.scale,
 		Seeds:       sp.seeds,
 		Key:         out.Key,
@@ -206,7 +217,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	}
 	sp, err := req.canonicalize()
 	if err != nil {
-		s.errorJSON(w, http.StatusBadRequest, "%v", err)
+		s.badRequest(w, err)
 		return
 	}
 	ctx, cancel, err := s.requestContext(r)
@@ -268,7 +279,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, c := range req.Cells {
 		sp, err := c.canonicalize()
 		if err != nil {
-			s.errorJSON(w, http.StatusBadRequest, "cell %d: %v", i, err)
+			s.badRequest(w, fmt.Errorf("cell %d: %w", i, err))
 			return
 		}
 		specs[i] = sp

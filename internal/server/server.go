@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bioperf5/internal/branch"
 	"bioperf5/internal/core"
 	"bioperf5/internal/harness"
 	"bioperf5/internal/sched"
@@ -382,10 +383,35 @@ func statusForRunError(err error) int {
 }
 
 // errorResponse is the JSON body of every non-2xx API answer.
+// Malformed predictor specs additionally carry structured detail —
+// which field failed, why, and what is registered — so clients can
+// point at the offending parameter without parsing the message.
 type errorResponse struct {
-	Schema string `json:"schema"`
-	Status int    `json:"status"`
-	Error  string `json:"error"`
+	Schema     string   `json:"schema"`
+	Status     int      `json:"status"`
+	Error      string   `json:"error"`
+	Field      string   `json:"field,omitempty"`
+	Reason     string   `json:"reason,omitempty"`
+	Registered []string `json:"registered,omitempty"`
+}
+
+// badRequest answers a validation failure with 400.  A *branch.SpecError
+// anywhere in the chain upgrades the body to the structured form.
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	resp := errorResponse{
+		Schema: harness.SchemaVersion,
+		Status: http.StatusBadRequest,
+		Error:  err.Error(),
+	}
+	var se *branch.SpecError
+	if errors.As(err, &se) {
+		resp.Field = se.Field
+		resp.Reason = se.Reason
+		resp.Registered = branch.Registered()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.Status)
+	json.NewEncoder(w).Encode(resp)
 }
 
 func (s *Server) errorJSON(w http.ResponseWriter, status int, format string, args ...any) {

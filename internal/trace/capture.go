@@ -6,39 +6,25 @@ import (
 	"encoding/json"
 	"fmt"
 
-	"bioperf5/internal/branch"
 	"bioperf5/internal/cache"
 	"bioperf5/internal/machine"
 )
 
-// CanonicalPredictor resolves a cpu.Config predictor spelling ("" or an
-// unknown name mean the default) to the canonical name of the predictor
-// it instantiates.  Trace identity uses the canonical name because the
-// DirWrong annotations are valid exactly for the predictor that
-// produced them.
-func CanonicalPredictor(name string) string {
-	return branch.New(name).Name()
-}
-
 // Capturer builds an annotated trace from the dynamic instruction
 // stream of one functional execution.  It runs the same fixed data
-// hierarchy and the same direction predictor the coupled timing model
-// would, in the same program order, so the recorded miss levels and
-// predictor verdicts are bit-identical to what cpu.Model.Consume would
-// have observed.
+// hierarchy the coupled timing model would, in the same program order,
+// so the recorded miss levels are bit-identical to what
+// cpu.Model.Consume would have observed.  Branch prediction is not
+// captured: direction predictors and the BTAC run live at replay time,
+// which is what lets one trace serve the whole predictor zoo.
 type Capturer struct {
-	b    Builder
-	mem  *cache.Hierarchy
-	pred branch.DirectionPredictor
+	b   Builder
+	mem *cache.Hierarchy
 }
 
-// NewCapturer returns a capturer annotating for the named direction
-// predictor (resolved through branch.New, like the timing model).
-func NewCapturer(predictor string) *Capturer {
-	return &Capturer{
-		mem:  cache.NewPOWER5Hierarchy(),
-		pred: branch.New(predictor),
-	}
+// NewCapturer returns a capturer over the fixed POWER5 data hierarchy.
+func NewCapturer() *Capturer {
+	return &Capturer{mem: cache.NewPOWER5Hierarchy()}
 }
 
 // Observe records one dynamic instruction.  Call it in execution order
@@ -58,22 +44,16 @@ func (c *Capturer) Observe(d machine.DynInst) {
 			}
 		}
 	}
-	if ins.IsCondBranch() {
-		predTaken := c.pred.Predict(d.Index)
-		c.pred.Update(d.Index, d.Taken)
-		r.DirWrong = predTaken != d.Taken
-	}
 	c.b.Add(r)
 }
 
 // Records returns the number of instructions observed so far.
 func (c *Capturer) Records() uint64 { return c.b.Len() }
 
-// Finish seals the capture.  The predictor name and the per-miss-level
-// load latencies are stamped from the live structures so replay charges
-// exactly the latencies capture observed.
+// Finish seals the capture.  The per-miss-level load latencies are
+// stamped from the live hierarchy so replay charges exactly the
+// latencies capture observed.
 func (c *Capturer) Finish(meta Meta) *Trace {
-	meta.Predictor = c.pred.Name()
 	meta.LoadLat = [3]int{
 		c.mem.LevelLatency(0),
 		c.mem.LevelLatency(1),
@@ -83,20 +63,21 @@ func (c *Capturer) Finish(meta Meta) *Trace {
 }
 
 // keySchema versions the trace content address; bump it when the
-// meaning of a key field changes.
-const keySchema = 1
+// meaning of a key field changes.  Schema 2 dropped the predictor from
+// the key: traces are predictor-agnostic as of format version 2.
+const keySchema = 2
 
 // Key is the content identity of a trace: everything the dynamic
 // instruction stream and its annotations depend on — and nothing the
-// timing sweep varies.  Cells differing only in FXU count, BTAC sizing
-// or pipeline penalties share one Key, which is the entire point.
+// timing sweep varies.  Cells differing only in FXU count, BTAC sizing,
+// predictor choice or pipeline penalties share one Key, which is the
+// entire point.
 type Key struct {
-	App       string
-	Variant   string
-	Seed      int64
-	Scale     int
-	Predictor string // canonical name (see CanonicalPredictor)
-	ProgHash  string
+	App      string
+	Variant  string
+	Seed     int64
+	Scale    int
+	ProgHash string
 }
 
 // KeyFromMeta reconstructs the content key a trace answers.  Every Key
@@ -105,19 +86,18 @@ type Key struct {
 // rebuild the key, hash, compare.
 func KeyFromMeta(m Meta) Key {
 	return Key{
-		App:       m.App,
-		Variant:   m.Variant,
-		Seed:      m.Seed,
-		Scale:     m.Scale,
-		Predictor: m.Predictor,
-		ProgHash:  m.ProgHash,
+		App:      m.App,
+		Variant:  m.Variant,
+		Seed:     m.Seed,
+		Scale:    m.Scale,
+		ProgHash: m.ProgHash,
 	}
 }
 
 // Matches reports whether a trace's meta answers this key.
 func (k Key) Matches(m Meta) bool {
 	return m.App == k.App && m.Variant == k.Variant && m.Seed == k.Seed &&
-		m.Scale == k.Scale && m.Predictor == k.Predictor && m.ProgHash == k.ProgHash
+		m.Scale == k.Scale && m.ProgHash == k.ProgHash
 }
 
 // Hash returns the key's content address: the hex SHA-256 of its

@@ -14,7 +14,7 @@ import (
 
 func testKey(i int) Key {
 	return Key{App: "Fasta", Variant: "original", Seed: int64(i), Scale: 1,
-		Predictor: "2bit", ProgHash: "abc"}
+		ProgHash: "abc"}
 }
 
 // testTrace builds a trace of roughly n payload bytes answering testKey(i).
@@ -25,7 +25,7 @@ func testTrace(i, n int) *Trace {
 	}
 	k := testKey(i)
 	return b.Finish(Meta{App: k.App, Variant: k.Variant, Seed: k.Seed,
-		Scale: k.Scale, Predictor: k.Predictor, ProgHash: k.ProgHash})
+		Scale: k.Scale, ProgHash: k.ProgHash})
 }
 
 func TestStoreGetOrCapture(t *testing.T) {

@@ -7,23 +7,21 @@
 //
 // A trace records, per dynamic instruction: the PC (delta-encoded), the
 // branch direction, the effective address of a memory access (zig-zag
-// delta varint), and two annotations that are themselves invariant
-// across the timing configurations the sweeps vary (FXU count, BTAC
-// sizing, pipeline penalties):
+// delta varint), and one annotation that is itself invariant across
+// the timing configurations the sweeps vary (FXU count, BTAC sizing,
+// predictor choice, pipeline penalties): the cache miss level of a
+// memory access (L1 hit / L2 hit / memory) — the data hierarchy is
+// fixed, so the miss sequence depends only on the address stream.
 //
-//   - the cache miss level of a memory access (L1 hit / L2 hit /
-//     memory) — the data hierarchy is fixed, so the miss sequence
-//     depends only on the address stream;
-//   - the direction-predictor outcome of a conditional branch — every
-//     direction predictor is a deterministic function of the (pc,
-//     taken) sequence, so its verdicts depend only on the predictor
-//     name, which is part of the trace identity.
-//
-// Replay therefore needs neither the functional machine nor the cache
-// nor the direction predictor: only the BTAC (whose geometry the sweeps
-// vary) stays live in the timing model.  The op class, register uses
-// and defs, latencies and branch targets are static per PC and come
-// from the compiled program, which the trace pins by content hash.
+// Replay therefore needs neither the functional machine nor the cache:
+// only the branch predictors — the direction predictor and the BTAC,
+// whose choice and geometry the sweeps vary — stay live in the timing
+// model.  Every direction predictor is a deterministic function of the
+// (pc, taken) sequence the trace records, which is why one capture
+// serves the whole predictor zoo: the predictor is timing
+// configuration, not trace identity.  The op class, register uses and
+// defs, latencies and branch targets are static per PC and come from
+// the compiled program, which the trace pins by content hash.
 //
 // Traces are versioned, checksummed (SHA-256 over the whole file) and
 // content-addressed by Key; Store adds an in-memory LRU with a byte
@@ -41,8 +39,10 @@ import (
 
 // FormatVersion versions the record encoding and the file layout; bump
 // it whenever either changes so stale files are recaptured, never
-// misparsed.
-const FormatVersion = 1
+// misparsed.  Version 2 moved the direction predictor live into the
+// replayer: records no longer carry a per-predictor verdict bit and
+// trace identity no longer includes a predictor name.
+const FormatVersion = 2
 
 // magic opens every trace file.
 var magic = []byte("BP5TRACE\x01")
@@ -54,17 +54,16 @@ var ErrCorrupt = errors.New("trace: corrupt trace")
 // Meta describes what a trace is a trace of.  It is stored as JSON in
 // the file header and verified against the requested Key on load.
 type Meta struct {
-	Schema    int    `json:"schema"`
-	App       string `json:"app"`     // application (Fasta, ...)
-	Kernel    string `json:"kernel"`  // kernel function name (dropgsw, ...)
-	Variant   string `json:"variant"` // predication variant name
-	Seed      int64  `json:"seed"`
-	Scale     int    `json:"scale"`
-	Predictor string `json:"predictor"` // canonical direction-predictor name
-	ProgHash  string `json:"prog_hash"` // content hash of the compiled program
-	Records   uint64 `json:"records"`   // dynamic instruction count
-	Result    int64  `json:"result"`    // functional result, verified at capture
-	LoadLat   [3]int `json:"load_lat"`  // load-to-use latency per miss level
+	Schema   int    `json:"schema"`
+	App      string `json:"app"`     // application (Fasta, ...)
+	Kernel   string `json:"kernel"`  // kernel function name (dropgsw, ...)
+	Variant  string `json:"variant"` // predication variant name
+	Seed     int64  `json:"seed"`
+	Scale    int    `json:"scale"`
+	ProgHash string `json:"prog_hash"` // content hash of the compiled program
+	Records  uint64 `json:"records"`   // dynamic instruction count
+	Result   int64  `json:"result"`    // functional result, verified at capture
+	LoadLat  [3]int `json:"load_lat"`  // load-to-use latency per miss level
 }
 
 // Record is one decoded dynamic instruction.  Next is derived by the
@@ -73,23 +72,20 @@ type Meta struct {
 type Record struct {
 	PC        int
 	Next      int
-	Taken     bool  // branches: direction
-	HasEA     bool  // memory op: EA is meaningful
+	Taken     bool // branches: direction
+	HasEA     bool // memory op: EA is meaningful
 	EA        uint64
 	MissLevel uint8 // memory op: 0 L1 hit, 1 L2 hit, 2 memory
-	DirWrong  bool  // conditional branch: direction predictor was wrong
 }
 
 // Record head layout: uvarint( zigzag(pcDelta)<<4 | flags ), where the
-// flag bits are Taken, HasEA, and either the two-bit miss level (memory
-// ops) or the DirWrong bit (conditional branches) — an instruction is
-// never both.  A HasEA record is followed by uvarint(zigzag(eaDelta)).
+// flag bits are Taken, HasEA, and the two-bit miss level (memory ops).
+// A HasEA record is followed by uvarint(zigzag(eaDelta)).
 const (
-	flagTaken    = 1 << 0
-	flagHasEA    = 1 << 1
-	flagMissShift = 2 // bits 2-3: miss level / bit 2: DirWrong
-	flagDirWrong = 1 << 2
-	headShift    = 4
+	flagTaken     = 1 << 0
+	flagHasEA     = 1 << 1
+	flagMissShift = 2 // bits 2-3: miss level
+	headShift     = 4
 )
 
 // Trace is one captured execution: its identity plus the encoded
@@ -123,8 +119,6 @@ func (b *Builder) Add(r Record) {
 	if r.HasEA {
 		flags |= flagHasEA
 		flags |= uint64(r.MissLevel) << flagMissShift
-	} else if r.DirWrong {
-		flags |= flagDirWrong
 	}
 	head := zigzag(int64(r.PC-b.prevPC))<<headShift | flags
 	b.payload = binary.AppendUvarint(b.payload, head)
@@ -192,8 +186,6 @@ func (it *Iter) decode() (Record, error) {
 		it.pos += n
 		r.EA = it.prevEA + uint64(unzigzag(delta))
 		it.prevEA = r.EA
-	} else {
-		r.DirWrong = head&flagDirWrong != 0
 	}
 	return r, nil
 }

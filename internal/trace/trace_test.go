@@ -6,18 +6,18 @@ import (
 )
 
 // sampleRecords exercises every encoding path: plain ops, taken and
-// not-taken branches with and without mispredictions, loads and stores
-// across all three miss levels, and backward PC deltas (loops).
+// not-taken branches, loads and stores across all three miss levels,
+// and backward PC deltas (loops).
 func sampleRecords() []Record {
 	return []Record{
 		{PC: 0},
 		{PC: 1, HasEA: true, EA: 0x7FFF0000, MissLevel: 2},
 		{PC: 2, HasEA: true, EA: 0x7FFF0008, MissLevel: 0},
-		{PC: 3, Taken: true, DirWrong: true},
+		{PC: 3, Taken: true},
 		{PC: 1, HasEA: true, EA: 0x1000, MissLevel: 1},
 		{PC: 2, HasEA: true, EA: 0x7FFF0000},
 		{PC: 3, Taken: true},
-		{PC: 1, Taken: false, DirWrong: true},
+		{PC: 1, Taken: false},
 		{PC: 4},
 	}
 }
@@ -29,7 +29,7 @@ func buildSample(t *testing.T) *Trace {
 		b.Add(r)
 	}
 	return b.Finish(Meta{App: "Fasta", Kernel: "dropgsw", Variant: "original",
-		Seed: 1, Scale: 1, Predictor: "2bit", ProgHash: "abc", Result: 42})
+		Seed: 1, Scale: 1, ProgHash: "abc", Result: 42})
 }
 
 func TestBuilderIterRoundTrip(t *testing.T) {
@@ -154,14 +154,13 @@ func TestDecodeFileTruncated(t *testing.T) {
 
 func TestKeyHashMovesWithEveryField(t *testing.T) {
 	base := Key{App: "Fasta", Variant: "original", Seed: 1, Scale: 1,
-		Predictor: "2bit", ProgHash: "abc"}
+		ProgHash: "abc"}
 	mutations := map[string]func(*Key){
-		"app":       func(k *Key) { k.App = "Hmmer" },
-		"variant":   func(k *Key) { k.Variant = "combination" },
-		"seed":      func(k *Key) { k.Seed = 2 },
-		"scale":     func(k *Key) { k.Scale = 2 },
-		"predictor": func(k *Key) { k.Predictor = "gshare" },
-		"prog":      func(k *Key) { k.ProgHash = "def" },
+		"app":     func(k *Key) { k.App = "Hmmer" },
+		"variant": func(k *Key) { k.Variant = "combination" },
+		"seed":    func(k *Key) { k.Seed = 2 },
+		"scale":   func(k *Key) { k.Scale = 2 },
+		"prog":    func(k *Key) { k.ProgHash = "def" },
 	}
 	seen := map[string]string{base.Hash(): "base"}
 	for name, mutate := range mutations {
@@ -176,9 +175,9 @@ func TestKeyHashMovesWithEveryField(t *testing.T) {
 
 func TestKeyMatches(t *testing.T) {
 	k := Key{App: "Fasta", Variant: "original", Seed: 1, Scale: 1,
-		Predictor: "2bit", ProgHash: "abc"}
+		ProgHash: "abc"}
 	m := Meta{App: "Fasta", Variant: "original", Seed: 1, Scale: 1,
-		Predictor: "2bit", ProgHash: "abc"}
+		ProgHash: "abc"}
 	if !k.Matches(m) {
 		t.Fatal("matching meta rejected")
 	}

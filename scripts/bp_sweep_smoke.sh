@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# bp_sweep_smoke.sh — predictor-zoo sweep smoke: run a small
+# predictor x app factorial twice against one shared -cache-dir.  The
+# cold run simulates; the warm run — a fresh process spelling every
+# predictor spec differently — must produce a byte-identical manifest
+# with >= 90% of its cells served from the cache (spec canonicalization
+# is what makes differently-spelled sweeps share entries).  Then the
+# per-static-branch profiler: `bioperf5 branches -json` must attribute
+# the machine-wide mispredict counters exactly across its sites, and a
+# malformed spec must fail fast listing the registered predictors.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/bioperf5" ./cmd/bioperf5
+
+sweep_args=(sweep -apps Clustalw,Fasta -fxus 2 -btac off,8
+            -variants original -seeds 1 -scale 2
+            -cache-dir "$work/cache")
+
+# canon strips the operational fields (timing, scheduler counters, the
+# stage profile); determinism is asserted on the rest.
+canon() {
+  python3 - "$1" <<'PY'
+import json, sys
+m = json.load(open(sys.argv[1]))
+for k in ("elapsed_ms", "scheduler", "cluster", "profile"):
+    m.pop(k, None)
+print(json.dumps(m, sort_keys=True, indent=1))
+PY
+}
+
+echo "== cold run: predictor zoo factorial"
+"$work/bioperf5" "${sweep_args[@]}" \
+  -predictors 'tournament;tage:tables=4,hist=2..64;perceptron' \
+  -json > "$work/cold.json"
+
+echo "== warm run: fresh process, every spec spelled differently"
+"$work/bioperf5" "${sweep_args[@]}" \
+  -predictors ' TOURNAMENT : hist=11 , bits=12 ;tage:hist=2..64;perceptron:weights=256,hist=24' \
+  -json > "$work/warm.json"
+
+canon "$work/cold.json" > "$work/cold.canon"
+canon "$work/warm.json" > "$work/warm.canon"
+if ! diff -u "$work/cold.canon" "$work/warm.canon"; then
+  echo "FAIL: warm manifest differs from cold manifest across spellings" >&2
+  exit 1
+fi
+echo "   manifests byte-identical across predictor spellings"
+
+python3 - "$work/warm.json" <<'PY'
+import json, sys
+m = json.load(open(sys.argv[1]))
+preds = m["spec"]["predictors"]
+assert len(preds) == 3, f"expected 3 canonical predictors, got {preds}"
+assert all(":" in p for p in preds), f"non-canonical predictor in manifest spec: {preds}"
+s = m["scheduler"]
+rate = (s["memory_hits"] + s["disk_hits"]) / s["submitted"]
+print(f"   warm run: {s['submitted']} cells, {s['memory_hits']} memory hits, "
+      f"{s['disk_hits']} disk hits ({rate:.0%})")
+assert rate >= 0.9, f"warm cache hit rate {rate:.0%}, want >= 90%: {s}"
+PY
+
+echo "== branches report attributes the aggregate counters"
+"$work/bioperf5" branches Clustalw -btac 8 -seeds 1 \
+  -predictor 'tage:tables=4,hist=2..64' -json > "$work/branches.json"
+python3 - "$work/branches.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["predictor"] == "tage:tables=4,bits=10,tag=8,hist=2..64", r["predictor"]
+rows = r["branches"]
+assert rows, "no branch sites profiled"
+execd = sum(b["executed"] for b in rows)
+miss = sum(b["mispredicts"] for b in rows)
+wrong = sum(b.get("btac_wrong", 0) for b in rows)
+assert execd == r["cond_branches"], (execd, r["cond_branches"])
+assert miss == r["dir_mispredicts"], (miss, r["dir_mispredicts"])
+assert wrong == r["tgt_mispredicts"], (wrong, r["tgt_mispredicts"])
+classes = sum(r["classes"].values())
+assert classes == len(rows), (classes, len(rows))
+print(f"   {len(rows)} sites attribute {miss} direction + {wrong} target mispredicts exactly")
+PY
+
+echo "== malformed spec fails fast, listing the registered predictors"
+if "$work/bioperf5" sweep -predictors 'no-such-predictor' -apps Fasta \
+     -fxus 2 -btac off -variants original -seeds 1 > /dev/null 2> "$work/bad.stderr"; then
+  echo "FAIL: malformed predictor spec was accepted" >&2
+  exit 1
+fi
+if ! grep -q 'registered' "$work/bad.stderr"; then
+  echo "FAIL: spec error does not list the registered predictors:" >&2
+  cat "$work/bad.stderr" >&2
+  exit 1
+fi
+echo "   rejected with: $(cat "$work/bad.stderr")"
+
+echo "PASS: predictor sweeps cache-coalesce across spellings; branch profile attribution exact"
